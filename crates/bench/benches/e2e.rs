@@ -1,0 +1,49 @@
+//! End-to-end Criterion benchmark: one full labeling cycle (materialize +
+//! train + evaluate) on the real backend, per execution strategy — the
+//! wall-clock ablation behind the quickstart example's numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nautilus_core::session::{CycleInput, ModelSelection};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::{BackendKind, Strategy, SystemConfig};
+
+fn bench_cycle(c: &mut Criterion) {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    let mut candidates = spec.candidates().expect("workload builds");
+    candidates.truncate(4);
+    let pool = spec.ner_config().generate(40);
+
+    let mut group = c.benchmark_group("e2e_cycle_4_models");
+    group.sample_size(10);
+    for strategy in [Strategy::CurrentPractice, Strategy::MatOnly, Strategy::FuseOnly, Strategy::Nautilus] {
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            b.iter_batched(
+                || {
+                    let workdir = std::env::temp_dir().join(format!(
+                        "nautilus-bench-e2e-{}-{}",
+                        strategy.label().replace('/', "_"),
+                        std::process::id()
+                    ));
+                    let _ = std::fs::remove_dir_all(&workdir);
+                    ModelSelection::new(
+                        candidates.clone(),
+                        SystemConfig::tiny(),
+                        strategy,
+                        BackendKind::Real,
+                        workdir,
+                    )
+                    .expect("session initializes")
+                },
+                |mut session| {
+                    let (train, valid) = pool.split_at(32);
+                    session.fit(CycleInput::Real { train, valid }).expect("cycle runs")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the substrates: tensor kernels, the
+//! store with its page-cache ablation, and real training steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nautilus_core::backend::{Backend, BackendKind};
+use nautilus_core::config::HardwareProfile;
+use nautilus_dnn::exec::{backward, forward, BatchInputs};
+use nautilus_models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
+use nautilus_models::BuildScale;
+use nautilus_store::{SharedIoStats, TensorStore};
+use nautilus_tensor::init::{randn, seeded_rng};
+use nautilus_tensor::ops::{conv2d, matmul, softmax_last};
+use nautilus_tensor::Tensor;
+use std::collections::HashMap;
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let mut group = c.benchmark_group("tensor");
+    for n in [32usize, 64, 128] {
+        let a = randn([n, n], 1.0, &mut rng);
+        let b = randn([n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b).unwrap())
+        });
+    }
+    let img = randn([4, 8, 16, 16], 1.0, &mut rng);
+    let w = randn([16, 8, 3, 3], 0.1, &mut rng);
+    let bias = Tensor::zeros([16]);
+    group.bench_function("conv2d/4x8x16x16", |bch| {
+        bch.iter(|| conv2d(&img, &w, &bias, 1, 1).unwrap())
+    });
+    let x = randn([64, 128], 1.0, &mut rng);
+    group.bench_function("softmax/64x128", |bch| bch.iter(|| softmax_last(&x)));
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+    let root = std::env::temp_dir().join(format!("nautilus-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut store = TensorStore::open(&root, SharedIoStats::new()).unwrap();
+    let mut rng = seeded_rng(2);
+    let batch = randn([64, 32, 32], 1.0, &mut rng);
+    store.append("warm", &batch).unwrap();
+    group.bench_function("append/64x32x32", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.append(&format!("k{i}"), &batch).unwrap()
+        })
+    });
+    group.bench_function("scan/64x32x32", |b| b.iter(|| store.read_all("warm").unwrap()));
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn bench_pagecache_ablation(c: &mut Criterion) {
+    // MAT-ALL's repeated epoch reads: with a cache that fits the working
+    // set vs one that thrashes (the Fig 6A mechanism).
+    let mut group = c.benchmark_group("pagecache_epoch_reads");
+    for (label, cache_bytes) in [("fits", 1u64 << 30), ("thrashes", 1u64 << 20)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let hw = HardwareProfile { page_cache_bytes: cache_bytes, ..Default::default() };
+                let mut backend =
+                    Backend::new(BackendKind::Simulated, hw, SharedIoStats::new());
+                for _epoch in 0..5 {
+                    for k in 0..8 {
+                        backend.charge_read(&format!("feat{k}"), 4 << 20);
+                    }
+                }
+                backend.elapsed_secs()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let cfg = BertConfig::tiny(8, 40);
+    let graph =
+        feature_transfer_model(&cfg, FeatureStrategy::LastHidden, 5, BuildScale::Real).unwrap();
+    let input = graph.input_ids()[0];
+    let out = graph.outputs()[0];
+    let mut rng = seeded_rng(3);
+    use rand::Rng;
+    let ids: Vec<f32> = (0..8 * 8).map(|_| rng.gen_range(0..40) as f32).collect();
+    let mut inputs = BatchInputs::new();
+    inputs.insert(input, Tensor::from_vec([8, 8], ids).unwrap());
+    let targets: Vec<i64> = (0..64).map(|i| (i % 5) as i64).collect();
+
+    c.bench_function("train_step/tiny_bert_batch8", |b| {
+        b.iter(|| {
+            let fwd = forward(&graph, &inputs, true).unwrap();
+            let (_, grad) =
+                nautilus_tensor::ops::cross_entropy_logits(fwd.output(out), &targets).unwrap();
+            let mut og = HashMap::new();
+            og.insert(out, grad);
+            backward(&graph, &fwd, og).unwrap()
+        })
+    });
+    c.bench_function("inference/tiny_bert_batch8", |b| {
+        b.iter(|| forward(&graph, &inputs, false).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tensor_kernels,
+    bench_store,
+    bench_pagecache_ablation,
+    bench_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 10: (A) MAT-OPT-only FTR-2 runtime versus the disk storage
+//! budget `Bdisk`; (B) FUSE-OPT-only runtime versus the runtime memory
+//! budget `Bmem`. Zero budget is equivalent to Current Practice; both
+//! curves plateau once their budget stops binding.
+
+use nautilus_bench::harness::{write_json, Table};
+use nautilus_bench::{run_workload, RunConfig};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::Strategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    budget_gb: f64,
+    mins: f64,
+    speedup_vs_current_practice: f64,
+}
+
+#[derive(Serialize)]
+struct Fig10Out {
+    current_practice_mins: f64,
+    mat_sweep: Vec<SweepPoint>,
+    fuse_sweep: Vec<SweepPoint>,
+}
+
+fn main() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let candidates = spec.candidates().expect("workload builds");
+
+    let cp = run_workload(
+        candidates.clone(),
+        &RunConfig::paper(&spec, Strategy::CurrentPractice),
+    )
+    .expect("run completes")
+    .total_secs;
+
+    println!("Figure 10(A): MAT OPT only, FTR-2 runtime vs storage budget Bdisk\n");
+    let mut table_a = Table::new(&["Bdisk (GB)", "runtime (min)", "speedup"]);
+    let mut mat_sweep = Vec::new();
+    for gb in [0.0f64, 2.5, 5.0, 7.5, 10.0, 15.0, 25.0] {
+        let mut rc = RunConfig::paper(&spec, Strategy::MatOnly);
+        rc.config.disk_budget_bytes = (gb * 1e9) as u64;
+        let t = run_workload(candidates.clone(), &rc).expect("run completes").total_secs;
+        table_a.row(&[
+            format!("{gb}"),
+            format!("{:.1}", t / 60.0),
+            format!("{:.1}x", cp / t),
+        ]);
+        mat_sweep.push(SweepPoint { budget_gb: gb, mins: t / 60.0, speedup_vs_current_practice: cp / t });
+    }
+    table_a.print();
+
+    println!("\nFigure 10(B): FUSE OPT only, FTR-2 runtime vs memory budget Bmem\n");
+    let mut table_b = Table::new(&["Bmem (GB)", "runtime (min)", "speedup"]);
+    let mut fuse_sweep = Vec::new();
+    for gb in [2.0f64, 4.0, 6.0, 8.0, 10.0, 12.0] {
+        let mut rc = RunConfig::paper(&spec, Strategy::FuseOnly);
+        rc.config.memory_budget_bytes = (gb * 1e9) as u64;
+        let t = run_workload(candidates.clone(), &rc).expect("run completes").total_secs;
+        table_b.row(&[
+            format!("{gb}"),
+            format!("{:.1}", t / 60.0),
+            format!("{:.1}x", cp / t),
+        ]);
+        fuse_sweep.push(SweepPoint { budget_gb: gb, mins: t / 60.0, speedup_vs_current_practice: cp / t });
+    }
+    table_b.print();
+    println!("\n(current practice: {:.1} min; fused plans never exceed Bmem — the memory \
+         estimator's bound prevents OOM crashes, §5.3)", cp / 60.0);
+
+    write_json(
+        "fig10",
+        &Fig10Out { current_practice_mins: cp / 60.0, mat_sweep, fuse_sweep },
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 6(B): FTR-2 model-selection time broken down by cycle (odd
+//! cycles shown, as in the paper) plus the workload-initialization split.
+
+use nautilus_bench::harness::{write_json, Table};
+use nautilus_bench::{run_workload, RunConfig};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::Strategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6bOut {
+    strategies: Vec<String>,
+    init_secs: Vec<f64>,
+    init_breakdown: Vec<(String, f64)>,
+    per_cycle_secs: Vec<Vec<f64>>,
+    per_cycle_speedup: Vec<f64>,
+}
+
+fn main() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let candidates = spec.candidates().expect("workload builds");
+
+    let mut runs = Vec::new();
+    for strategy in [Strategy::CurrentPractice, Strategy::Nautilus] {
+        runs.push(
+            run_workload(candidates.clone(), &RunConfig::paper(&spec, strategy))
+                .expect("run completes"),
+        );
+    }
+    let (cp, na) = (&runs[0], &runs[1]);
+
+    println!("Figure 6(B): FTR-2 per-cycle model selection time\n");
+    let mut table =
+        Table::new(&["cycle", "current practice (min)", "Nautilus (min)", "speedup"]);
+    table.row(&[
+        "init".to_string(),
+        format!("{:.1}", cp.init.total_secs / 60.0),
+        format!("{:.1}", na.init.total_secs / 60.0),
+        "-".to_string(),
+    ]);
+    let mut per_cycle = vec![Vec::new(), Vec::new()];
+    let mut speedups = Vec::new();
+    for i in 0..cp.cycles.len() {
+        let a = cp.cycles[i].cycle_secs;
+        let b = na.cycles[i].cycle_secs;
+        per_cycle[0].push(a);
+        per_cycle[1].push(b);
+        speedups.push(a / b);
+        if (i + 1) % 2 == 1 {
+            table.row(&[
+                format!("{}", i + 1),
+                format!("{:.1}", a / 60.0),
+                format!("{:.1}", b / 60.0),
+                format!("{:.1}x", a / b),
+            ]);
+        }
+    }
+    table.print();
+
+    let nb = &na.init;
+    println!("\nNautilus workload-initialization breakdown:");
+    let total = nb.total_secs.max(1e-9);
+    let breakdown = vec![
+        ("original model checkpoints".to_string(), nb.original_checkpoints_secs),
+        ("profiling".to_string(), nb.profiling_secs),
+        ("optimized plan generation".to_string(), nb.optimize_secs),
+        ("optimized plan checkpoints".to_string(), nb.plan_checkpoints_secs),
+    ];
+    for (name, secs) in &breakdown {
+        println!("  {name:32} {secs:7.2}s ({:4.1}%)", secs / total * 100.0);
+    }
+    println!(
+        "  current-practice init: {:.2}s; Nautilus init: {:.2}s",
+        cp.init.total_secs, nb.total_secs
+    );
+
+    write_json(
+        "fig6b",
+        &Fig6bOut {
+            strategies: vec![cp.strategy.clone(), na.strategy.clone()],
+            init_secs: vec![cp.init.total_secs, na.init.total_secs],
+            init_breakdown: breakdown,
+            per_cycle_secs: per_cycle,
+            per_cycle_speedup: speedups,
+        },
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 9: model-selection time versus the number of candidate models
+//! (FTR-2 fixed to concat-last-4 at batch 16, varying the number of
+//! explored learning rates), with and without each optimization.
+
+use nautilus_bench::harness::{write_json, Table};
+use nautilus_bench::{run_workload, RunConfig};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::Strategy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Row {
+    num_models: usize,
+    nautilus_mins: f64,
+    without_mat_mins: f64,
+    without_fuse_mins: f64,
+    current_practice_mins: f64,
+}
+
+fn main() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let mut table = Table::new(&[
+        "# models",
+        "current practice (min)",
+        "w/o MAT (min)",
+        "w/o FUSE (min)",
+        "Nautilus (min)",
+    ]);
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 3, 4, 5, 6] {
+        let candidates = spec.ftr2_vary_models(n).expect("workload builds");
+        let mut t = std::collections::BTreeMap::new();
+        for strategy in
+            [Strategy::CurrentPractice, Strategy::FuseOnly, Strategy::MatOnly, Strategy::Nautilus]
+        {
+            let run = run_workload(candidates.clone(), &RunConfig::paper(&spec, strategy))
+                .expect("run completes");
+            t.insert(strategy.label().to_string(), run.total_secs);
+        }
+        table.row(&[
+            n.to_string(),
+            format!("{:.1}", t["current-practice"] / 60.0),
+            format!("{:.1}", t["nautilus-w/o-mat"] / 60.0),
+            format!("{:.1}", t["nautilus-w/o-fuse"] / 60.0),
+            format!("{:.1}", t["nautilus"] / 60.0),
+        ]);
+        rows.push(Fig9Row {
+            num_models: n,
+            nautilus_mins: t["nautilus"] / 60.0,
+            without_mat_mins: t["nautilus-w/o-mat"] / 60.0,
+            without_fuse_mins: t["nautilus-w/o-fuse"] / 60.0,
+            current_practice_mins: t["current-practice"] / 60.0,
+        });
+    }
+    println!("Figure 9: model selection time vs number of models\n");
+    table.print();
+    println!(
+        "\n(with 1 model FUSE OPT gives no benefit; as models grow, running \
+         without FUSE OPT costs increasingly more than running without MAT OPT)"
+    );
+    write_json("fig9", &rows);
+}

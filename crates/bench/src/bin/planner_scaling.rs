@@ -1,0 +1,114 @@
+//! Planner scalability drill-down (§4.2.2 / §5.3): optimizer cost as the
+//! model-selection workload grows well past the paper's largest (36
+//! models). Reports multi-model-graph construction, the materialization
+//! MILP (grouped and raw per-model formulations), and the fusion pass.
+
+use nautilus_bench::harness::{write_json, Table};
+use nautilus_core::fusion::fuse_models;
+use nautilus_core::mat_opt::choose_materialization_grouped;
+use nautilus_core::multimodel::MultiModelGraph;
+use nautilus_core::spec::{expand_grid, CandidateModel, ParamAssignment, SearchGrid};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::SystemConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+fn candidates(n_lrs: usize) -> Vec<CandidateModel> {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let lrs: Vec<f64> = (0..n_lrs).map(|i| 5e-5 / (1.0 + i as f64 * 0.25)).collect();
+    let grid = SearchGrid::new()
+        .with_nums("batch", &[16.0, 32.0])
+        .with_nums("lr", &lrs)
+        .with_nums("epochs", &[5.0])
+        .with_strs(
+            "strategy",
+            &["second-last-hidden", "last-hidden", "sum-last-4", "concat-last-4"],
+        );
+    expand_grid(&grid, &move |a: &ParamAssignment| spec.init_candidate(a))
+        .expect("workload builds")
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    num_models: usize,
+    graph_groups: usize,
+    merged_nodes: usize,
+    build_ms: f64,
+    milp_grouped_ms: f64,
+    milp_grouped_vars: usize,
+    milp_per_model_ms: f64,
+    milp_per_model_vars: usize,
+    fusion_ms: f64,
+    fused_units: usize,
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mut table = Table::new(&[
+        "# models",
+        "groups",
+        "merged nodes",
+        "graph build (ms)",
+        "MILP grouped (ms / vars)",
+        "MILP per-model (ms / vars)",
+        "fusion (ms)",
+        "units",
+    ]);
+    let mut rows = Vec::new();
+    for n_lrs in [2usize, 3, 6, 12] {
+        let cands = candidates(n_lrs);
+
+        let t0 = Instant::now();
+        let multi = MultiModelGraph::build(&cands);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let grouped = choose_materialization_grouped(&multi, &cands, &cfg, 10_000, true);
+        let per_model = choose_materialization_grouped(&multi, &cands, &cfg, 10_000, false);
+        assert_eq!(
+            grouped.materialized, per_model.materialized,
+            "grouping must not change the optimum"
+        );
+
+        let t0 = Instant::now();
+        let units = fuse_models(&multi, &cands, &grouped.materialized, &cfg, true);
+        let fusion_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        table.row(&[
+            cands.len().to_string(),
+            grouped.groups.to_string(),
+            multi.nodes.len().to_string(),
+            format!("{build_ms:.1}"),
+            format!(
+                "{:.1} / {}",
+                grouped.milp.elapsed.as_secs_f64() * 1e3,
+                grouped.milp.num_vars
+            ),
+            format!(
+                "{:.1} / {}",
+                per_model.milp.elapsed.as_secs_f64() * 1e3,
+                per_model.milp.num_vars
+            ),
+            format!("{fusion_ms:.1}"),
+            units.len().to_string(),
+        ]);
+        rows.push(ScalingRow {
+            num_models: cands.len(),
+            graph_groups: grouped.groups,
+            merged_nodes: multi.nodes.len(),
+            build_ms,
+            milp_grouped_ms: grouped.milp.elapsed.as_secs_f64() * 1e3,
+            milp_grouped_vars: grouped.milp.num_vars,
+            milp_per_model_ms: per_model.milp.elapsed.as_secs_f64() * 1e3,
+            milp_per_model_vars: per_model.milp.num_vars,
+            fusion_ms,
+            fused_units: units.len(),
+        });
+    }
+    println!("Planner scalability (FTR-2 architecture family, growing learning-rate grid)\n");
+    table.print();
+    println!(
+        "\n(grouped and per-model MILPs agree on the optimum at every size; the \
+         paper reports 'few 10s of seconds' for Gurobi at 36 models)"
+    );
+    write_json("planner_scaling", &rows);
+}

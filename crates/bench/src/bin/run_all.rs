@@ -1,0 +1,25 @@
+//! Runs every table/figure regenerator in sequence.
+//!
+//! `cargo run --release -p nautilus-bench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table3", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "milp_stats", "planner_scaling",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nall experiments completed; JSON results in ./results/");
+}

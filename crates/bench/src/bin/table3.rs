@@ -1,0 +1,83 @@
+//! Table 3: model-selection configurations of the five workloads.
+
+use nautilus_bench::harness::{write_json, Table};
+use nautilus_core::multimodel::MultiModelGraph;
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    workload: String,
+    approach: String,
+    tuning: String,
+    batch_sizes: Vec<usize>,
+    learning_rates: Vec<f64>,
+    epochs: Vec<usize>,
+    num_models: usize,
+    graph_groups: usize,
+    merged_nodes: usize,
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "workload",
+        "transfer approach",
+        "batch",
+        "lr (x1e-5)",
+        "epochs",
+        "# models",
+    ]);
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let spec = WorkloadSpec { kind, scale: Scale::Paper };
+        let candidates = spec.candidates().expect("workload builds");
+        let multi = MultiModelGraph::build(&candidates);
+        let (approach, tuning) = match kind {
+            WorkloadKind::Ftr1 => (
+                "feature transfer",
+                "from {embedding, 2nd-last, last, sum-last-4, concat-last-4, sum-all}",
+            ),
+            WorkloadKind::Ftr2 => {
+                ("feature transfer", "from {2nd-last, last, sum-last-4, concat-last-4}")
+            }
+            WorkloadKind::Ftr3 => ("feature transfer", "from {concat-last-4}"),
+            WorkloadKind::Atr => ("adapter training", "adapters on last {1, 2, 3, 4} hidden"),
+            WorkloadKind::Ftu => ("fine-tuning", "last {3, 6, 9, 12} residual blocks"),
+        };
+        let mut batches: Vec<usize> =
+            candidates.iter().map(|c| c.hyper.batch_size).collect();
+        batches.sort_unstable();
+        batches.dedup();
+        let mut lrs: Vec<f64> =
+            candidates.iter().map(|c| c.hyper.optimizer.lr() as f64 * 1e5).collect();
+        lrs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        lrs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut epochs: Vec<usize> = candidates.iter().map(|c| c.hyper.epochs).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+
+        table.row(&[
+            kind.name().to_string(),
+            approach.to_string(),
+            format!("{batches:?}"),
+            format!("{:?}", lrs.iter().map(|x| x.round() as i64).collect::<Vec<_>>()),
+            format!("{epochs:?}"),
+            candidates.len().to_string(),
+        ]);
+        rows.push(Table3Row {
+            workload: kind.name().to_string(),
+            approach: approach.to_string(),
+            tuning: tuning.to_string(),
+            batch_sizes: batches,
+            learning_rates: lrs,
+            epochs,
+            num_models: candidates.len(),
+            graph_groups: multi.interchangeable_groups().len(),
+            merged_nodes: multi.nodes.len(),
+        });
+    }
+    println!("Table 3: model selection configurations\n");
+    table.print();
+    println!("\n(plus multi-model graph stats per workload: see JSON)");
+    write_json("table3", &rows);
+}

@@ -1,0 +1,102 @@
+//! Output helpers: aligned text tables and JSON result files.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where figure binaries drop their JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("NAUTILUS_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serializes `value` to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    println!("\n[written {}]", path.display());
+}
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, c) in widths.iter().zip(cells) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats seconds as minutes with one decimal (the paper's figure axes).
+pub fn mins(secs: f64) -> String {
+    format!("{:.1}", secs / 60.0)
+}
+
+/// Formats a speedup factor.
+pub fn speedup(baseline: f64, value: f64) -> String {
+    if value <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}x", baseline / value)
+    }
+}
+
+/// Formats bytes as GB.
+pub fn gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(mins(90.0), "1.5");
+        assert_eq!(speedup(100.0, 20.0), "5.0x");
+        assert_eq!(speedup(100.0, 0.0), "-");
+        assert_eq!(gb(2_500_000_000), "2.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+}

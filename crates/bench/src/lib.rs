@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness: shared machinery for regenerating every table and
+//! figure of the paper's evaluation (§5).
+//!
+//! Each figure has a binary in `src/bin/` that prints the paper's
+//! rows/series and writes machine-readable JSON under `results/`.
+//! [`run_workload`] executes one (workload, strategy) pair end-to-end on
+//! the simulated backend at paper scale; [`harness`] holds formatting and
+//! output helpers shared by all binaries.
+
+pub mod harness;
+pub mod runner;
+
+pub use harness::{results_dir, write_json, Table};
+pub use runner::{run_workload, RunConfig, WorkloadRun};

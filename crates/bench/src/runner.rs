@@ -1,0 +1,97 @@
+//! End-to-end workload runner for the simulated backend.
+
+use nautilus_core::metrics::{CycleReport, InitReport, RunStats};
+use nautilus_core::session::{CycleInput, ModelSelection, SessionError};
+use nautilus_core::spec::CandidateModel;
+use nautilus_core::workloads::WorkloadSpec;
+use nautilus_core::{BackendKind, Strategy, SystemConfig};
+use serde::Serialize;
+
+/// Knobs for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// System configuration (budgets, hardware).
+    pub config: SystemConfig,
+    /// Labeling cycles to run.
+    pub cycles: usize,
+    /// `(train, valid)` records labeled per cycle.
+    pub records_per_cycle: (usize, usize),
+}
+
+impl RunConfig {
+    /// Paper defaults for a workload spec and strategy.
+    pub fn paper(spec: &WorkloadSpec, strategy: Strategy) -> Self {
+        RunConfig {
+            strategy,
+            config: SystemConfig::default(),
+            cycles: spec.cycles(),
+            records_per_cycle: spec.records_per_cycle(),
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadRun {
+    /// Strategy label.
+    pub strategy: String,
+    /// Initialization report.
+    pub init: InitReport,
+    /// Per-cycle reports.
+    pub cycles: Vec<CycleReport>,
+    /// Final cumulative statistics.
+    pub stats: RunStats,
+    /// Total model-selection seconds (init + all cycles).
+    pub total_secs: f64,
+    /// MILP solve stats `(vars, constraints, nodes, millis)` when run.
+    pub milp: Option<(usize, usize, u64, u128)>,
+}
+
+impl WorkloadRun {
+    /// Sum of per-cycle model-selection seconds (excluding init).
+    pub fn cycles_secs(&self) -> f64 {
+        self.cycles.iter().map(|c| c.cycle_secs).sum()
+    }
+}
+
+/// Runs `candidates` under `run` on the simulated backend.
+pub fn run_workload(
+    candidates: Vec<CandidateModel>,
+    run: &RunConfig,
+) -> Result<WorkloadRun, SessionError> {
+    let workdir = std::env::temp_dir().join(format!(
+        "nautilus-bench-{}-{}-{:?}",
+        run.strategy.label().replace('/', "_"),
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&workdir);
+    let mut session = ModelSelection::new(
+        candidates,
+        run.config.clone(),
+        run.strategy,
+        BackendKind::Simulated,
+        &workdir,
+    )?;
+    let init = session.init_report();
+    let milp = session
+        .milp_stats()
+        .map(|m| (m.num_vars, m.num_constraints, m.nodes, m.elapsed.as_millis()));
+    let (tr, va) = run.records_per_cycle;
+    let mut cycles = Vec::with_capacity(run.cycles);
+    for _ in 0..run.cycles {
+        cycles.push(session.fit(CycleInput::Virtual { n_train: tr, n_valid: va })?);
+    }
+    let stats = session.stats();
+    let _ = std::fs::remove_dir_all(&workdir);
+    Ok(WorkloadRun {
+        strategy: run.strategy.label().to_string(),
+        init,
+        cycles,
+        stats,
+        total_secs: stats.elapsed_secs,
+        milp,
+    })
+}

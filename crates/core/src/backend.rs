@@ -1,0 +1,239 @@
+//! Execution backends: real CPU training vs. simulated hardware.
+//!
+//! Both backends sit behind one accounting interface so the Materializer
+//! and Trainer are backend-agnostic:
+//!
+//! * the **real** backend executes tensor math; its clock is wall time and
+//!   `charge_*` calls only update counters (IO already costs real time);
+//! * the **simulated** backend skips arithmetic and advances a virtual
+//!   clock: compute at the achieved-FLOPs rate, reads through the
+//!   [`PageCacheModel`] (disk on miss, DRAM on hit), writes at disk rate,
+//!   plus the fixed session/epoch/batch overheads from the
+//!   [`HardwareProfile`].
+//!
+//! The busy-time counter divided by elapsed time is the paper's GPU
+//! utilization metric (Fig 11).
+
+use crate::config::HardwareProfile;
+use nautilus_store::{PageCacheModel, SharedIoStats};
+use std::time::Instant;
+
+/// Which backend a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Actually execute training on CPU (tiny scale).
+    Real,
+    /// Charge costs to a virtual clock (paper scale).
+    Simulated,
+}
+
+/// The accounting backend.
+#[derive(Debug)]
+pub struct Backend {
+    kind: BackendKind,
+    hw: HardwareProfile,
+    started: Instant,
+    /// Virtual clock, seconds (simulated only).
+    sim_clock: f64,
+    /// Seconds attributed to useful compute.
+    busy_secs: f64,
+    /// Total FLOPs charged.
+    flops: f64,
+    /// Shared IO counters (also wired into the real stores).
+    pub io: SharedIoStats,
+    cache: PageCacheModel,
+}
+
+impl Backend {
+    /// Creates a backend of the given kind.
+    pub fn new(kind: BackendKind, hw: HardwareProfile, io: SharedIoStats) -> Self {
+        let cache = PageCacheModel::new(hw.page_cache_bytes);
+        Backend { kind, hw, started: Instant::now(), sim_clock: 0.0, busy_secs: 0.0, flops: 0.0, io, cache }
+    }
+
+    /// The backend kind.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// True when tensors must actually be computed.
+    pub fn is_real(&self) -> bool {
+        self.kind == BackendKind::Real
+    }
+
+    /// Elapsed seconds: wall time (real) or virtual clock (simulated).
+    pub fn elapsed_secs(&self) -> f64 {
+        match self.kind {
+            BackendKind::Real => self.started.elapsed().as_secs_f64(),
+            BackendKind::Simulated => self.sim_clock,
+        }
+    }
+
+    /// Seconds attributed to useful compute so far.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_secs
+    }
+
+    /// Total FLOPs charged so far.
+    pub fn total_flops(&self) -> f64 {
+        self.flops
+    }
+
+    /// Charges `flops` of training/inference compute.
+    ///
+    /// Simulated: advances the clock. Real: records the measured duration
+    /// the caller observed (`measured_secs`), attributing it to busy time.
+    pub fn charge_compute(&mut self, flops: f64, measured_secs: Option<f64>) {
+        self.flops += flops;
+        match self.kind {
+            BackendKind::Simulated => {
+                let secs = flops / self.hw.achieved_flops_per_sec;
+                self.sim_clock += secs;
+                self.busy_secs += secs;
+            }
+            BackendKind::Real => {
+                if let Some(s) = measured_secs {
+                    self.busy_secs += s;
+                }
+            }
+        }
+    }
+
+    /// Charges a read of `bytes` of object `key`.
+    ///
+    /// Simulated: page-cache model decides disk vs. DRAM time and updates
+    /// the IO counters. Real: the store already did the IO and counted it;
+    /// this is a no-op.
+    pub fn charge_read(&mut self, key: &str, bytes: u64) {
+        if self.kind == BackendKind::Real {
+            return;
+        }
+        let outcome = self.cache.read(key, bytes);
+        if outcome.miss_bytes > 0 {
+            self.io.record_disk_read(outcome.miss_bytes);
+            self.sim_clock += outcome.miss_bytes as f64 / self.hw.disk_bytes_per_sec;
+        }
+        if outcome.hit_bytes > 0 {
+            self.io.record_cached_read(outcome.hit_bytes);
+            self.sim_clock += outcome.hit_bytes as f64 / self.hw.dram_bytes_per_sec;
+        }
+    }
+
+    /// Charges a write of `bytes` to object `key` (simulated only; real
+    /// stores count their own writes).
+    pub fn charge_write(&mut self, key: &str, bytes: u64) {
+        if self.kind == BackendKind::Real {
+            return;
+        }
+        self.cache.write(key, bytes);
+        self.io.record_write(bytes);
+        self.sim_clock += bytes as f64 / self.hw.disk_bytes_per_sec;
+    }
+
+    /// Charges fixed overhead seconds (simulated only — on the real
+    /// backend overheads are real time).
+    pub fn charge_overhead(&mut self, secs: f64) {
+        if self.kind == BackendKind::Simulated {
+            self.sim_clock += secs;
+        }
+    }
+
+    /// Per-unit-session fixed overhead.
+    pub fn charge_session_overhead(&mut self) {
+        self.charge_overhead(self.hw.session_overhead_secs);
+    }
+
+    /// Per-epoch fixed overhead.
+    pub fn charge_epoch_overhead(&mut self) {
+        self.charge_overhead(self.hw.epoch_overhead_secs);
+    }
+
+    /// Per-mini-batch fixed overhead.
+    pub fn charge_batch_overhead(&mut self) {
+        self.charge_overhead(self.hw.batch_overhead_secs);
+    }
+
+    /// Invalidate a cached object (dropped materialization).
+    pub fn invalidate_cache(&mut self, key: &str) {
+        self.cache.invalidate(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Backend {
+        let hw = HardwareProfile {
+            achieved_flops_per_sec: 1e9,
+            disk_bytes_per_sec: 1e6,
+            dram_bytes_per_sec: 1e9,
+            page_cache_bytes: 10_000,
+            session_overhead_secs: 1.0,
+            epoch_overhead_secs: 0.5,
+            batch_overhead_secs: 0.1,
+        };
+        Backend::new(BackendKind::Simulated, hw, SharedIoStats::new())
+    }
+
+    #[test]
+    fn compute_advances_clock_and_busy() {
+        let mut b = sim();
+        b.charge_compute(2e9, None);
+        assert!((b.elapsed_secs() - 2.0).abs() < 1e-9);
+        assert!((b.busy_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(b.total_flops(), 2e9);
+    }
+
+    #[test]
+    fn first_read_is_disk_second_is_dram() {
+        let mut b = sim();
+        b.charge_read("x", 1000);
+        let after_miss = b.elapsed_secs();
+        assert!((after_miss - 1e-3).abs() < 1e-9, "{after_miss}");
+        b.charge_read("x", 1000);
+        let delta = b.elapsed_secs() - after_miss;
+        assert!((delta - 1e-6).abs() < 1e-9, "{delta}");
+        let io = b.io.snapshot();
+        assert_eq!(io.disk_read_bytes, 1000);
+        assert_eq!(io.cached_read_bytes, 1000);
+    }
+
+    #[test]
+    fn writes_and_overheads() {
+        let mut b = sim();
+        b.charge_write("w", 2000);
+        assert!((b.elapsed_secs() - 2e-3).abs() < 1e-9);
+        b.charge_session_overhead();
+        b.charge_epoch_overhead();
+        b.charge_batch_overhead();
+        assert!((b.elapsed_secs() - (2e-3 + 1.6)).abs() < 1e-9);
+        assert_eq!(b.io.snapshot().disk_write_bytes, 2000);
+        assert_eq!(b.busy_secs(), 0.0, "IO and overhead are not busy compute");
+    }
+
+    #[test]
+    fn real_backend_uses_wall_clock_and_skips_charges() {
+        let mut b = Backend::new(
+            BackendKind::Real,
+            HardwareProfile::default(),
+            SharedIoStats::new(),
+        );
+        b.charge_read("x", 1_000_000);
+        b.charge_write("y", 1_000_000);
+        b.charge_overhead(1000.0);
+        b.charge_compute(1e12, Some(0.25));
+        assert!(b.elapsed_secs() < 10.0, "wall clock, not charged time");
+        assert_eq!(b.io.snapshot().disk_read_bytes, 0);
+        assert!((b.busy_secs() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidation_forces_disk_again() {
+        let mut b = sim();
+        b.charge_read("x", 1000);
+        b.invalidate_cache("x");
+        b.charge_read("x", 1000);
+        assert_eq!(b.io.snapshot().disk_read_bytes, 2000);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Nautilus: optimized deep-transfer-learning model selection over evolving
+//! training datasets (SIGMOD 2022 reproduction).
+//!
+//! Nautilus treats a DTL model-selection workload — a set of candidate
+//! models adapted from one pre-trained source, retrained on every new
+//! snapshot of an incrementally labeled dataset — as an instance of
+//! multi-query optimization, and applies two optimizations:
+//!
+//! 1. **Materialization** ([`mat_opt`]): choose a set of *materializable*
+//!    frozen-layer outputs to store on disk within a budget `Bdisk`, and
+//!    rewrite every candidate into an optimal *reuse plan* that prunes,
+//!    computes, or loads each layer (Def 4.5), via a single MILP (Eq 8–10).
+//! 2. **Model fusion** ([`fusion`]): greedily fuse candidates that share
+//!    frozen common subexpressions into multi-branch training units
+//!    (Algorithm 1), bounded by a runtime memory budget `Bmem` checked with
+//!    a topological live-tensor analysis ([`memory`], §4.3.3).
+//!
+//! The crate mirrors the paper's component architecture (§3): [`profiler`]
+//! profiles candidates and builds the [`multimodel`] graph, the optimizer
+//! modules produce a plan, the [`materializer`] maintains incremental
+//! feature materialization across labeling cycles (§4.2.3), and the
+//! [`trainer`] trains fused plans with per-branch optimizers. The
+//! user-facing entry point is [`session::ModelSelection`], whose
+//! `fit(train, valid)` is called once per labeling cycle.
+//!
+//! Execution runs on one of two [`backend`]s: a *real* backend that
+//! actually trains (tiny scale; used to verify logical equivalence with
+//! current practice), and a *simulated* backend that charges FLOP/IO costs
+//! to a virtual clock (paper scale; used to regenerate the runtime
+//! figures).
+
+pub mod backend;
+pub mod config;
+pub mod fusion;
+pub mod mat_opt;
+pub mod materializer;
+pub mod memory;
+pub mod metrics;
+pub mod multimodel;
+pub mod plan;
+pub mod profiler;
+pub mod session;
+pub mod spec;
+pub mod speedup;
+pub mod trainer;
+pub mod workloads;
+
+pub use backend::BackendKind;
+pub use config::{HardwareProfile, PlannerCosts, SystemConfig};
+pub use metrics::{CycleReport, RunStats};
+pub use session::{ModelSelection, Strategy};
+pub use spec::{CandidateModel, Hyper, ParamValue, SearchGrid};

@@ -1,0 +1,103 @@
+//! Run statistics and per-cycle reports.
+
+use nautilus_store::IoStats;
+use serde::Serialize;
+
+/// Cumulative statistics of a model-selection session.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RunStats {
+    /// Total elapsed seconds (virtual clock on the simulated backend).
+    pub elapsed_secs: f64,
+    /// Seconds attributed to useful compute.
+    pub busy_secs: f64,
+    /// Total FLOPs charged/executed.
+    pub flops: f64,
+    /// Bytes read from disk.
+    pub disk_read_bytes: u64,
+    /// Bytes served from the page cache (simulated backend only).
+    pub cached_read_bytes: u64,
+    /// Bytes written.
+    pub disk_write_bytes: u64,
+}
+
+impl RunStats {
+    /// Average compute utilization so far (the Fig 11 "GPU utilization"
+    /// proxy).
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs / self.elapsed_secs).min(1.0)
+        }
+    }
+
+    pub(crate) fn from_parts(elapsed_secs: f64, busy_secs: f64, flops: f64, io: IoStats) -> Self {
+        RunStats {
+            elapsed_secs,
+            busy_secs,
+            flops,
+            disk_read_bytes: io.disk_read_bytes,
+            cached_read_bytes: io.cached_read_bytes,
+            disk_write_bytes: io.disk_write_bytes,
+        }
+    }
+}
+
+/// Workload-initialization timing breakdown (Fig 6B's init split).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct InitReport {
+    /// Seconds creating the original model checkpoints.
+    pub original_checkpoints_secs: f64,
+    /// Seconds profiling the candidates.
+    pub profiling_secs: f64,
+    /// Seconds running the optimizer (MILP + fusion).
+    pub optimize_secs: f64,
+    /// Seconds generating checkpoints for the optimized plans.
+    pub plan_checkpoints_secs: f64,
+    /// Total initialization seconds.
+    pub total_secs: f64,
+    /// Number of training units after fusion.
+    pub num_units: usize,
+    /// Number of materialized layers chosen.
+    pub num_materialized: usize,
+    /// Theoretical speedup (Eq 11) of the workload.
+    pub theoretical_speedup: f64,
+}
+
+/// Report for one model-selection cycle (`fit` call).
+#[derive(Debug, Clone, Serialize)]
+pub struct CycleReport {
+    /// 1-based cycle number.
+    pub cycle: usize,
+    /// Training records accumulated through this cycle.
+    pub train_records: usize,
+    /// Validation records accumulated through this cycle.
+    pub valid_records: usize,
+    /// Seconds this cycle spent on materialization (data + features).
+    pub materialize_secs: f64,
+    /// Seconds this cycle spent training and evaluating.
+    pub train_secs: f64,
+    /// Total model-selection seconds for this cycle.
+    pub cycle_secs: f64,
+    /// Per-candidate validation accuracy (`None` on the simulated backend).
+    pub accuracies: Vec<(String, Option<f32>)>,
+    /// Best candidate by validation accuracy, when available.
+    pub best: Option<(String, f32)>,
+    /// Cumulative stats at the end of this cycle.
+    pub stats: RunStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = RunStats { elapsed_secs: 10.0, busy_secs: 6.0, ..Default::default() };
+        assert!((s.utilization() - 0.6).abs() < 1e-9);
+        s.busy_secs = 20.0;
+        assert_eq!(s.utilization(), 1.0);
+        s.elapsed_secs = 0.0;
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

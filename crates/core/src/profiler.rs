@@ -1,0 +1,161 @@
+//! The Profiler (paper §3): per-layer cost and size metrics.
+//!
+//! For every node of a candidate graph it derives the paper's four metrics
+//! (§4.1), normalized per training record:
+//!
+//! * `ccomp` — training compute in FLOPs: forward cost × a multiplier of 3
+//!   for trainable layers (forward + input gradient + parameter gradient),
+//!   2 for frozen layers that gradients must pass through, and 1 for
+//!   materializable layers (forward only);
+//! * `sdisk` — output bytes on disk;
+//! * `cload` — load cost in missed-compute FLOPs (derived by the planner
+//!   from `sdisk` and the configured throughputs);
+//! * `smem` — output bytes in memory, with composite layers contributing
+//!   all internal activations (§4.3.3).
+
+use nautilus_dnn::ModelGraph;
+use nautilus_tensor::Shape;
+
+/// Profile of one node, per training record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Forward-pass FLOPs.
+    pub fwd_flops: u64,
+    /// Output size in bytes (`sdisk` and the non-composite `smem`).
+    pub out_bytes: u64,
+    /// All backward-relevant activation bytes (composite rule, ≥ `out_bytes`).
+    pub internal_bytes: u64,
+    /// Materializable per Def 2.4.
+    pub materializable: bool,
+    /// Gradients flow into this node during training.
+    pub requires_grad: bool,
+    /// The node's own parameters are updated.
+    pub trainable: bool,
+    /// Parameter bytes carried by the node.
+    pub param_bytes: u64,
+    /// Per-record output shape.
+    pub out_shape: Shape,
+}
+
+impl NodeProfile {
+    /// The paper's `ccomp` multiplier for this node.
+    pub fn ccomp_multiplier(&self) -> u64 {
+        if self.trainable {
+            3
+        } else if self.requires_grad {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Training compute cost in FLOPs per record (`ccomp`).
+    pub fn ccomp_flops(&self) -> u64 {
+        self.ccomp_multiplier() * self.fwd_flops
+    }
+}
+
+/// Profiles every node of a graph.
+pub fn profile_graph(graph: &ModelGraph) -> Vec<NodeProfile> {
+    let materializable = graph.materializable();
+    let requires_grad = graph.requires_grad();
+    graph
+        .ids()
+        .map(|id| {
+            let node = graph.node(id);
+            let input_shapes: Vec<Shape> =
+                node.inputs.iter().map(|p| graph.shape(*p).clone()).collect();
+            let out_shape = graph.shape(id).clone();
+            let internal: usize =
+                node.kind.internal_output_elements(&input_shapes).iter().sum();
+            NodeProfile {
+                fwd_flops: node.kind.forward_flops(&input_shapes),
+                out_bytes: out_shape.num_bytes() as u64,
+                internal_bytes: (internal * nautilus_tensor::ELEM_BYTES) as u64,
+                materializable: materializable[id.index()],
+                requires_grad: requires_grad[id.index()],
+                trainable: node.trainable(),
+                param_bytes: node.param_bytes() as u64,
+                out_shape,
+            }
+        })
+        .collect()
+}
+
+/// Total training FLOPs per record of a graph: `Σ ccomp(l)` (Eq 5 with all
+/// layers computed).
+pub fn total_ccomp_flops(profiles: &[NodeProfile]) -> u64 {
+    profiles.iter().map(NodeProfile::ccomp_flops).sum()
+}
+
+/// Forward-only (inference) FLOPs per record.
+pub fn total_fwd_flops(profiles: &[NodeProfile]) -> u64 {
+    profiles.iter().map(|p| p.fwd_flops).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
+    use nautilus_models::BuildScale;
+
+    #[test]
+    fn feature_transfer_multipliers() {
+        let cfg = BertConfig::tiny(8, 50);
+        let g = feature_transfer_model(&cfg, FeatureStrategy::LastHidden, 9, BuildScale::Real)
+            .unwrap();
+        let profiles = profile_graph(&g);
+        // Backbone (everything below the head) is materializable: 1x.
+        // Head transformer + classifier are trainable: 3x.
+        let mult: Vec<u64> = profiles.iter().map(NodeProfile::ccomp_multiplier).collect();
+        let threes = mult.iter().filter(|&&m| m == 3).count();
+        let ones = mult.iter().filter(|&&m| m == 1).count();
+        assert_eq!(threes, 2);
+        assert_eq!(ones, profiles.len() - 2);
+        assert!(mult.iter().all(|&m| m != 2), "no frozen pass-through layers in FTR");
+    }
+
+    #[test]
+    fn fine_tune_has_pass_through_layers() {
+        use nautilus_models::resnet::{fine_tune_model, ResNetConfig};
+        let g = fine_tune_model(&ResNetConfig::tiny(16), 3, 2, BuildScale::Real).unwrap();
+        let profiles = profile_graph(&g);
+        // GAP sits above trainable blocks: frozen, but gradients pass: 2x.
+        let twos = profiles.iter().filter(|p| p.ccomp_multiplier() == 2).count();
+        assert!(twos >= 1, "expected frozen pass-through layers");
+        let threes = profiles.iter().filter(|p| p.ccomp_multiplier() == 3).count();
+        assert_eq!(threes, 4); // 3 blocks + classifier
+    }
+
+    #[test]
+    fn composite_internal_exceeds_output() {
+        let cfg = BertConfig::tiny(8, 50);
+        let g = feature_transfer_model(&cfg, FeatureStrategy::LastHidden, 9, BuildScale::Real)
+            .unwrap();
+        let profiles = profile_graph(&g);
+        for (p, n) in profiles.iter().zip(g.nodes()) {
+            match n.kind {
+                nautilus_dnn::LayerKind::TransformerBlock { .. } => {
+                    assert!(p.internal_bytes > p.out_bytes, "{}", n.name)
+                }
+                nautilus_dnn::LayerKind::Input { .. } => {
+                    assert_eq!(p.internal_bytes, p.out_bytes)
+                }
+                _ => assert!(p.internal_bytes >= p.out_bytes),
+            }
+        }
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let cfg = BertConfig::tiny(8, 50);
+        let g = feature_transfer_model(&cfg, FeatureStrategy::SumLast4, 9, BuildScale::Real)
+            .unwrap();
+        let profiles = profile_graph(&g);
+        assert_eq!(
+            total_ccomp_flops(&profiles),
+            profiles.iter().map(|p| p.ccomp_flops()).sum::<u64>()
+        );
+        assert!(total_ccomp_flops(&profiles) > total_fwd_flops(&profiles));
+    }
+}

@@ -1,0 +1,891 @@
+//! The user-facing model-selection session (paper §3's API + component
+//! orchestration).
+//!
+//! [`ModelSelection::new`] performs workload initialization: original
+//! model checkpoints, profiling, the materialization MILP, model fusion,
+//! and optimized-plan checkpoints (the four init phases broken out in
+//! Fig 6B). [`ModelSelection::fit`] is then called once per labeling cycle
+//! with the newly labeled batch: it updates the dataset and the
+//! incremental feature materialization (§4.2.3, including the exponential
+//! backoff of `r`), retrains every unit on the full snapshot, and returns
+//! the per-candidate validation accuracies.
+
+use crate::backend::{Backend, BackendKind};
+use crate::config::SystemConfig;
+use crate::fusion::{fuse_models, TrainUnit};
+use crate::mat_opt::{choose_materialization, mat_all_plan, no_reuse_plan, MilpRunStats};
+use crate::materializer::{MatError, Materializer};
+use crate::memory::estimate_peak_memory;
+use crate::metrics::{CycleReport, InitReport, RunStats};
+use crate::multimodel::MultiModelGraph;
+use crate::plan::ExecutablePlan;
+use crate::profiler::profile_graph;
+use crate::spec::CandidateModel;
+use crate::speedup::theoretical_speedup;
+use crate::trainer::{CycleDataView, TrainError};
+use nautilus_data::Dataset;
+use nautilus_dnn::checkpoint::checkpoint_bytes;
+use nautilus_dnn::graph::GraphError;
+use nautilus_store::{SharedIoStats, StoreError, TensorStore};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Execution strategy: the paper's system points (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Train unmodified models independently; full checkpoints (baseline).
+    CurrentPractice,
+    /// Materialize and load *all* materializable layers (baseline).
+    MatAll,
+    /// Nautilus with only the materialization optimization (ablation).
+    MatOnly,
+    /// Nautilus with only the model-fusion optimization (ablation).
+    FuseOnly,
+    /// Full Nautilus: materialization + fusion.
+    Nautilus,
+}
+
+impl Strategy {
+    /// Short label for experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::CurrentPractice => "current-practice",
+            Strategy::MatAll => "mat-all",
+            Strategy::MatOnly => "nautilus-w/o-fuse",
+            Strategy::FuseOnly => "nautilus-w/o-mat",
+            Strategy::Nautilus => "nautilus",
+        }
+    }
+
+    fn runs_optimizer(&self) -> bool {
+        !matches!(self, Strategy::CurrentPractice)
+    }
+
+    fn fuse_enabled(&self) -> bool {
+        matches!(self, Strategy::FuseOnly | Strategy::Nautilus)
+    }
+
+    fn full_checkpoints(&self) -> bool {
+        matches!(self, Strategy::CurrentPractice)
+    }
+}
+
+/// Data handed to one `fit` call.
+#[derive(Debug, Clone)]
+pub enum CycleInput {
+    /// Real labeled batches (real backend).
+    Real {
+        /// Newly labeled training records.
+        train: Dataset,
+        /// Newly labeled validation records.
+        valid: Dataset,
+    },
+    /// Record counts only (simulated backend).
+    Virtual {
+        /// Newly labeled training records.
+        n_train: usize,
+        /// Newly labeled validation records.
+        n_valid: usize,
+    },
+}
+
+/// Session errors.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Graph/plan construction failed.
+    Graph(GraphError),
+    /// Materializer failure.
+    Materializer(MatError),
+    /// Trainer failure.
+    Trainer(TrainError),
+    /// Store failure.
+    Store(StoreError),
+    /// Misuse (wrong backend/input pairing, empty workload, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Graph(e) => write!(f, "session graph: {e}"),
+            SessionError::Materializer(e) => write!(f, "session materializer: {e}"),
+            SessionError::Trainer(e) => write!(f, "session trainer: {e}"),
+            SessionError::Store(e) => write!(f, "session store: {e}"),
+            SessionError::Invalid(m) => write!(f, "session: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<GraphError> for SessionError {
+    fn from(e: GraphError) -> Self {
+        SessionError::Graph(e)
+    }
+}
+impl From<MatError> for SessionError {
+    fn from(e: MatError) -> Self {
+        SessionError::Materializer(e)
+    }
+}
+impl From<TrainError> for SessionError {
+    fn from(e: TrainError) -> Self {
+        SessionError::Trainer(e)
+    }
+}
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
+    }
+}
+
+/// A model-selection session over evolving training data.
+pub struct ModelSelection {
+    config: SystemConfig,
+    strategy: Strategy,
+    candidates: Vec<CandidateModel>,
+    multi: MultiModelGraph,
+    units: Vec<(TrainUnit, ExecutablePlan)>,
+    materializer: Materializer,
+    backend: Backend,
+    io: SharedIoStats,
+    init: InitReport,
+    milp: Option<MilpRunStats>,
+    /// Current `r` (grows by exponential backoff).
+    max_records: usize,
+    cycle: usize,
+    train_all: Dataset,
+    valid_all: Dataset,
+    n_train: usize,
+    n_valid: usize,
+    best_so_far: Option<(usize, f32)>,
+}
+
+impl ModelSelection {
+    /// Initializes a workload: profiles candidates, runs the optimizer for
+    /// the chosen strategy, and prepares training units.
+    pub fn new(
+        candidates: Vec<CandidateModel>,
+        config: SystemConfig,
+        strategy: Strategy,
+        backend_kind: BackendKind,
+        workdir: impl Into<PathBuf>,
+    ) -> Result<Self, SessionError> {
+        if candidates.is_empty() {
+            return Err(SessionError::Invalid("empty candidate set".into()));
+        }
+        let workdir = workdir.into();
+        std::fs::create_dir_all(&workdir)
+            .map_err(|e| SessionError::Invalid(format!("workdir: {e}")))?;
+        let io = SharedIoStats::new();
+        let mut backend = Backend::new(backend_kind, config.hardware, io.clone());
+        let t_init = Instant::now();
+
+        // Phase 1: original model checkpoints (all strategies).
+        let t0 = Instant::now();
+        let c0 = backend.elapsed_secs();
+        for (i, c) in candidates.iter().enumerate() {
+            let bytes = checkpoint_bytes(&c.graph, false);
+            backend.charge_write(&format!("ckpt:init:{i}"), bytes);
+            if backend.is_real() {
+                let path = workdir.join(format!("ckpt-init-{i}.bin"));
+                nautilus_dnn::checkpoint::save(&c.graph, &path)
+                    .map_err(|e| SessionError::Invalid(format!("checkpoint: {e}")))?;
+                io.record_write(bytes);
+            }
+        }
+        let original_checkpoints_secs = end_phase(&mut backend, t0, c0);
+
+        // Phase 2: profiling (optimizer strategies only).
+        let t0 = Instant::now();
+        let c0 = backend.elapsed_secs();
+        let multi = MultiModelGraph::build(&candidates);
+        if strategy.runs_optimizer() {
+            // Profiling runs a couple of measurement batches per candidate.
+            for c in &candidates {
+                let profiles = profile_graph(&c.graph);
+                let fwd: u64 = profiles.iter().map(|p| p.fwd_flops).sum();
+                backend.charge_compute(2.0 * fwd as f64 * c.hyper.batch_size as f64, None);
+            }
+        }
+        let profiling_secs = end_phase(&mut backend, t0, c0);
+
+        // Phase 3: the optimizer (MILP + fusion).
+        let t0 = Instant::now();
+        let c0 = backend.elapsed_secs();
+        let max_records = config.max_records;
+        let (v, milp) = Self::choose_v(&multi, &candidates, &config, strategy, max_records);
+        let units = Self::build_units(&multi, &candidates, &config, strategy, &v)?;
+        let optimize_secs = end_phase(&mut backend, t0, c0);
+
+        // Phase 4: checkpoints for the optimized plans.
+        let t0 = Instant::now();
+        let c0 = backend.elapsed_secs();
+        if strategy.runs_optimizer() {
+            for (i, (_, plan)) in units.iter().enumerate() {
+                let bytes = checkpoint_bytes(&plan.graph, false);
+                backend.charge_write(&format!("ckpt:plan:{i}"), bytes);
+                if backend.is_real() {
+                    let path = workdir.join(format!("ckpt-plan-{i}.bin"));
+                    nautilus_dnn::checkpoint::save(&plan.graph, &path)
+                        .map_err(|e| SessionError::Invalid(format!("checkpoint: {e}")))?;
+                    io.record_write(bytes);
+                }
+            }
+        }
+        let plan_checkpoints_secs = end_phase(&mut backend, t0, c0);
+
+        let store = TensorStore::open(workdir.join("features"), io.clone())?;
+        // MAT-ALL is the paper's unbounded baseline: it materializes every
+        // materializable layer "irrespective of whether it is efficient"
+        // (§5.1), so it is exempt from the Bdisk enforcement that guards
+        // planner-chosen sets.
+        let enforced_budget = if strategy == Strategy::MatAll {
+            u64::MAX
+        } else {
+            config.disk_budget_bytes
+        };
+        let mut materializer = Materializer::new(store, enforced_budget);
+        // Fresh sessions have no snapshot yet; any backfill set is empty
+        // work (zero records).
+        let _ = materializer.install_v(&multi, &candidates, v, &mut backend)?;
+
+        let init = InitReport {
+            original_checkpoints_secs,
+            profiling_secs,
+            optimize_secs,
+            plan_checkpoints_secs,
+            total_secs: match backend_kind {
+                BackendKind::Real => t_init.elapsed().as_secs_f64(),
+                BackendKind::Simulated => backend.elapsed_secs(),
+            },
+            num_units: units.len(),
+            num_materialized: materializer.v().len(),
+            theoretical_speedup: theoretical_speedup(&candidates),
+        };
+
+        let in_shape = {
+            let g = &candidates[0].graph;
+            let inp = g.input_ids()[0];
+            g.shape(inp).0.clone()
+        };
+        Ok(ModelSelection {
+            config,
+            strategy,
+            candidates,
+            multi,
+            units,
+            materializer,
+            backend,
+            io,
+            init,
+            milp,
+            max_records,
+            cycle: 0,
+            train_all: Dataset::empty(&in_shape, &[]),
+            valid_all: Dataset::empty(&in_shape, &[]),
+            n_train: 0,
+            n_valid: 0,
+            best_so_far: None,
+        })
+    }
+
+    fn choose_v(
+        multi: &MultiModelGraph,
+        candidates: &[CandidateModel],
+        config: &SystemConfig,
+        strategy: Strategy,
+        max_records: usize,
+    ) -> (BTreeSet<crate::multimodel::MNodeId>, Option<MilpRunStats>) {
+        match strategy {
+            Strategy::CurrentPractice | Strategy::FuseOnly => (BTreeSet::new(), None),
+            Strategy::MatAll => {
+                (multi.mat_candidates().into_iter().collect(), None)
+            }
+            Strategy::MatOnly | Strategy::Nautilus => {
+                let res = choose_materialization(multi, candidates, config, max_records);
+                (res.materialized, Some(res.milp))
+            }
+        }
+    }
+
+    fn build_units(
+        multi: &MultiModelGraph,
+        candidates: &[CandidateModel],
+        config: &SystemConfig,
+        strategy: Strategy,
+        v: &BTreeSet<crate::multimodel::MNodeId>,
+    ) -> Result<Vec<(TrainUnit, ExecutablePlan)>, SessionError> {
+        let units: Vec<TrainUnit> = match strategy {
+            Strategy::CurrentPractice | Strategy::MatAll => (0..candidates.len())
+                .map(|i| {
+                    let plan = if strategy == Strategy::MatAll {
+                        mat_all_plan(multi, &[i], config)
+                    } else {
+                        no_reuse_plan(multi, &[i], config)
+                    };
+                    let memory = estimate_peak_memory(
+                        multi,
+                        &plan.actions,
+                        candidates[i].hyper.batch_size,
+                        config.workspace_bytes,
+                        2.0,
+                    );
+                    let weighted_cost_flops = crate::fusion::unit_cost_flops(
+                        multi,
+                        &plan.actions,
+                        candidates,
+                        &[i],
+                        config,
+                    );
+                    TrainUnit {
+                        members: vec![i],
+                        plan,
+                        batch_size: candidates[i].hyper.batch_size,
+                        epochs: candidates[i].hyper.epochs,
+                        member_epochs: vec![candidates[i].hyper.epochs],
+                        weighted_cost_flops,
+                        memory,
+                    }
+                })
+                .collect(),
+            _ => fuse_models(multi, candidates, v, config, strategy.fuse_enabled()),
+        };
+        units
+            .into_iter()
+            .map(|u| {
+                let plan = ExecutablePlan::build(multi, candidates, &u)?;
+                Ok((u, plan))
+            })
+            .collect()
+    }
+
+    /// The initialization report (Fig 6B's phases).
+    pub fn init_report(&self) -> InitReport {
+        self.init
+    }
+
+    /// MILP statistics, when the strategy ran the optimizer.
+    pub fn milp_stats(&self) -> Option<&MilpRunStats> {
+        self.milp.as_ref()
+    }
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &[CandidateModel] {
+        &self.candidates
+    }
+
+    /// The multi-model graph.
+    pub fn multi(&self) -> &MultiModelGraph {
+        &self.multi
+    }
+
+    /// The training units with their plans.
+    pub fn units(&self) -> &[(TrainUnit, ExecutablePlan)] {
+        &self.units
+    }
+
+    /// Current expected-maximum-records value `r`.
+    pub fn max_records(&self) -> usize {
+        self.max_records
+    }
+
+    /// Cumulative run statistics.
+    pub fn stats(&self) -> RunStats {
+        RunStats::from_parts(
+            self.backend.elapsed_secs(),
+            self.backend.busy_secs(),
+            self.backend.total_flops(),
+            self.io.snapshot(),
+        )
+    }
+
+    /// Total bytes of materialized features currently on disk.
+    pub fn feature_bytes(&self) -> u64 {
+        if self.backend.is_real() {
+            self.materializer.feature_bytes()
+        } else {
+            self.materializer.bytes_per_record(&self.multi)
+                * (self.n_train + self.n_valid) as u64
+        }
+    }
+
+    /// Runs one model-selection cycle on a newly labeled batch.
+    pub fn fit(&mut self, input: CycleInput) -> Result<CycleReport, SessionError> {
+        self.cycle += 1;
+        let t_cycle = self.backend.elapsed_secs();
+
+        // 1. Ingest the new batch.
+        let (new_train, new_valid, dn_train, dn_valid) = match (&input, self.backend.is_real()) {
+            (CycleInput::Real { train, valid }, true) => {
+                (Some(train.clone()), Some(valid.clone()), train.len(), valid.len())
+            }
+            (CycleInput::Virtual { n_train, n_valid }, false) => {
+                (None, None, *n_train, *n_valid)
+            }
+            _ => {
+                return Err(SessionError::Invalid(
+                    "CycleInput kind must match the backend kind".into(),
+                ))
+            }
+        };
+        if let (Some(t), Some(v)) = (&new_train, &new_valid) {
+            self.train_all
+                .extend(t)
+                .map_err(|e| SessionError::Invalid(format!("train extend: {e}")))?;
+            self.valid_all
+                .extend(v)
+                .map_err(|e| SessionError::Invalid(format!("valid extend: {e}")))?;
+        }
+        self.n_train += dn_train;
+        self.n_valid += dn_valid;
+
+        // Raw dataset persistence (the labeled snapshot is stored).
+        let rec_bytes = self.raw_record_bytes();
+        self.backend.charge_write("raw:train", rec_bytes * dn_train as u64);
+        self.backend.charge_write("raw:valid", rec_bytes * dn_valid as u64);
+
+        // 2. Exponential backoff of `r` (§4.2.3): when the snapshot outgrows
+        // the planned maximum, double `r`, re-run the optimizer, and
+        // re-materialize from scratch.
+        let mut full_rematerialize = false;
+        if self.n_train + self.n_valid > self.max_records && self.strategy.runs_optimizer() {
+            while self.n_train + self.n_valid > self.max_records {
+                self.max_records *= 2;
+            }
+            let t0 = Instant::now();
+            let (v, milp) = Self::choose_v(
+                &self.multi,
+                &self.candidates,
+                &self.config,
+                self.strategy,
+                self.max_records,
+            );
+            if let Some(m) = milp {
+                self.milp = Some(m);
+            }
+            self.units =
+                Self::build_units(&self.multi, &self.candidates, &self.config, self.strategy, &v)?;
+            charge_phase(&mut self.backend, t0);
+            let backfill =
+                self.materializer.install_v(&self.multi, &self.candidates, v, &mut self.backend)?;
+            full_rematerialize = !backfill.is_empty();
+            if full_rematerialize {
+                // Newly chosen nodes get the whole snapshot (which already
+                // includes this cycle's batch) ...
+                self.backfill_features(&backfill)?;
+                // ... while *retained* nodes only need this cycle's batch
+                // appended, like any other cycle.
+                let retained: std::collections::BTreeSet<_> = self
+                    .materializer
+                    .v()
+                    .difference(&backfill)
+                    .copied()
+                    .collect();
+                self.materializer.materialize_subset(
+                    &self.multi,
+                    &self.candidates,
+                    &retained,
+                    "train",
+                    new_train.as_ref(),
+                    dn_train,
+                    &mut self.backend,
+                )?;
+                self.materializer.materialize_subset(
+                    &self.multi,
+                    &self.candidates,
+                    &retained,
+                    "valid",
+                    new_valid.as_ref(),
+                    dn_valid,
+                    &mut self.backend,
+                )?;
+            }
+        }
+        if full_rematerialize {
+            // Handled above (backfill + retained-key appends).
+        } else {
+            // 3. Incremental materialization of just the new records.
+            self.materializer.materialize_batch(
+                &self.multi,
+                "train",
+                new_train.as_ref(),
+                dn_train,
+                &mut self.backend,
+            )?;
+            self.materializer.materialize_batch(
+                &self.multi,
+                "valid",
+                new_valid.as_ref(),
+                dn_valid,
+                &mut self.backend,
+            )?;
+        }
+        let materialize_secs = self.backend.elapsed_secs() - t_cycle;
+
+        // 4. Train every unit on the full snapshot.
+        let t_train = self.backend.elapsed_secs();
+        let mut accuracies: Vec<(String, Option<f32>)> = Vec::new();
+        let mut best: Option<(usize, String, f32)> = None;
+        for (unit, plan) in &self.units {
+            let data = if self.backend.is_real() {
+                CycleDataView::Real { train: &self.train_all, valid: &self.valid_all }
+            } else {
+                CycleDataView::Virtual { n_train: self.n_train, n_valid: self.n_valid }
+            };
+            let results = crate::trainer::train_unit_with(
+                &self.multi,
+                plan,
+                unit,
+                &self.candidates,
+                &data,
+                &self.materializer.store,
+                &mut self.backend,
+                self.strategy.full_checkpoints(),
+                self.config.shuffle_each_epoch,
+            )?;
+            for r in results {
+                if let Some(acc) = r.accuracy {
+                    if best.as_ref().is_none_or(|(_, _, b)| acc > *b) {
+                        best = Some((r.candidate, r.name.clone(), acc));
+                    }
+                }
+                accuracies.push((r.name, r.accuracy));
+            }
+        }
+        if let Some((ci, _, acc)) = &best {
+            self.best_so_far = Some((*ci, *acc));
+        }
+        let now = self.backend.elapsed_secs();
+
+        Ok(CycleReport {
+            cycle: self.cycle,
+            train_records: self.n_train,
+            valid_records: self.n_valid,
+            materialize_secs,
+            train_secs: now - t_train,
+            cycle_secs: now - t_cycle,
+            accuracies,
+            best: best.map(|(_, n, a)| (n, a)),
+            stats: self.stats(),
+        })
+    }
+
+    /// Replaces the model-selection workload mid-session (the paper's
+    /// "evolving model selection workloads" extension, §2.5: re-run the
+    /// optimization and update the materialized layers).
+    ///
+    /// The accumulated labeled dataset is kept; profiling, the
+    /// materialization MILP, fusion, and plan checkpoints re-run for the
+    /// new candidate set, and features are re-materialized when the chosen
+    /// set `V` changes. The new candidates must consume the same input
+    /// shape as the old ones.
+    pub fn update_workload(
+        &mut self,
+        candidates: Vec<CandidateModel>,
+    ) -> Result<InitReport, SessionError> {
+        if candidates.is_empty() {
+            return Err(SessionError::Invalid("empty candidate set".into()));
+        }
+        let new_in = {
+            let g = &candidates[0].graph;
+            g.shape(g.input_ids()[0]).0.clone()
+        };
+        let old_in = {
+            let g = &self.candidates[0].graph;
+            g.shape(g.input_ids()[0]).0.clone()
+        };
+        if new_in != old_in {
+            return Err(SessionError::Invalid(format!(
+                "new workload input shape {new_in:?} != existing {old_in:?}"
+            )));
+        }
+
+        let t_start = Instant::now();
+        let c_start = self.backend.elapsed_secs();
+
+        // Re-profile.
+        let t0 = Instant::now();
+        let c0 = self.backend.elapsed_secs();
+        let multi = MultiModelGraph::build(&candidates);
+        if self.strategy.runs_optimizer() {
+            for c in &candidates {
+                let profiles = profile_graph(&c.graph);
+                let fwd: u64 = profiles.iter().map(|p| p.fwd_flops).sum();
+                self.backend
+                    .charge_compute(2.0 * fwd as f64 * c.hyper.batch_size as f64, None);
+            }
+        }
+        let profiling_secs = end_phase(&mut self.backend, t0, c0);
+
+        // Re-optimize.
+        let t0 = Instant::now();
+        let c0 = self.backend.elapsed_secs();
+        let (v, milp) =
+            Self::choose_v(&multi, &candidates, &self.config, self.strategy, self.max_records);
+        let units = Self::build_units(&multi, &candidates, &self.config, self.strategy, &v)?;
+        let optimize_secs = end_phase(&mut self.backend, t0, c0);
+
+        // Re-checkpoint plans.
+        let t0 = Instant::now();
+        let c0 = self.backend.elapsed_secs();
+        if self.strategy.runs_optimizer() {
+            for (i, (_, plan)) in units.iter().enumerate() {
+                let bytes = checkpoint_bytes(&plan.graph, false);
+                self.backend.charge_write(&format!("ckpt:plan:u{i}"), bytes);
+            }
+        }
+        let plan_checkpoints_secs = end_phase(&mut self.backend, t0, c0);
+
+        self.candidates = candidates;
+        self.multi = multi;
+        self.units = units;
+        if let Some(m) = milp {
+            self.milp = Some(m);
+        }
+        self.best_so_far = None;
+
+        // Swap materialization and backfill any newly chosen features for
+        // the accumulated snapshot.
+        let backfill =
+            self.materializer.install_v(&self.multi, &self.candidates, v, &mut self.backend)?;
+        self.backfill_features(&backfill)?;
+
+        self.init = InitReport {
+            original_checkpoints_secs: 0.0,
+            profiling_secs,
+            optimize_secs,
+            plan_checkpoints_secs,
+            total_secs: match self.backend.kind() {
+                BackendKind::Real => t_start.elapsed().as_secs_f64(),
+                BackendKind::Simulated => self.backend.elapsed_secs() - c_start,
+            },
+            num_units: self.units.len(),
+            num_materialized: self.materializer.v().len(),
+            theoretical_speedup: theoretical_speedup(&self.candidates),
+        };
+        Ok(self.init)
+    }
+
+    /// Materializes the full accumulated snapshot for newly chosen
+    /// features (both splits).
+    fn backfill_features(
+        &mut self,
+        backfill: &std::collections::BTreeSet<crate::multimodel::MNodeId>,
+    ) -> Result<(), SessionError> {
+        self.materializer.materialize_subset(
+            &self.multi,
+            &self.candidates,
+            backfill,
+            "train",
+            if self.backend.is_real() { Some(&self.train_all) } else { None },
+            self.n_train,
+            &mut self.backend,
+        )?;
+        self.materializer.materialize_subset(
+            &self.multi,
+            &self.candidates,
+            backfill,
+            "valid",
+            if self.backend.is_real() { Some(&self.valid_all) } else { None },
+            self.n_valid,
+            &mut self.backend,
+        )?;
+        Ok(())
+    }
+
+    /// Persists the session's evolving state (cycle counter, accumulated
+    /// labeled snapshot, backoff-adjusted `r`) to `path` so a labeling
+    /// campaign can survive a process restart. Materialized features
+    /// already live on disk in the feature store; plans are recomputed
+    /// deterministically on resume.
+    pub fn save_state(&self, path: &std::path::Path) -> Result<(), SessionError> {
+        use nautilus_tensor::ser;
+        #[derive(serde::Serialize)]
+        struct Header {
+            version: u32,
+            cycle: usize,
+            n_train: usize,
+            n_valid: usize,
+            max_records: usize,
+            best_so_far: Option<(usize, f32)>,
+            has_data: bool,
+        }
+        let header = Header {
+            version: 1,
+            cycle: self.cycle,
+            n_train: self.n_train,
+            n_valid: self.n_valid,
+            max_records: self.max_records,
+            best_so_far: self.best_so_far,
+            has_data: self.backend.is_real(),
+        };
+        let header_json = serde_json::to_vec(&header)
+            .map_err(|e| SessionError::Invalid(format!("state header: {e}")))?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(header_json.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&header_json);
+        if self.backend.is_real() {
+            buf.extend_from_slice(&ser::encode_many(&[
+                self.train_all.inputs.clone(),
+                self.train_all.labels.clone(),
+                self.valid_all.inputs.clone(),
+                self.valid_all.labels.clone(),
+            ]));
+        }
+        std::fs::write(path, &buf)
+            .map_err(|e| SessionError::Invalid(format!("state write: {e}")))?;
+        Ok(())
+    }
+
+    /// Restores state saved by [`ModelSelection::save_state`] into a freshly
+    /// constructed session (same candidates, config, strategy, and workdir —
+    /// the feature store under the workdir is reused as-is).
+    pub fn restore_state(&mut self, path: &std::path::Path) -> Result<(), SessionError> {
+        use nautilus_tensor::ser;
+        #[derive(serde::Deserialize)]
+        struct Header {
+            version: u32,
+            cycle: usize,
+            n_train: usize,
+            n_valid: usize,
+            max_records: usize,
+            best_so_far: Option<(usize, f32)>,
+            has_data: bool,
+        }
+        let data = std::fs::read(path)
+            .map_err(|e| SessionError::Invalid(format!("state read: {e}")))?;
+        if data.len() < 8 {
+            return Err(SessionError::Invalid("truncated session state".into()));
+        }
+        let hlen = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
+        let header: Header = serde_json::from_slice(&data[8..8 + hlen])
+            .map_err(|e| SessionError::Invalid(format!("state header: {e}")))?;
+        if header.version != 1 {
+            return Err(SessionError::Invalid(format!(
+                "unsupported session state version {}",
+                header.version
+            )));
+        }
+        if header.has_data != self.backend.is_real() {
+            return Err(SessionError::Invalid(
+                "session state backend kind does not match".into(),
+            ));
+        }
+        if header.has_data {
+            let tensors = ser::decode_many(bytes::Bytes::copy_from_slice(&data[8 + hlen..]))
+                .map_err(|e| SessionError::Invalid(format!("state payload: {e}")))?;
+            let [ti, tl, vi, vl]: [nautilus_tensor::Tensor; 4] = tensors
+                .try_into()
+                .map_err(|_| SessionError::Invalid("state payload count".into()))?;
+            self.train_all = Dataset::new(ti, tl)
+                .map_err(|e| SessionError::Invalid(format!("state train: {e}")))?;
+            self.valid_all = Dataset::new(vi, vl)
+                .map_err(|e| SessionError::Invalid(format!("state valid: {e}")))?;
+        }
+        self.cycle = header.cycle;
+        self.n_train = header.n_train;
+        self.n_valid = header.n_valid;
+        self.best_so_far = header.best_so_far;
+        if header.max_records != self.max_records {
+            // Re-plan under the persisted (backoff-grown) r.
+            self.max_records = header.max_records;
+            let (v, milp) = Self::choose_v(
+                &self.multi,
+                &self.candidates,
+                &self.config,
+                self.strategy,
+                self.max_records,
+            );
+            if let Some(m) = milp {
+                self.milp = Some(m);
+            }
+            self.units =
+                Self::build_units(&self.multi, &self.candidates, &self.config, self.strategy, &v)?;
+            let backfill =
+                self.materializer.install_v(&self.multi, &self.candidates, v, &mut self.backend)?;
+            self.backfill_features(&backfill)?;
+        }
+        // Feature-store consistency: every materialized key must already
+        // hold exactly the snapshot's records.
+        for &m in self.materializer.v().clone().iter() {
+            let key = format!("{}:train", self.multi.node(m).key);
+            if self.backend.is_real() && self.materializer.store.num_records(&key) != self.n_train
+            {
+                return Err(SessionError::Invalid(format!(
+                    "feature store out of sync for '{key}': {} records vs snapshot {}",
+                    self.materializer.store.num_records(&key),
+                    self.n_train
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores unlabeled records with the best model so far, returning
+    /// per-record class-probability vectors for active-learning samplers
+    /// (token probabilities are averaged per record). Real backend only.
+    pub fn score_unlabeled(
+        &self,
+        pool_inputs: &nautilus_tensor::Tensor,
+    ) -> Result<Vec<Vec<f32>>, SessionError> {
+        if !self.backend.is_real() {
+            return Err(SessionError::Invalid("scoring requires the real backend".into()));
+        }
+        let Some((best, _)) = self.best_so_far else {
+            return Err(SessionError::Invalid("no trained model yet".into()));
+        };
+        let cand = &self.candidates[best];
+        let g = &cand.graph;
+        let input = g.input_ids()[0];
+        let mut bi = nautilus_dnn::exec::BatchInputs::new();
+        bi.insert(input, pool_inputs.clone());
+        let fwd = nautilus_dnn::exec::forward(g, &bi, false)
+            .map_err(|e| SessionError::Invalid(format!("scoring: {e}")))?;
+        let logits = fwd.output(g.outputs()[0]);
+        let probs = nautilus_tensor::ops::softmax_last(logits);
+        let n = pool_inputs.shape().dim(0);
+        let (rows, cols, data) = probs.as_matrix();
+        let rows_per_record = rows / n.max(1);
+        let mut out = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut avg = vec![0.0f32; cols];
+            for t in 0..rows_per_record {
+                let row = &data[(r * rows_per_record + t) * cols..][..cols];
+                for (a, &p) in avg.iter_mut().zip(row) {
+                    *a += p / rows_per_record as f32;
+                }
+            }
+            out.push(avg);
+        }
+        Ok(out)
+    }
+
+    fn raw_record_bytes(&self) -> u64 {
+        let g = &self.candidates[0].graph;
+        let inp = g.input_ids()[0];
+        g.shape(inp).num_bytes() as u64
+    }
+}
+
+/// Ends an initialization phase: charges its measured wall time to the
+/// simulated clock (planning is real CPU work in both modes) and returns
+/// the phase duration on the session's own clock — wall time on the real
+/// backend, virtual-clock delta (charged IO/compute + planning wall) on
+/// the simulated one.
+fn end_phase(backend: &mut Backend, t0: Instant, clock0: f64) -> f64 {
+    let wall = t0.elapsed().as_secs_f64();
+    backend.charge_overhead(wall);
+    match backend.kind() {
+        BackendKind::Real => wall,
+        BackendKind::Simulated => backend.elapsed_secs() - clock0,
+    }
+}
+
+/// Charges a mid-cycle planning phase's wall time (backoff re-planning).
+fn charge_phase(backend: &mut Backend, t0: Instant) -> f64 {
+    let secs = t0.elapsed().as_secs_f64();
+    backend.charge_overhead(secs);
+    secs
+}

@@ -1,0 +1,287 @@
+//! Workload specification: candidate models, training hyperparameters, and
+//! the grid-search API.
+//!
+//! Mirrors the paper's API (§3): the user supplies a parameter search space
+//! plus a model-initialization function that maps one assignment `φᵢ` to a
+//! ready-to-train model; Nautilus enumerates the grid once at workload
+//! initialization and keeps the candidate set fixed across cycles (§2.5).
+
+use nautilus_dnn::{ModelGraph, OptimizerSpec, TaskKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value in a search grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Numeric parameter (learning rate, epochs, batch size, ...).
+    Num(f64),
+    /// Symbolic parameter (feature strategy, freezing scheme, ...).
+    Str(String),
+}
+
+impl ParamValue {
+    /// Numeric value, panicking when symbolic (init-function convenience).
+    pub fn as_num(&self) -> f64 {
+        match self {
+            ParamValue::Num(x) => *x,
+            ParamValue::Str(s) => panic!("parameter '{s}' is not numeric"),
+        }
+    }
+
+    /// Symbolic value, panicking when numeric.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ParamValue::Str(s) => s,
+            ParamValue::Num(x) => panic!("parameter '{x}' is not symbolic"),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Num(x) => write!(f, "{x}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One full assignment of grid parameters.
+pub type ParamAssignment = BTreeMap<String, ParamValue>;
+
+/// A grid search space: the cross product of per-parameter value lists.
+#[derive(Debug, Clone, Default)]
+pub struct SearchGrid {
+    dims: Vec<(String, Vec<ParamValue>)>,
+}
+
+impl SearchGrid {
+    /// An empty grid (a single empty assignment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric dimension.
+    pub fn with_nums(mut self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.dims.push((name.into(), values.iter().map(|&v| ParamValue::Num(v)).collect()));
+        self
+    }
+
+    /// Adds a symbolic dimension.
+    pub fn with_strs(mut self, name: impl Into<String>, values: &[&str]) -> Self {
+        self.dims.push((
+            name.into(),
+            values.iter().map(|s| ParamValue::Str((*s).to_string())).collect(),
+        ));
+        self
+    }
+
+    /// Number of assignments in the cross product.
+    pub fn len(&self) -> usize {
+        self.dims.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// True when the grid has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Enumerates every assignment in deterministic (row-major) order.
+    pub fn assignments(&self) -> Vec<ParamAssignment> {
+        let mut out = vec![ParamAssignment::new()];
+        for (name, values) in &self.dims {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for base in &out {
+                for v in values {
+                    let mut a = base.clone();
+                    a.insert(name.clone(), v.clone());
+                    next.push(a);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// Training hyperparameters `φ` of one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyper {
+    /// Mini-batch size (fusion requires equality, §4.3.1).
+    pub batch_size: usize,
+    /// Number of training epochs per cycle.
+    pub epochs: usize,
+    /// Optimizer configuration (carries the learning rate).
+    pub optimizer: OptimizerSpec,
+}
+
+/// One candidate model `(Mᵢ, φᵢ)` produced by the model-init function.
+#[derive(Debug, Clone)]
+pub struct CandidateModel {
+    /// Human-readable name (unique within the workload).
+    pub name: String,
+    /// The adapted model graph with its freezing scheme applied.
+    pub graph: ModelGraph,
+    /// Training hyperparameters.
+    pub hyper: Hyper,
+    /// Task head semantics (loss/accuracy computation).
+    pub task: TaskKind,
+}
+
+/// The model-initialization function type: interprets one grid assignment
+/// (paper §3, "encapsulates the logic to interpret the search parameter
+/// values").
+pub type ModelInitFn = dyn Fn(&ParamAssignment) -> Result<CandidateModel, String>;
+
+fn check_unique_names(out: &[CandidateModel]) -> Result<(), String> {
+    let mut names: Vec<&str> = out.iter().map(|c| c.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != out.len() {
+        return Err("candidate names must be unique".to_string());
+    }
+    Ok(())
+}
+
+/// Expands a grid through an init function into the candidate set `Q`.
+pub fn expand_grid(
+    grid: &SearchGrid,
+    init: &ModelInitFn,
+) -> Result<Vec<CandidateModel>, String> {
+    let mut out = Vec::with_capacity(grid.len());
+    for a in grid.assignments() {
+        out.push(init(&a)?);
+    }
+    check_unique_names(&out)?;
+    Ok(out)
+}
+
+/// Random search over the same space (the paper's other supported model
+/// selection procedure): samples `n` distinct assignments from the grid's
+/// cross product, uniformly without replacement, with a fixed seed so the
+/// workload specification stays fixed across cycles (§2.5).
+pub fn expand_random(
+    grid: &SearchGrid,
+    n: usize,
+    seed: u64,
+    init: &ModelInitFn,
+) -> Result<Vec<CandidateModel>, String> {
+    use rand::seq::SliceRandom;
+    let mut all = grid.assignments();
+    let mut rng = nautilus_tensor::init::seeded_rng(seed);
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    let mut out = Vec::with_capacity(all.len());
+    for a in &all {
+        out.push(init(a)?);
+    }
+    check_unique_names(&out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_tensor::init::seeded_rng;
+
+    #[test]
+    fn grid_cross_product_order() {
+        let g = SearchGrid::new()
+            .with_nums("lr", &[0.1, 0.2])
+            .with_strs("strategy", &["a", "b", "c"]);
+        assert_eq!(g.len(), 6);
+        let a = g.assignments();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a[0]["lr"].as_num(), 0.1);
+        assert_eq!(a[0]["strategy"].as_str(), "a");
+        assert_eq!(a[5]["lr"].as_num(), 0.2);
+        assert_eq!(a[5]["strategy"].as_str(), "c");
+    }
+
+    #[test]
+    fn empty_grid_has_one_assignment() {
+        let g = SearchGrid::new();
+        assert_eq!(g.assignments().len(), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    fn dummy_candidate(name: &str) -> CandidateModel {
+        let mut rng = seeded_rng(1);
+        let mut g = ModelGraph::new();
+        let i = g.add_input("in", [2]);
+        let o = g
+            .add_layer(
+                "out",
+                LayerKind::Dense { in_dim: 2, out_dim: 2, act: Activation::None },
+                &[i],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        CandidateModel {
+            name: name.to_string(),
+            graph: g,
+            hyper: Hyper { batch_size: 4, epochs: 1, optimizer: OptimizerSpec::sgd(0.1) },
+            task: TaskKind::Classification,
+        }
+    }
+
+    #[test]
+    fn expand_grid_builds_candidates() {
+        let g = SearchGrid::new().with_nums("lr", &[0.1, 0.2]);
+        let cands = expand_grid(&g, &|a| Ok(dummy_candidate(&format!("m-{}", a["lr"]))))
+            .unwrap();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].name, "m-0.1");
+    }
+
+    #[test]
+    fn expand_grid_rejects_duplicate_names() {
+        let g = SearchGrid::new().with_nums("lr", &[0.1, 0.2]);
+        let r = expand_grid(&g, &|_| Ok(dummy_candidate("same")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not numeric")]
+    fn param_value_type_mismatch_panics() {
+        ParamValue::Str("x".into()).as_num();
+    }
+
+    #[test]
+    fn random_search_samples_without_replacement() {
+        let g = SearchGrid::new()
+            .with_nums("lr", &[0.1, 0.2, 0.3])
+            .with_nums("batch", &[4.0, 8.0]);
+        let cands = expand_random(&g, 4, 7, &|a| {
+            Ok(dummy_candidate(&format!("m-{}-{}", a["lr"], a["batch"])))
+        })
+        .unwrap();
+        assert_eq!(cands.len(), 4);
+        let mut names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4, "sampling must be without replacement");
+        // Deterministic per seed.
+        let again = expand_random(&g, 4, 7, &|a| {
+            Ok(dummy_candidate(&format!("m-{}-{}", a["lr"], a["batch"])))
+        })
+        .unwrap();
+        assert_eq!(
+            cands.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            again.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_search_caps_at_grid_size() {
+        let g = SearchGrid::new().with_nums("lr", &[0.1, 0.2]);
+        let cands =
+            expand_random(&g, 10, 1, &|a| Ok(dummy_candidate(&format!("m-{}", a["lr"]))))
+                .unwrap();
+        assert_eq!(cands.len(), 2);
+    }
+}

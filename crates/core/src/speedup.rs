@@ -1,0 +1,73 @@
+//! Theoretical speedup (paper Eq 11).
+
+use crate::profiler::profile_graph;
+use crate::spec::CandidateModel;
+
+/// Computes the paper's theoretical speedup: the ratio of total training
+/// cost of all layers to the training cost of only the non-materializable
+/// layers, epoch-weighted across the workload. It assumes every
+/// computational redundancy is avoided at zero data-movement cost — the
+/// "FLOPs Optimal" line of Fig 6(A).
+pub fn theoretical_speedup(candidates: &[CandidateModel]) -> f64 {
+    let mut all = 0.0f64;
+    let mut non_mat = 0.0f64;
+    for c in candidates {
+        let epochs = c.hyper.epochs as f64;
+        for p in profile_graph(&c.graph) {
+            let cost = p.ccomp_flops() as f64 * epochs;
+            all += cost;
+            if !p.materializable {
+                non_mat += cost;
+            }
+        }
+    }
+    if non_mat <= 0.0 {
+        f64::INFINITY
+    } else {
+        all / non_mat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Hyper;
+    use nautilus_dnn::{OptimizerSpec, TaskKind};
+    use nautilus_models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
+    use nautilus_models::resnet::{fine_tune_model, ResNetConfig};
+    use nautilus_models::BuildScale;
+
+    fn bert_cand(strategy: FeatureStrategy) -> CandidateModel {
+        let cfg = BertConfig::tiny(8, 50);
+        CandidateModel {
+            name: strategy.label().to_string(),
+            graph: feature_transfer_model(&cfg, strategy, 9, BuildScale::Real).unwrap(),
+            hyper: Hyper { batch_size: 8, epochs: 5, optimizer: OptimizerSpec::adam(0.01) },
+            task: TaskKind::TokenTagging,
+        }
+    }
+
+    #[test]
+    fn feature_transfer_speedup_exceeds_fine_tuning() {
+        let ftr = theoretical_speedup(&[bert_cand(FeatureStrategy::LastHidden)]);
+        let ftu = theoretical_speedup(&[CandidateModel {
+            name: "ftu".into(),
+            graph: fine_tune_model(&ResNetConfig::tiny(16), 12, 2, BuildScale::Real).unwrap(),
+            hyper: Hyper { batch_size: 8, epochs: 5, optimizer: OptimizerSpec::sgd(0.01) },
+            task: TaskKind::Classification,
+        }]);
+        assert!(ftr > 1.0);
+        assert!(ftu > 1.0);
+        assert!(
+            ftr > ftu,
+            "feature transfer ({ftr:.2}x) should out-speed deep fine-tuning ({ftu:.2}x)"
+        );
+    }
+
+    #[test]
+    fn speedup_at_least_one() {
+        let s = theoretical_speedup(&[bert_cand(FeatureStrategy::SumAllHidden)]);
+        assert!(s >= 1.0);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,367 @@
+//! The paper's five end-to-end workloads (Table 3).
+//!
+//! | Workload | Approach | Tuning | # models |
+//! |---|---|---|---|
+//! | FTR-1 | feature transfer, 6 strategies | batch {16,32} × lr {5,3,2}e-5 × epochs {5} | 36 |
+//! | FTR-2 | feature transfer, 4 strategies | batch {16,32} × lr {5,3,2}e-5 × epochs {5} | 24 |
+//! | FTR-3 | feature transfer, concat-last-4 | batch {16,32} × lr {5,3,2}e-5 × epochs {5,10} | 12 |
+//! | ATR | adapters on last {1,2,3,4} hidden | batch {16,32} × lr {5,3,2}e-5 × epochs {5} | 24 |
+//! | FTU | fine-tune last {3,6,9,12} blocks | batch {16,32} × lr {5,3,2}e-5 × epochs {5} | 24 |
+//!
+//! Two scales share all construction code: `Paper` builds
+//! BERT-base/ResNet-50-like shapes-only graphs for the simulated backend
+//! (500 records/cycle × 10 cycles, as §5); `Tiny` builds real-parameter
+//! MiniBERT/MiniResNet graphs trainable on CPU.
+
+use crate::spec::{expand_grid, CandidateModel, Hyper, ParamAssignment, SearchGrid};
+use nautilus_data::{ImageDatasetConfig, NerDatasetConfig};
+use nautilus_dnn::{OptimizerSpec, TaskKind};
+use nautilus_models::bert::{
+    adapter_model, feature_transfer_model, BertConfig, FeatureStrategy,
+};
+use nautilus_models::resnet::{fine_tune_model, ResNetConfig};
+use nautilus_models::BuildScale;
+
+/// Which of the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Feature transfer, all six strategies.
+    Ftr1,
+    /// Feature transfer, four strategies.
+    Ftr2,
+    /// Feature transfer, concat-last-4 with two epoch settings.
+    Ftr3,
+    /// Adapter training.
+    Atr,
+    /// Fine-tuning (ResNet on images).
+    Ftu,
+}
+
+impl WorkloadKind {
+    /// All five workloads in Table 3 order.
+    pub const ALL: [WorkloadKind; 5] =
+        [WorkloadKind::Ftr1, WorkloadKind::Ftr2, WorkloadKind::Ftr3, WorkloadKind::Atr, WorkloadKind::Ftu];
+
+    /// Table 3 name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Ftr1 => "FTR-1",
+            WorkloadKind::Ftr2 => "FTR-2",
+            WorkloadKind::Ftr3 => "FTR-3",
+            WorkloadKind::Atr => "ATR",
+            WorkloadKind::Ftu => "FTU",
+        }
+    }
+}
+
+/// Build scale for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CPU-trainable miniatures with real parameters.
+    Tiny,
+    /// Paper-shaped (BERT-base / ResNet-50) shapes-only graphs.
+    Paper,
+}
+
+/// A fully specified workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Which workload.
+    pub kind: WorkloadKind,
+    /// Which scale.
+    pub scale: Scale,
+}
+
+impl WorkloadSpec {
+    /// Model-selection cycles (§5: 10 cycles of 500 records).
+    pub fn cycles(&self) -> usize {
+        match self.scale {
+            Scale::Paper => 10,
+            Scale::Tiny => 3,
+        }
+    }
+
+    /// `(train, valid)` records labeled per cycle (§5: 400/100).
+    pub fn records_per_cycle(&self) -> (usize, usize) {
+        match self.scale {
+            Scale::Paper => (400, 100),
+            Scale::Tiny => (24, 8),
+        }
+    }
+
+    /// NER tag count used by the text workloads.
+    pub fn num_tags(&self) -> usize {
+        self.ner_config().num_tags()
+    }
+
+    /// Dataset generator for the text workloads' tiny scale.
+    pub fn ner_config(&self) -> NerDatasetConfig {
+        match self.scale {
+            Scale::Tiny => NerDatasetConfig { vocab: 60, seq_len: 12, ..Default::default() },
+            Scale::Paper => NerDatasetConfig { vocab: 30_522, seq_len: 128, ..Default::default() },
+        }
+    }
+
+    /// Dataset generator for the image workload's tiny scale.
+    pub fn image_config(&self) -> ImageDatasetConfig {
+        match self.scale {
+            Scale::Tiny => ImageDatasetConfig { size: 16, ..Default::default() },
+            Scale::Paper => ImageDatasetConfig { size: 224, ..Default::default() },
+        }
+    }
+
+    fn bert_config(&self) -> BertConfig {
+        let ner = self.ner_config();
+        match self.scale {
+            Scale::Tiny => BertConfig::tiny(ner.seq_len, ner.vocab),
+            Scale::Paper => BertConfig { seq_len: ner.seq_len, ..BertConfig::base_like() },
+        }
+    }
+
+    fn resnet_config(&self) -> ResNetConfig {
+        match self.scale {
+            Scale::Tiny => ResNetConfig::tiny(16),
+            Scale::Paper => ResNetConfig::resnet50_like(),
+        }
+    }
+
+    fn build_scale(&self) -> BuildScale {
+        match self.scale {
+            Scale::Tiny => BuildScale::Real,
+            Scale::Paper => BuildScale::ShapesOnly,
+        }
+    }
+
+    fn batch_sizes(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Paper => vec![16.0, 32.0],
+            Scale::Tiny => vec![4.0, 8.0],
+        }
+    }
+
+    fn learning_rates(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Paper => vec![5e-5, 3e-5, 2e-5],
+            // Tiny models learn with larger steps.
+            Scale::Tiny => vec![5e-3, 3e-3, 2e-3],
+        }
+    }
+
+    fn epochs_values(&self) -> Vec<f64> {
+        let base = match self.scale {
+            Scale::Paper => 5.0,
+            Scale::Tiny => 2.0,
+        };
+        match self.kind {
+            WorkloadKind::Ftr3 => vec![base, 2.0 * base],
+            _ => vec![base],
+        }
+    }
+
+    fn adapter_bottleneck(&self) -> usize {
+        match self.scale {
+            Scale::Paper => 64,
+            Scale::Tiny => 8,
+        }
+    }
+
+    fn hyper_of(&self, a: &ParamAssignment) -> Hyper {
+        Hyper {
+            batch_size: a["batch"].as_num() as usize,
+            epochs: a["epochs"].as_num() as usize,
+            optimizer: OptimizerSpec::adam(a["lr"].as_num() as f32),
+        }
+    }
+
+    /// The search grid (Table 3's tuning-parameter columns).
+    pub fn grid(&self) -> SearchGrid {
+        let base = SearchGrid::new()
+            .with_nums("batch", &self.batch_sizes())
+            .with_nums("lr", &self.learning_rates())
+            .with_nums("epochs", &self.epochs_values());
+        match self.kind {
+            WorkloadKind::Ftr1 => base.with_strs(
+                "strategy",
+                &[
+                    "embedding",
+                    "second-last-hidden",
+                    "last-hidden",
+                    "sum-last-4",
+                    "concat-last-4",
+                    "sum-all-hidden",
+                ],
+            ),
+            WorkloadKind::Ftr2 => base.with_strs(
+                "strategy",
+                &["second-last-hidden", "last-hidden", "sum-last-4", "concat-last-4"],
+            ),
+            WorkloadKind::Ftr3 => base.with_strs("strategy", &["concat-last-4"]),
+            WorkloadKind::Atr => base.with_nums("adapted_layers", &[1.0, 2.0, 3.0, 4.0]),
+            WorkloadKind::Ftu => base.with_nums("unfrozen_blocks", &[3.0, 6.0, 9.0, 12.0]),
+        }
+    }
+
+    /// Builds the candidate set `Q` through the grid + init-function API.
+    pub fn candidates(&self) -> Result<Vec<CandidateModel>, String> {
+        let spec = *self;
+        expand_grid(&self.grid(), &move |a: &ParamAssignment| spec.init_candidate(a))
+    }
+
+    /// The model-initialization function (paper §3's user-provided hook).
+    pub fn init_candidate(&self, a: &ParamAssignment) -> Result<CandidateModel, String> {
+        let hyper = self.hyper_of(a);
+        let scale = self.build_scale();
+        match self.kind {
+            WorkloadKind::Ftr1 | WorkloadKind::Ftr2 | WorkloadKind::Ftr3 => {
+                let strategy = parse_strategy(a["strategy"].as_str())?;
+                let graph =
+                    feature_transfer_model(&self.bert_config(), strategy, self.num_tags(), scale)
+                        .map_err(|e| e.to_string())?;
+                Ok(CandidateModel {
+                    name: format!(
+                        "{}/{}-b{}-lr{}-e{}",
+                        self.kind.name(),
+                        strategy.label(),
+                        hyper.batch_size,
+                        a["lr"],
+                        hyper.epochs
+                    ),
+                    graph,
+                    hyper,
+                    task: TaskKind::TokenTagging,
+                })
+            }
+            WorkloadKind::Atr => {
+                let k = a["adapted_layers"].as_num() as usize;
+                let graph = adapter_model(
+                    &self.bert_config(),
+                    k,
+                    self.adapter_bottleneck(),
+                    self.num_tags(),
+                    scale,
+                )
+                .map_err(|e| e.to_string())?;
+                Ok(CandidateModel {
+                    name: format!(
+                        "ATR/adapt{}-b{}-lr{}",
+                        k, hyper.batch_size, a["lr"]
+                    ),
+                    graph,
+                    hyper,
+                    task: TaskKind::TokenTagging,
+                })
+            }
+            WorkloadKind::Ftu => {
+                let k = a["unfrozen_blocks"].as_num() as usize;
+                let graph = fine_tune_model(&self.resnet_config(), k, 2, scale)
+                    .map_err(|e| e.to_string())?;
+                Ok(CandidateModel {
+                    name: format!(
+                        "FTU/tune{}-b{}-lr{}",
+                        k, hyper.batch_size, a["lr"]
+                    ),
+                    graph,
+                    hyper,
+                    task: TaskKind::Classification,
+                })
+            }
+        }
+    }
+
+    /// The Fig 9 variant: FTR-2 fixed to concat-last-4 at batch 16 with
+    /// `n` learning rates (so `n` models).
+    pub fn ftr2_vary_models(&self, n: usize) -> Result<Vec<CandidateModel>, String> {
+        let lrs: Vec<f64> = (0..n).map(|i| 5e-5 / (1.0 + i as f64)).collect();
+        let batch = self.batch_sizes()[0];
+        let epochs = self.epochs_values()[0];
+        let grid = SearchGrid::new()
+            .with_nums("batch", &[batch])
+            .with_nums("lr", &lrs)
+            .with_nums("epochs", &[epochs])
+            .with_strs("strategy", &["concat-last-4"]);
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: self.scale };
+        expand_grid(&grid, &move |a: &ParamAssignment| spec.init_candidate(a))
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<FeatureStrategy, String> {
+    FeatureStrategy::ALL
+        .into_iter()
+        .find(|f| f.label() == s)
+        .ok_or_else(|| format!("unknown feature strategy '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_model_counts() {
+        for (kind, expected) in [
+            (WorkloadKind::Ftr1, 36),
+            (WorkloadKind::Ftr2, 24),
+            (WorkloadKind::Ftr3, 12),
+            (WorkloadKind::Atr, 24),
+            (WorkloadKind::Ftu, 24),
+        ] {
+            let spec = WorkloadSpec { kind, scale: Scale::Tiny };
+            assert_eq!(spec.grid().len(), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn tiny_candidates_build_and_validate() {
+        for kind in [WorkloadKind::Ftr3, WorkloadKind::Atr, WorkloadKind::Ftu] {
+            let spec = WorkloadSpec { kind, scale: Scale::Tiny };
+            let cands = spec.candidates().unwrap();
+            assert_eq!(cands.len(), spec.grid().len());
+            for c in &cands {
+                c.graph.validate().unwrap();
+                assert!(!c.graph.node(nautilus_dnn::NodeId(0)).params.is_empty() || c.graph.node(nautilus_dnn::NodeId(0)).param_shapes.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_candidates_are_shapes_only() {
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+        let cands = spec.candidates().unwrap();
+        assert_eq!(cands.len(), 24);
+        for c in &cands {
+            for n in c.graph.nodes() {
+                assert!(n.params.is_empty(), "paper scale must not allocate weights");
+            }
+        }
+        // BERT-base-like size.
+        let params = cands[0].graph.params_bytes() / 4;
+        assert!(params > 80_000_000, "params {params}");
+    }
+
+    #[test]
+    fn ftr3_epoch_variants() {
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr3, scale: Scale::Tiny };
+        let cands = spec.candidates().unwrap();
+        let epochs: std::collections::BTreeSet<usize> =
+            cands.iter().map(|c| c.hyper.epochs).collect();
+        assert_eq!(epochs.into_iter().collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn vary_models_builds_n_candidates() {
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+        for n in [1usize, 3, 6] {
+            let cands = spec.ftr2_vary_models(n).unwrap();
+            assert_eq!(cands.len(), n);
+            // All share one architecture: one interchangeable group.
+            let multi = crate::multimodel::MultiModelGraph::build(&cands);
+            assert_eq!(multi.interchangeable_groups().len(), 1);
+        }
+    }
+
+    #[test]
+    fn cycles_and_records_match_paper() {
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+        assert_eq!(spec.cycles(), 10);
+        assert_eq!(spec.records_per_cycle(), (400, 100));
+    }
+}

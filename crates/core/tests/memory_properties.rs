@@ -1,0 +1,125 @@
+//! Property tests for the peak-memory estimator (paper §4.3.3).
+
+use nautilus_core::mat_opt::{no_reuse_plan, plan_given_v};
+use nautilus_core::memory::estimate_peak_memory;
+use nautilus_core::multimodel::MultiModelGraph;
+use nautilus_core::spec::{CandidateModel, Hyper};
+use nautilus_core::SystemConfig;
+use nautilus_dnn::{OptimizerSpec, TaskKind};
+use nautilus_models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
+use nautilus_models::BuildScale;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn candidate(strategy_idx: usize, id: usize) -> CandidateModel {
+    let cfg = BertConfig::tiny(8, 40);
+    let strategy = FeatureStrategy::ALL[strategy_idx % FeatureStrategy::ALL.len()];
+    CandidateModel {
+        name: format!("c{id}-{}", strategy.label()),
+        graph: feature_transfer_model(&cfg, strategy, 5, BuildScale::Real).unwrap(),
+        hyper: Hyper { batch_size: 8, epochs: 1, optimizer: OptimizerSpec::adam(0.01) },
+        task: TaskKind::TokenTagging,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Activation memory is exactly linear in batch size; parameter and
+    /// workspace terms are batch-independent.
+    #[test]
+    fn activations_scale_linearly_with_batch(
+        sidx in 0..6usize,
+        batch in 1..16usize,
+        factor in 2..5usize,
+    ) {
+        let cands = vec![candidate(sidx, 0)];
+        let multi = MultiModelGraph::build(&cands);
+        let plan = no_reuse_plan(&multi, &[0], &SystemConfig::tiny());
+        let a = estimate_peak_memory(&multi, &plan.actions, batch, 77, 2.0);
+        let b = estimate_peak_memory(&multi, &plan.actions, batch * factor, 77, 2.0);
+        prop_assert_eq!(b.activation_bytes, a.activation_bytes * factor as u64);
+        prop_assert_eq!(a.params_bytes, b.params_bytes);
+        prop_assert_eq!(a.optimizer_bytes, b.optimizer_bytes);
+        prop_assert_eq!(a.workspace_bytes, 77);
+    }
+
+    /// The peak is bounded below by the largest single retained activation
+    /// and bounded above by keeping everything live at once.
+    #[test]
+    fn peak_between_trivial_bounds(sidx in 0..6usize, batch in 1..8usize) {
+        let cands = vec![candidate(sidx, 0)];
+        let multi = MultiModelGraph::build(&cands);
+        let plan = no_reuse_plan(&multi, &[0], &SystemConfig::tiny());
+        let est = estimate_peak_memory(&multi, &plan.actions, batch, 0, 0.0);
+        let max_single: u64 = multi
+            .nodes
+            .iter()
+            .map(|n| n.profile.internal_bytes)
+            .max()
+            .unwrap_or(0)
+            * batch as u64;
+        // Upper bound: every forward internal + every gradient live at once.
+        let upper: u64 = multi
+            .nodes
+            .iter()
+            .map(|n| 2 * n.profile.internal_bytes)
+            .sum::<u64>()
+            * batch as u64;
+        prop_assert!(est.activation_bytes >= max_single,
+            "peak {} below largest tensor {max_single}", est.activation_bytes);
+        prop_assert!(est.activation_bytes <= upper,
+            "peak {} above keep-everything bound {upper}", est.activation_bytes);
+    }
+
+    /// The analytical estimate tracks the *measured* retention of a real
+    /// forward pass within a constant factor (§5.3's "accurate enough to
+    /// avoid out-of-memory crashes"). The real executor clones layer inputs
+    /// into its backward caches, so the measurement can legitimately exceed
+    /// the zero-copy model — but never by more than ~4x, and the estimate
+    /// must never be under 1/4 of reality.
+    #[test]
+    fn estimate_tracks_measured_retention(sidx in 0..6usize, batch in 1..5usize) {
+        use nautilus_dnn::exec::{forward, BatchInputs};
+        use nautilus_tensor::Tensor;
+        let cands = vec![candidate(sidx, 0)];
+        let multi = MultiModelGraph::build(&cands);
+        let plan = no_reuse_plan(&multi, &[0], &SystemConfig::tiny());
+        let est = estimate_peak_memory(&multi, &plan.actions, batch, 0, 0.0);
+
+        let g = &cands[0].graph;
+        let input = g.input_ids()[0];
+        let ids: Vec<f32> = (0..batch * 8).map(|i| (i % 40) as f32).collect();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(input, Tensor::from_vec([batch, 8], ids).unwrap());
+        let fwd = forward(g, &inputs, true).unwrap();
+        let measured = fwd.retained_activation_bytes() as u64;
+
+        prop_assert!(est.activation_bytes * 4 >= measured,
+            "estimate {} too far below measured {measured}", est.activation_bytes);
+        prop_assert!(measured * 4 >= est.activation_bytes,
+            "estimate {} too far above measured {measured}", est.activation_bytes);
+    }
+
+    /// Fusing more members never reduces the estimated peak (the fused plan
+    /// strictly contains each member's plan when nothing is materialized).
+    #[test]
+    fn fused_memory_dominates_members(
+        s1 in 0..6usize,
+        s2 in 0..6usize,
+        batch in 1..8usize,
+    ) {
+        let cands = vec![candidate(s1, 0), candidate(s2, 1)];
+        let multi = MultiModelGraph::build(&cands);
+        let cfg = SystemConfig::tiny();
+        let v = BTreeSet::new();
+        let fused = plan_given_v(&multi, &[0, 1], &v, &cfg);
+        let est_fused = estimate_peak_memory(&multi, &fused.actions, batch, 0, 2.0);
+        for i in 0..2 {
+            let solo = plan_given_v(&multi, &[i], &v, &cfg);
+            let est_solo = estimate_peak_memory(&multi, &solo.actions, batch, 0, 2.0);
+            prop_assert!(est_fused.total() >= est_solo.total(),
+                "fused {} < member {i} solo {}", est_fused.total(), est_solo.total());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end session tests: every strategy over multiple labeling cycles,
+//! on both backends.
+
+use nautilus_core::session::{CycleInput, ModelSelection};
+use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_core::{BackendKind, Strategy, SystemConfig};
+use nautilus_data::Dataset;
+use std::path::PathBuf;
+
+fn workdir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "nautilus-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// A small FTR-style workload: 4 candidates (2 strategies × 2 lrs).
+fn small_candidates() -> Vec<nautilus_core::CandidateModel> {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    let mut cands = spec.candidates().unwrap();
+    cands.truncate(4);
+    cands
+}
+
+fn tiny_pool(n: usize) -> Dataset {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    spec.ner_config().generate(n)
+}
+
+fn run_real(strategy: Strategy, tag: &str) -> Vec<Vec<(String, Option<f32>)>> {
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        strategy,
+        BackendKind::Real,
+        workdir(tag),
+    )
+    .unwrap();
+    let pool = tiny_pool(60);
+    let mut reports = Vec::new();
+    for cycle in 0..2 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        let r = session.fit(CycleInput::Real { train, valid }).unwrap();
+        assert_eq!(r.cycle, cycle + 1);
+        assert!(r.best.is_some());
+        reports.push(r.accuracies);
+    }
+    reports
+}
+
+#[test]
+fn all_strategies_agree_on_accuracy_real_backend() {
+    // The paper's Fig 7 claim: Nautilus performs logically equivalent SGD
+    // training, so every strategy must produce identical validation
+    // accuracies for every candidate in every cycle.
+    let baseline = run_real(Strategy::CurrentPractice, "cp");
+    for (strategy, tag) in [
+        (Strategy::MatAll, "matall"),
+        (Strategy::MatOnly, "matonly"),
+        (Strategy::FuseOnly, "fuseonly"),
+        (Strategy::Nautilus, "nautilus"),
+    ] {
+        let got = run_real(strategy, tag);
+        assert_eq!(baseline.len(), got.len());
+        for (cycle, (b, g)) in baseline.iter().zip(&got).enumerate() {
+            let mut b = b.clone();
+            let mut g = g.clone();
+            b.sort_by(|x, y| x.0.cmp(&y.0));
+            g.sort_by(|x, y| x.0.cmp(&y.0));
+            assert_eq!(b, g, "strategy {strategy:?} cycle {cycle}");
+        }
+    }
+}
+
+#[test]
+fn accuracy_improves_with_more_labeled_data() {
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("learning"),
+    )
+    .unwrap();
+    let pool = tiny_pool(120);
+    let mut best = Vec::new();
+    for cycle in 0..3 {
+        let batch = pool.range(cycle * 40, (cycle + 1) * 40);
+        let (train, valid) = batch.split_at(32);
+        let r = session.fit(CycleInput::Real { train, valid }).unwrap();
+        best.push(r.best.unwrap().1);
+    }
+    // Later cycles see more data; accuracy should not collapse and should
+    // end above chance (9 tags -> ~0.11 chance; O-tag majority ~0.7).
+    assert!(best.last().unwrap() > &0.5, "{best:?}");
+}
+
+#[test]
+fn simulated_nautilus_beats_current_practice() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let mut cands = spec.candidates().unwrap();
+    cands.truncate(8); // keep the test fast
+    let mut times = Vec::new();
+    for (strategy, tag) in
+        [(Strategy::CurrentPractice, "sim-cp"), (Strategy::Nautilus, "sim-nau")]
+    {
+        let mut session = ModelSelection::new(
+            cands.clone(),
+            SystemConfig::default(),
+            strategy,
+            BackendKind::Simulated,
+            workdir(tag),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            session.fit(CycleInput::Virtual { n_train: 400, n_valid: 100 }).unwrap();
+        }
+        times.push(session.stats().elapsed_secs);
+    }
+    assert!(
+        times[1] < times[0] / 1.5,
+        "nautilus {}s not well below current practice {}s",
+        times[1],
+        times[0]
+    );
+}
+
+#[test]
+fn simulated_nautilus_reduces_io() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };
+    let mut cands = spec.candidates().unwrap();
+    cands.truncate(6);
+    let mut stats = Vec::new();
+    for (strategy, tag) in
+        [(Strategy::CurrentPractice, "io-cp"), (Strategy::Nautilus, "io-nau")]
+    {
+        let mut session = ModelSelection::new(
+            cands.clone(),
+            SystemConfig::default(),
+            strategy,
+            BackendKind::Simulated,
+            workdir(tag),
+        )
+        .unwrap();
+        for _ in 0..2 {
+            session.fit(CycleInput::Virtual { n_train: 400, n_valid: 100 }).unwrap();
+        }
+        stats.push(session.stats());
+    }
+    assert!(
+        stats[1].disk_write_bytes < stats[0].disk_write_bytes,
+        "nautilus writes {} vs cp {}",
+        stats[1].disk_write_bytes,
+        stats[0].disk_write_bytes
+    );
+}
+
+#[test]
+fn exponential_backoff_doubles_r_and_rematerializes() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.max_records = 40;
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        cfg,
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("backoff"),
+    )
+    .unwrap();
+    assert_eq!(session.max_records(), 40);
+    let pool = tiny_pool(90);
+    for cycle in 0..3 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        session.fit(CycleInput::Real { train, valid }).unwrap();
+    }
+    // 90 records > 40: r must have doubled at least once.
+    assert!(session.max_records() >= 80, "r = {}", session.max_records());
+}
+
+#[test]
+fn evolving_workload_mid_session() {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("evolve"),
+    )
+    .unwrap();
+    let pool = tiny_pool(90);
+    let batch = pool.range(0, 30);
+    let (train, valid) = batch.split_at(24);
+    session.fit(CycleInput::Real { train, valid }).unwrap();
+
+    // Swap in a different (larger) candidate set mid-session.
+    let mut new_cands = spec.candidates().unwrap();
+    new_cands.truncate(6);
+    let report = session.update_workload(new_cands).unwrap();
+    assert!(report.num_units >= 1);
+    assert!(report.theoretical_speedup > 1.0);
+
+    // The next cycle trains the *new* candidates on old + new data.
+    let batch = pool.range(30, 60);
+    let (train, valid) = batch.split_at(24);
+    let r = session.fit(CycleInput::Real { train, valid }).unwrap();
+    assert_eq!(r.accuracies.len(), 6);
+    assert_eq!(r.train_records, 48);
+    assert!(r.best.is_some());
+
+    // Mismatched input shapes are rejected.
+    let ftu = WorkloadSpec { kind: WorkloadKind::Ftu, scale: Scale::Tiny };
+    let mut image_cands = ftu.candidates().unwrap();
+    image_cands.truncate(2);
+    assert!(session.update_workload(image_cands).is_err());
+}
+
+#[test]
+fn virtual_input_on_real_backend_is_rejected() {
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("mismatch"),
+    )
+    .unwrap();
+    let r = session.fit(CycleInput::Virtual { n_train: 10, n_valid: 2 });
+    assert!(r.is_err());
+}
+
+#[test]
+fn save_and_restore_resumes_identically() {
+    let pool = tiny_pool(90);
+    let wd_a = workdir("persist-a");
+    let state = std::env::temp_dir().join(format!("nautilus-state-{}", std::process::id()));
+
+    // Uninterrupted reference: 3 cycles.
+    let mut reference = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("persist-ref"),
+    )
+    .unwrap();
+    let mut ref_accs = Vec::new();
+    for cycle in 0..3 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        ref_accs.push(reference.fit(CycleInput::Real { train, valid }).unwrap().accuracies);
+    }
+
+    // Interrupted: 2 cycles, save, drop, resume, 1 more cycle.
+    {
+        let mut session = ModelSelection::new(
+            small_candidates(),
+            SystemConfig::tiny(),
+            Strategy::Nautilus,
+            BackendKind::Real,
+            &wd_a,
+        )
+        .unwrap();
+        for (cycle, expected) in ref_accs.iter().take(2).enumerate() {
+            let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+            let (train, valid) = batch.split_at(24);
+            let got = session.fit(CycleInput::Real { train, valid }).unwrap().accuracies;
+            assert_eq!(&got, expected);
+        }
+        session.save_state(&state).unwrap();
+    }
+    let mut resumed = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        &wd_a,
+    )
+    .unwrap();
+    resumed.restore_state(&state).unwrap();
+    let batch = pool.range(60, 90);
+    let (train, valid) = batch.split_at(24);
+    let r = resumed.fit(CycleInput::Real { train, valid }).unwrap();
+    assert_eq!(r.cycle, 3);
+    assert_eq!(r.train_records, 72);
+    assert_eq!(r.accuracies, ref_accs[2], "resumed cycle must match uninterrupted");
+    let _ = std::fs::remove_file(&state);
+}
+
+#[test]
+fn empty_cycle_retrains_on_existing_snapshot() {
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("empty-cycle"),
+    )
+    .unwrap();
+    let pool = tiny_pool(30);
+    let (train, valid) = pool.split_at(24);
+    let r1 = session.fit(CycleInput::Real { train, valid }).unwrap();
+    // A cycle with zero new labels still re-runs model selection on the
+    // unchanged snapshot (e.g. the labeler produced nothing this round).
+    let empty_in = pool.range(0, 0);
+    let empty_lab = pool.range(0, 0);
+    let r2 = session
+        .fit(CycleInput::Real { train: empty_in, valid: empty_lab })
+        .unwrap();
+    assert_eq!(r2.train_records, r1.train_records);
+    assert_eq!(r2.cycle, 2);
+    // Deterministic retraining from initial checkpoints: same accuracies.
+    assert_eq!(r1.accuracies, r2.accuracies);
+}
+
+#[test]
+fn init_report_phases_populated() {
+    let session = ModelSelection::new(
+        small_candidates(),
+        SystemConfig::tiny(),
+        Strategy::Nautilus,
+        BackendKind::Simulated,
+        workdir("init"),
+    )
+    .unwrap();
+    let init = session.init_report();
+    assert!(init.total_secs > 0.0);
+    assert!(init.theoretical_speedup > 1.0);
+    assert!(init.num_units >= 1);
+    assert!(session.milp_stats().is_some());
+}
+
+#[test]
+fn feature_store_respects_disk_budget() {
+    // Generous planner-compute so the optimizer wants to materialize, but a
+    // tight budget caps what it may choose.
+    let mut cfg = SystemConfig::tiny();
+    cfg.planner.flops_per_sec = 1e9;
+    cfg.disk_budget_bytes = 200 * 1024; // 200 KiB
+    cfg.max_records = 64;
+    let mut session = ModelSelection::new(
+        small_candidates(),
+        cfg.clone(),
+        Strategy::Nautilus,
+        BackendKind::Real,
+        workdir("budget"),
+    )
+    .unwrap();
+    let pool = tiny_pool(60);
+    for cycle in 0..2 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        session.fit(CycleInput::Real { train, valid }).unwrap();
+    }
+    assert!(
+        session.feature_bytes() <= cfg.disk_budget_bytes + 4096,
+        "{} bytes exceeds budget {}",
+        session.feature_bytes(),
+        cfg.disk_budget_bytes
+    );
+}

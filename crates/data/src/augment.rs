@@ -1,0 +1,168 @@
+//! Offline data augmentation.
+//!
+//! Nautilus cannot apply *on-the-fly* random augmentation (a materialized
+//! frozen-layer output must be a pure function of the stored record); the
+//! paper's prescription (§2.5) is to materialize an augmented dataset up
+//! front and treat every augmented copy as a first-class record. This
+//! module provides that step for image datasets: deterministic, seeded
+//! horizontal flips and small translations, expanding a dataset by a fixed
+//! multiplier before it enters the labeling pool.
+
+use crate::dataset::Dataset;
+use nautilus_tensor::{Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image augmentation configuration.
+#[derive(Debug, Clone)]
+pub struct ImageAugmentConfig {
+    /// Additional augmented copies per original record (0 = no-op).
+    pub copies: usize,
+    /// Probability of a horizontal flip per copy.
+    pub flip_prob: f64,
+    /// Maximum absolute translation in pixels (per axis, per copy).
+    pub max_shift: usize,
+    /// RNG seed (fixed: the augmented dataset is materialized once).
+    pub seed: u64,
+}
+
+impl Default for ImageAugmentConfig {
+    fn default() -> Self {
+        ImageAugmentConfig { copies: 1, flip_prob: 0.5, max_shift: 2, seed: 31 }
+    }
+}
+
+fn flip_h(img: &[f32], c: usize, h: usize, w: usize, out: &mut [f32]) {
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                out[ci * h * w + y * w + x] = img[ci * h * w + y * w + (w - 1 - x)];
+            }
+        }
+    }
+}
+
+fn shift(img: &[f32], c: usize, h: usize, w: usize, dy: isize, dx: isize, out: &mut [f32]) {
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                out[ci * h * w + y * w + x] =
+                    if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                        img[ci * h * w + sy as usize * w + sx as usize]
+                    } else {
+                        0.0
+                    };
+            }
+        }
+    }
+}
+
+/// Expands an image dataset (`[n, c, h, w]` inputs) with augmented copies.
+///
+/// Originals come first, then `copies` augmented passes over the dataset in
+/// record order — deterministic per seed, so re-materializing yields the
+/// identical augmented pool.
+pub fn augment_images(ds: &Dataset, cfg: &ImageAugmentConfig) -> Result<Dataset, TensorError> {
+    let dims = &ds.inputs.shape().0;
+    if dims.len() != 4 {
+        return Err(TensorError::Incompatible(format!(
+            "augment_images expects [n, c, h, w] inputs, got {dims:?}"
+        )));
+    }
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut inputs = ds.inputs.data().to_vec();
+    let mut labels = ds.labels.data().to_vec();
+    let rec = c * h * w;
+    let mut buf = vec![0.0f32; rec];
+    let mut buf2 = vec![0.0f32; rec];
+    for _copy in 0..cfg.copies {
+        for r in 0..n {
+            let img = &ds.inputs.data()[r * rec..(r + 1) * rec];
+            let flipped = rng.gen_bool(cfg.flip_prob);
+            let dy = rng.gen_range(-(cfg.max_shift as isize)..=cfg.max_shift as isize);
+            let dx = rng.gen_range(-(cfg.max_shift as isize)..=cfg.max_shift as isize);
+            let src: &[f32] = if flipped {
+                flip_h(img, c, h, w, &mut buf);
+                &buf
+            } else {
+                img
+            };
+            shift(src, c, h, w, dy, dx, &mut buf2);
+            inputs.extend_from_slice(&buf2);
+            let lrec = ds.labels.len() / n;
+            labels.extend_from_within(r * lrec..(r + 1) * lrec);
+        }
+    }
+    let total = n * (1 + cfg.copies);
+    let mut lshape = ds.labels.shape().0.clone();
+    lshape[0] = total;
+    Dataset::new(
+        Tensor::from_vec([total, c, h, w], inputs)?,
+        Tensor::from_vec(lshape, labels)?,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::images::ImageDatasetConfig;
+
+    #[test]
+    fn expands_by_multiplier_and_keeps_labels() {
+        let ds = ImageDatasetConfig::default().generate(10);
+        let aug = augment_images(&ds, &ImageAugmentConfig { copies: 2, ..Default::default() })
+            .unwrap();
+        assert_eq!(aug.len(), 30);
+        // Originals preserved verbatim up front.
+        assert_eq!(&aug.inputs.data()[..ds.inputs.len()], ds.inputs.data());
+        assert_eq!(&aug.targets()[..10], &ds.targets()[..]);
+        // Augmented copies carry their source labels.
+        assert_eq!(&aug.targets()[10..20], &ds.targets()[..]);
+        assert_eq!(&aug.targets()[20..30], &ds.targets()[..]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = ImageDatasetConfig::default().generate(5);
+        let cfg = ImageAugmentConfig::default();
+        let a = augment_images(&ds, &cfg).unwrap();
+        let b = augment_images(&ds, &cfg).unwrap();
+        assert_eq!(a, b);
+        let c = augment_images(&ds, &ImageAugmentConfig { seed: 99, ..cfg }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let mut img = vec![0.0f32; 2 * 3 * 4];
+        for (i, v) in img.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let mut once = vec![0.0; img.len()];
+        let mut twice = vec![0.0; img.len()];
+        flip_h(&img, 2, 3, 4, &mut once);
+        flip_h(&once, 2, 3, 4, &mut twice);
+        assert_eq!(img, twice);
+        assert_ne!(img, once);
+    }
+
+    #[test]
+    fn shift_zero_is_identity_and_pads_with_zeros() {
+        let img: Vec<f32> = (0..16).map(|i| i as f32 + 1.0).collect();
+        let mut out = vec![0.0; 16];
+        shift(&img, 1, 4, 4, 0, 0, &mut out);
+        assert_eq!(img, out);
+        shift(&img, 1, 4, 4, 1, 0, &mut out);
+        assert!(out[..4].iter().all(|&x| x == 0.0), "top row padded");
+        assert_eq!(&out[4..8], &img[..4]);
+    }
+
+    #[test]
+    fn rejects_non_image_datasets() {
+        let ds = Dataset::new(Tensor::zeros([4, 8]), Tensor::zeros([4])).unwrap();
+        assert!(augment_images(&ds, &ImageAugmentConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! In-memory labeled datasets.
+
+use nautilus_tensor::{Tensor, TensorError};
+
+/// A labeled dataset: batched inputs `[n, ...record]` and per-record labels.
+///
+/// Labels are stored as a batched tensor too (`[n]` for classification,
+/// `[n, seq]` for token tagging) so the same store/IO paths handle both; the
+/// integer targets a loss needs come from [`Dataset::targets`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Batched input tensor.
+    pub inputs: Tensor,
+    /// Batched label tensor (integer values stored as exact floats).
+    pub labels: Tensor,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that inputs and labels agree on count.
+    pub fn new(inputs: Tensor, labels: Tensor) -> Result<Self, TensorError> {
+        if inputs.shape().rank() == 0 || labels.shape().rank() == 0 {
+            return Err(TensorError::Incompatible("dataset tensors must be batched".into()));
+        }
+        if inputs.shape().dim(0) != labels.shape().dim(0) {
+            return Err(TensorError::Incompatible(format!(
+                "inputs have {} records, labels {}",
+                inputs.shape().dim(0),
+                labels.shape().dim(0)
+            )));
+        }
+        Ok(Dataset { inputs, labels })
+    }
+
+    /// An empty dataset with the given record shapes.
+    pub fn empty(input_record: &[usize], label_record: &[usize]) -> Self {
+        let mut ishape = vec![0];
+        ishape.extend_from_slice(input_record);
+        let mut lshape = vec![0];
+        lshape.extend_from_slice(label_record);
+        Dataset { inputs: Tensor::zeros(ishape), labels: Tensor::zeros(lshape) }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inputs.shape().dim(0)
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Selects records by index, in the given order.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let ins: Vec<Tensor> = indices.iter().map(|&i| self.inputs.outer_slice(i)).collect();
+        let labs: Vec<Tensor> = indices.iter().map(|&i| self.labels.outer_slice(i)).collect();
+        if indices.is_empty() {
+            return Dataset::empty(
+                &self.inputs.shape().without_batch().0,
+                &self.labels.shape().without_batch().0,
+            );
+        }
+        Dataset {
+            inputs: Tensor::stack(&ins).expect("uniform record shapes"),
+            labels: Tensor::stack(&labs).expect("uniform record shapes"),
+        }
+    }
+
+    /// Contiguous range of records.
+    pub fn range(&self, start: usize, end: usize) -> Dataset {
+        let idx: Vec<usize> = (start..end).collect();
+        self.select(&idx)
+    }
+
+    /// Appends another dataset's records (shapes must match).
+    pub fn extend(&mut self, other: &Dataset) -> Result<(), TensorError> {
+        if self.is_empty() {
+            *self = other.clone();
+            return Ok(());
+        }
+        if other.is_empty() {
+            return Ok(());
+        }
+        self.inputs = Tensor::concat_outer(&[self.inputs.clone(), other.inputs.clone()])?;
+        self.labels = Tensor::concat_outer(&[self.labels.clone(), other.labels.clone()])?;
+        Ok(())
+    }
+
+    /// Splits off the first `n` records as train and the rest as validation.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        let n = n.min(self.len());
+        (self.range(0, n), self.range(n, self.len()))
+    }
+
+    /// Flattened integer targets: one per label element (one per record for
+    /// classification, one per token for tagging).
+    pub fn targets(&self) -> Vec<i64> {
+        self.labels.data().iter().map(|&x| x as i64).collect()
+    }
+
+    /// Per-record byte footprint of the inputs.
+    pub fn input_record_bytes(&self) -> usize {
+        self.inputs.shape().without_batch().num_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let inputs = Tensor::from_vec([4, 2], vec![0., 1., 2., 3., 4., 5., 6., 7.]).unwrap();
+        let labels = Tensor::from_vec([4], vec![0., 1., 0., 1.]).unwrap();
+        Dataset::new(inputs, labels).unwrap()
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let inputs = Tensor::zeros([3, 2]);
+        let labels = Tensor::zeros([4]);
+        assert!(Dataset::new(inputs, labels).is_err());
+    }
+
+    #[test]
+    fn select_and_range() {
+        let d = ds();
+        let s = d.select(&[2, 0]);
+        assert_eq!(s.inputs.data(), &[4., 5., 0., 1.]);
+        assert_eq!(s.targets(), vec![0, 0]);
+        let r = d.range(1, 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.targets(), vec![1, 0]);
+        assert_eq!(d.select(&[]).len(), 0);
+    }
+
+    #[test]
+    fn extend_and_split() {
+        let mut a = ds();
+        let b = ds();
+        a.extend(&b).unwrap();
+        assert_eq!(a.len(), 8);
+        let (tr, va) = a.split_at(6);
+        assert_eq!(tr.len(), 6);
+        assert_eq!(va.len(), 2);
+        let mut e = Dataset::empty(&[2], &[]);
+        e.extend(&ds()).unwrap();
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn tagging_targets_flatten() {
+        let inputs = Tensor::zeros([2, 3]);
+        let labels = Tensor::from_vec([2, 3], vec![0., 1., 2., 2., 1., 0.]).unwrap();
+        let d = Dataset::new(inputs, labels).unwrap();
+        assert_eq!(d.targets(), vec![0, 1, 2, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Synthetic blood-smear-like image dataset.
+//!
+//! Substitutes for the Malaria cell-image dataset (unavailable offline).
+//! Every record is a small RGB image of a roughly circular "cell" with
+//! noisy texture; *infected* records additionally contain 1–3 small
+//! high-contrast parasite blobs at random positions. The classification is
+//! learnable by a small convnet (local blob detection) but not trivially by
+//! a linear model on raw pixels, matching the role the Malaria dataset
+//! plays in the paper's FTU workload.
+
+use crate::dataset::Dataset;
+use nautilus_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic cell-image dataset.
+#[derive(Debug, Clone)]
+pub struct ImageDatasetConfig {
+    /// Image height/width (square, CHW layout with 3 channels).
+    pub size: usize,
+    /// Fraction of infected (label 1) records.
+    pub infected_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImageDatasetConfig {
+    fn default() -> Self {
+        ImageDatasetConfig { size: 16, infected_rate: 0.5, seed: 23 }
+    }
+}
+
+impl ImageDatasetConfig {
+    /// Number of classes (uninfected / infected).
+    pub const NUM_CLASSES: usize = 2;
+
+    /// Generates `n` labeled records: inputs `[n, 3, size, size]`, labels
+    /// `[n]` with `1.0` = infected.
+    pub fn generate(&self, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let s = self.size;
+        let mut data = vec![0.0f32; n * 3 * s * s];
+        let mut labels = vec![0.0f32; n];
+        let center = (s as f32 - 1.0) / 2.0;
+        let radius = s as f32 * 0.45;
+        for r in 0..n {
+            let infected = rng.gen_bool(self.infected_rate);
+            labels[r] = if infected { 1.0 } else { 0.0 };
+            let cell_tint: [f32; 3] =
+                [rng.gen_range(0.6..0.9), rng.gen_range(0.3..0.5), rng.gen_range(0.3..0.5)];
+            let img = &mut data[r * 3 * s * s..(r + 1) * 3 * s * s];
+            for y in 0..s {
+                for x in 0..s {
+                    let dy = y as f32 - center;
+                    let dx = x as f32 - center;
+                    let inside = (dx * dx + dy * dy).sqrt() <= radius;
+                    for c in 0..3 {
+                        let base = if inside { cell_tint[c] } else { 0.05 };
+                        img[c * s * s + y * s + x] = base + rng.gen_range(-0.05..0.05);
+                    }
+                }
+            }
+            if infected {
+                let blobs = rng.gen_range(1..=3usize);
+                for _ in 0..blobs {
+                    // Parasite blob: dark purple dot, 2x2, inside the cell.
+                    let lim = (s as f32 * 0.25) as usize;
+                    let by = rng.gen_range(lim..s - lim - 1);
+                    let bx = rng.gen_range(lim..s - lim - 1);
+                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let y = by + dy;
+                        let x = bx + dx;
+                        img[y * s + x] = 0.1; // R low
+                        img[s * s + y * s + x] = 0.05; // G low
+                        img[2 * s * s + y * s + x] = 0.95; // B high
+                    }
+                }
+            }
+        }
+        Dataset::new(
+            Tensor::from_vec([n, 3, s, s], data).expect("sized by construction"),
+            Tensor::from_vec([n], labels).expect("sized by construction"),
+        )
+        .expect("counts match by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let cfg = ImageDatasetConfig::default();
+        let d = cfg.generate(40);
+        assert_eq!(d.inputs.shape().0, vec![40, 3, 16, 16]);
+        assert_eq!(d.labels.shape().0, vec![40]);
+        assert!(d.targets().iter().all(|&t| t == 0 || t == 1));
+    }
+
+    #[test]
+    fn infected_rate_roughly_honored() {
+        let cfg = ImageDatasetConfig { infected_rate: 0.5, ..Default::default() };
+        let d = cfg.generate(400);
+        let pos = d.targets().iter().filter(|&&t| t == 1).count();
+        assert!((120..280).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn infected_images_have_blue_blobs() {
+        let cfg = ImageDatasetConfig::default();
+        let d = cfg.generate(100);
+        let s = cfg.size;
+        for r in 0..100 {
+            let img = &d.inputs.data()[r * 3 * s * s..(r + 1) * 3 * s * s];
+            let max_blue = img[2 * s * s..3 * s * s].iter().fold(0.0f32, |m, &x| m.max(x));
+            if d.targets()[r] == 1 {
+                assert!(max_blue > 0.9, "infected record {r} lacks blob");
+            } else {
+                assert!(max_blue < 0.9, "clean record {r} has blob-level blue");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ImageDatasetConfig::default();
+        assert_eq!(cfg.generate(5), cfg.generate(5));
+    }
+}

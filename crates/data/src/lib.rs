@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Datasets and labeling for the Nautilus reproduction.
+//!
+//! The paper evaluates on CoNLL-2003 (named-entity recognition over text)
+//! and Malaria (infected-cell image classification), with a human labeler
+//! releasing 500 labels per model-selection cycle. Neither dataset is
+//! available here, so this crate provides seeded synthetic equivalents with
+//! the same *task shapes* and difficulty gradient (accuracy improves with
+//! more labeled data), plus the labeling machinery:
+//!
+//! * [`dataset`] — in-memory labeled datasets with slicing/splitting.
+//! * [`ner`] — a synthetic token-tagging corpus: entity spans drawn from
+//!   per-type lexicon regions with BIO tags; learnable by token identity
+//!   plus context, like simplified CoNLL.
+//! * [`images`] — a synthetic blood-smear-like image set: "infected" cells
+//!   contain small high-intensity parasite blobs, like simplified Malaria.
+//! * [`augment`] — offline image augmentation (the paper's §2.5 route:
+//!   materialize the augmented dataset once, instead of on-the-fly
+//!   augmentation which would break feature materialization).
+//! * [`labeling`] — a pool-based labeling session that releases labels in
+//!   cycles (simulating the human labeler, §5) with a configurable
+//!   seconds-per-label cost, plus active-learning samplers (random,
+//!   least-confidence, margin, entropy — §1's AL use case).
+//! * [`weak`] — programmatic supervision (§1's other labeling scheme):
+//!   labeling functions over token sequences with majority-vote
+//!   aggregation, coverage, and conflict statistics.
+
+pub mod augment;
+pub mod dataset;
+pub mod images;
+pub mod labeling;
+pub mod ner;
+pub mod weak;
+
+pub use augment::{augment_images, ImageAugmentConfig};
+pub use dataset::Dataset;
+pub use images::ImageDatasetConfig;
+pub use labeling::{LabelingSession, Sampler};
+pub use ner::NerDatasetConfig;
+pub use weak::{weak_label, LabelingFunction, LexiconLf, WeakLabels};

@@ -1,0 +1,202 @@
+//! Programmatic supervision (Snorkel-style weak labeling).
+//!
+//! Besides the human labeler, §1 of the paper lists *programmatic
+//! supervision* as a labeling scheme that also triggers periodic model
+//! selection — users write labeling functions (LFs) instead of annotating
+//! records, and the aggregated (noisy) labels evolve as functions are added
+//! or refined. Nautilus's optimizations are orthogonal to the labeling
+//! scheme, and this module provides the scheme itself for the text task:
+//! keyword-style labeling functions over token sequences plus majority-vote
+//! aggregation with abstentions.
+
+use crate::dataset::Dataset;
+use nautilus_tensor::Tensor;
+
+/// A labeling function: given one record's token ids, vote a class per
+/// token or abstain (`None`).
+pub trait LabelingFunction {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+    /// Per-token votes for one record (`None` = abstain).
+    fn vote(&self, tokens: &[f32]) -> Vec<Option<i64>>;
+}
+
+/// Votes a fixed tag whenever the token id falls in a vocabulary range —
+/// the programmatic analogue of a gazetteer/lexicon match.
+#[derive(Debug, Clone)]
+pub struct LexiconLf {
+    /// Diagnostic name.
+    pub name: String,
+    /// Token-id range (inclusive start, exclusive end).
+    pub range: (usize, usize),
+    /// Tag voted on a match.
+    pub tag: i64,
+}
+
+impl LabelingFunction for LexiconLf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn vote(&self, tokens: &[f32]) -> Vec<Option<i64>> {
+        tokens
+            .iter()
+            .map(|&t| {
+                let t = t as usize;
+                if t >= self.range.0 && t < self.range.1 {
+                    Some(self.tag)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Outcome of aggregating labeling functions over a pool.
+#[derive(Debug)]
+pub struct WeakLabels {
+    /// The weakly labeled dataset (records where every token had at least
+    /// one vote or the default tag applies).
+    pub dataset: Dataset,
+    /// Fraction of token positions that received at least one non-default
+    /// vote.
+    pub coverage: f64,
+    /// Fraction of voted positions where functions disagreed.
+    pub conflict: f64,
+}
+
+/// Applies labeling functions to unlabeled inputs and aggregates votes by
+/// per-token majority; positions with no votes receive `default_tag`
+/// (usually the `O` tag). Ties resolve to the smallest tag for determinism.
+pub fn weak_label(
+    inputs: &Tensor,
+    lfs: &[&dyn LabelingFunction],
+    num_tags: usize,
+    default_tag: i64,
+) -> WeakLabels {
+    let n = inputs.shape().dim(0);
+    let s = inputs.shape().dim(1);
+    let mut labels = vec![default_tag as f32; n * s];
+    let mut voted = 0usize;
+    let mut conflicted = 0usize;
+    for r in 0..n {
+        let tokens = &inputs.data()[r * s..(r + 1) * s];
+        let votes: Vec<Vec<Option<i64>>> = lfs.iter().map(|lf| lf.vote(tokens)).collect();
+        for i in 0..s {
+            let mut counts = vec![0usize; num_tags];
+            let mut any = false;
+            for v in &votes {
+                if let Some(tag) = v[i] {
+                    counts[tag as usize] += 1;
+                    any = true;
+                }
+            }
+            if any {
+                voted += 1;
+                let best = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, &c)| (c, usize::MAX - i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(default_tag as usize);
+                if counts.iter().filter(|&&c| c > 0).count() > 1 {
+                    conflicted += 1;
+                }
+                labels[r * s + i] = best as f32;
+            }
+        }
+    }
+    let total = (n * s).max(1);
+    WeakLabels {
+        dataset: Dataset::new(
+            inputs.clone(),
+            Tensor::from_vec([n, s], labels).expect("sized by construction"),
+        )
+        .expect("counts match"),
+        coverage: voted as f64 / total as f64,
+        conflict: if voted == 0 { 0.0 } else { conflicted as f64 / voted as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ner::NerDatasetConfig;
+
+    fn cfg() -> NerDatasetConfig {
+        NerDatasetConfig { vocab: 60, seq_len: 12, ..Default::default() }
+    }
+
+    /// Lexicon LFs matching the generator's entity regions recover the
+    /// B-tags well (they can't see context, so I-tags are voted as B).
+    #[test]
+    fn lexicon_lfs_recover_entity_types() {
+        let c = cfg();
+        let gold = c.generate(100);
+        let lexicon_size = (c.vocab / 4) / c.entity_types;
+        let lfs: Vec<LexiconLf> = (0..c.entity_types)
+            .map(|t| LexiconLf {
+                name: format!("lex{t}"),
+                range: (
+                    c.vocab - (c.entity_types - t) * lexicon_size,
+                    c.vocab - (c.entity_types - t - 1) * lexicon_size,
+                ),
+                tag: (2 * t + 1) as i64, // vote B-t
+            })
+            .collect();
+        let refs: Vec<&dyn LabelingFunction> =
+            lfs.iter().map(|l| l as &dyn LabelingFunction).collect();
+        let weak = weak_label(&gold.inputs, &refs, c.num_tags(), 0);
+        assert!(weak.coverage > 0.1 && weak.coverage < 0.6, "{}", weak.coverage);
+        assert_eq!(weak.conflict, 0.0, "disjoint lexicons never conflict");
+        // Weak labels agree with gold up to the B/I distinction.
+        let gold_t = gold.targets();
+        let weak_t = weak.dataset.targets();
+        let type_of = |t: i64| if t == 0 { 0 } else { (t - 1) / 2 + 1 };
+        let agree = gold_t
+            .iter()
+            .zip(&weak_t)
+            .filter(|(&g, &w)| type_of(g) == type_of(w))
+            .count();
+        assert_eq!(agree, gold_t.len(), "entity *types* must match exactly");
+    }
+
+    #[test]
+    fn majority_vote_and_conflict_accounting() {
+        struct Fixed(Vec<Option<i64>>, &'static str);
+        impl LabelingFunction for Fixed {
+            fn name(&self) -> &str {
+                self.1
+            }
+            fn vote(&self, _tokens: &[f32]) -> Vec<Option<i64>> {
+                self.0.clone()
+            }
+        }
+        let inputs = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let a = Fixed(vec![Some(1), Some(1), None], "a");
+        let b = Fixed(vec![Some(2), Some(1), None], "b");
+        let c = Fixed(vec![Some(1), None, None], "c");
+        let weak = weak_label(&inputs, &[&a, &b, &c], 3, 0);
+        // Position 0: votes {1:2, 2:1} -> 1. Position 1: 1. Position 2: default.
+        assert_eq!(weak.dataset.targets(), vec![1, 1, 0]);
+        assert!((weak.coverage - 2.0 / 3.0).abs() < 1e-9);
+        assert!((weak.conflict - 0.5).abs() < 1e-9); // 1 of 2 voted positions
+    }
+
+    #[test]
+    fn tie_breaks_to_smallest_tag() {
+        struct One(&'static str, i64);
+        impl LabelingFunction for One {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn vote(&self, _t: &[f32]) -> Vec<Option<i64>> {
+                vec![Some(self.1)]
+            }
+        }
+        let inputs = Tensor::from_vec([1, 1], vec![0.0]).unwrap();
+        let weak = weak_label(&inputs, &[&One("x", 2), &One("y", 1)], 3, 0);
+        assert_eq!(weak.dataset.targets(), vec![1]);
+    }
+}

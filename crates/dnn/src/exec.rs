@@ -1,0 +1,1435 @@
+//! Forward and backward execution of model graphs on mini-batches.
+//!
+//! The forward pass computes every node output in topological order; the
+//! backward pass visits nodes in reverse order but *only* where gradients
+//! are needed: a node participates iff a trainable layer is reachable
+//! through its ancestors ([`ModelGraph::requires_grad`]). This reproduces
+//! the cost structure the paper's profiler assumes — trainable layers pay
+//! forward + input-gradient + parameter-gradient, frozen non-materializable
+//! layers pay forward + input-gradient, and materializable layers pay
+//! forward only (§4.1).
+
+use crate::graph::{ModelGraph, NodeId};
+use crate::layer::{Activation, LayerKind};
+use nautilus_tensor::ops::{
+    add, add_assign, avg_pool2d_global, conv2d, conv2d_backward, gelu, gelu_backward,
+    layer_norm, layer_norm_backward, matmul, matmul_ta, matmul_tb, max_pool2d,
+    max_pool2d_backward, relu, relu_backward, scale, softmax_last, softmax_last_backward,
+    sum_rows, tanh_act, tanh_backward,
+};
+use nautilus_tensor::{Shape, Tensor, TensorError};
+use std::collections::HashMap;
+
+/// Batched tensors for a graph's input placeholders.
+#[derive(Debug, Clone, Default)]
+pub struct BatchInputs {
+    map: HashMap<NodeId, Tensor>,
+}
+
+impl BatchInputs {
+    /// Empty input set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `tensor` (batched: leading batch axis) to input node `id`.
+    pub fn insert(&mut self, id: NodeId, tensor: Tensor) -> &mut Self {
+        self.map.insert(id, tensor);
+        self
+    }
+
+    /// Lookup.
+    pub fn get(&self, id: NodeId) -> Option<&Tensor> {
+        self.map.get(&id)
+    }
+}
+
+/// Execution error: graph/shape/data problems surfaced with the node name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Node where the failure occurred.
+    pub node: String,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution failed at '{}': {}", self.node, self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn exec_err(node: &str, e: impl std::fmt::Display) -> ExecError {
+    ExecError { node: node.to_string(), message: e.to_string() }
+}
+
+/// Per-node cache retained by the forward pass for the backward pass.
+///
+/// Fields are implementation details of each layer's backward formula; the
+/// variant docs name them in order.
+#[allow(missing_docs)]
+#[derive(Debug, Clone)]
+pub enum Cache {
+    /// No cache needed.
+    None,
+    /// Dense: input and pre-activation.
+    Dense { input: Tensor, pre: Tensor },
+    /// Embedding: ids, LN cache.
+    Embedding { ids: Tensor, xhat: Tensor, inv_std: Vec<f32> },
+    /// Transformer block internals.
+    Transformer(Box<TransformerCache>),
+    /// Adapter: input, bottleneck pre-activation, bottleneck activation.
+    Adapter { input: Tensor, hidden_pre: Tensor, hidden: Tensor },
+    /// Conv2d: input and pre-activation.
+    Conv { input: Tensor, pre: Tensor },
+    /// Residual block internals.
+    ResBlock(Box<ResBlockCache>),
+    /// Max pooling: input shape + argmax indices.
+    MaxPool { in_shape: Shape, argmax: Vec<u32> },
+    /// Concat: innermost widths of each input.
+    Concat { widths: Vec<usize> },
+    /// Shape-only caches (flatten/pool).
+    InShape(Shape),
+}
+
+/// Cached intermediates of one transformer block forward.
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    x: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// `[batch * heads]` attention probability matrices, each `[S, S]`.
+    attn: Vec<Tensor>,
+    ctx: Tensor,
+    ln1_xhat: Tensor,
+    ln1_inv_std: Vec<f32>,
+    h1: Tensor,
+    ff_pre: Tensor,
+    ff_act: Tensor,
+    ln2_xhat: Tensor,
+    ln2_inv_std: Vec<f32>,
+}
+
+/// Cached intermediates of one residual block forward.
+#[derive(Debug, Clone)]
+pub struct ResBlockCache {
+    x: Tensor,
+    pre1: Tensor,
+    a1: Tensor,
+    sum_pre: Tensor,
+}
+
+/// Result of a forward pass: every node's batched output plus caches.
+#[derive(Debug)]
+pub struct ForwardResult {
+    /// Output of each node, indexed by node id.
+    pub outputs: Vec<Tensor>,
+    caches: Vec<Cache>,
+}
+
+impl Cache {
+    /// Bytes of activation data this cache retains for the backward pass.
+    pub fn bytes(&self) -> usize {
+        let t = |x: &Tensor| x.len() * nautilus_tensor::ELEM_BYTES;
+        match self {
+            Cache::None => 0,
+            Cache::Dense { input, pre } => t(input) + t(pre),
+            Cache::Embedding { ids, xhat, inv_std } => {
+                t(ids) + t(xhat) + inv_std.len() * 4
+            }
+            Cache::Transformer(tc) => {
+                t(&tc.x)
+                    + t(&tc.q)
+                    + t(&tc.k)
+                    + t(&tc.v)
+                    + tc.attn.iter().map(&t).sum::<usize>()
+                    + t(&tc.ctx)
+                    + t(&tc.ln1_xhat)
+                    + tc.ln1_inv_std.len() * 4
+                    + t(&tc.h1)
+                    + t(&tc.ff_pre)
+                    + t(&tc.ff_act)
+                    + t(&tc.ln2_xhat)
+                    + tc.ln2_inv_std.len() * 4
+            }
+            Cache::Adapter { input, hidden_pre, hidden } => {
+                t(input) + t(hidden_pre) + t(hidden)
+            }
+            Cache::Conv { input, pre } => t(input) + t(pre),
+            Cache::ResBlock(rc) => t(&rc.x) + t(&rc.pre1) + t(&rc.a1) + t(&rc.sum_pre),
+            Cache::MaxPool { argmax, .. } => argmax.len() * 4,
+            Cache::Concat { widths } => widths.len() * std::mem::size_of::<usize>(),
+            Cache::InShape(_) => 0,
+        }
+    }
+}
+
+impl ForwardResult {
+    /// Output of a specific node.
+    pub fn output(&self, id: NodeId) -> &Tensor {
+        &self.outputs[id.index()]
+    }
+
+    /// Bytes actually retained by this forward pass at the loss barrier:
+    /// every node output plus every backward cache.
+    ///
+    /// This is the *measured* counterpart of the §4.3.3 estimator's
+    /// forward-live set — used to validate that the analytical bound tracks
+    /// reality within a constant factor (this implementation clones inputs
+    /// into caches, so the measurement double-counts relative to a
+    /// zero-copy framework).
+    pub fn retained_activation_bytes(&self) -> usize {
+        let outputs: usize =
+            self.outputs.iter().map(|t| t.len() * nautilus_tensor::ELEM_BYTES).sum();
+        let caches: usize = self.caches.iter().map(Cache::bytes).sum();
+        outputs + caches
+    }
+}
+
+/// Gradients produced by a backward pass.
+#[derive(Debug, Default)]
+pub struct Gradients {
+    /// Parameter gradients for trainable nodes (`node id -> grads`, aligned
+    /// with the node's parameter order).
+    pub params: HashMap<NodeId, Vec<Tensor>>,
+}
+
+/// Runs the forward pass. `training` controls whether backward caches are
+/// retained.
+pub fn forward(
+    graph: &ModelGraph,
+    inputs: &BatchInputs,
+    training: bool,
+) -> Result<ForwardResult, ExecError> {
+    let n = graph.len();
+    let mut outputs: Vec<Option<Tensor>> = vec![None; n];
+    let mut caches: Vec<Cache> = Vec::with_capacity(n);
+    let requires_grad = graph.requires_grad();
+
+    for id in graph.ids() {
+        let node = graph.node(id);
+        let keep_cache = training && requires_grad[id.index()];
+        let parent_outputs: Vec<&Tensor> = node
+            .inputs
+            .iter()
+            .map(|p| outputs[p.index()].as_ref().expect("topological order"))
+            .collect();
+        let (out, cache) = run_forward(node, &parent_outputs, inputs, id, keep_cache)
+            .map_err(|e| exec_err(&node.name, e))?;
+        outputs[id.index()] = Some(out);
+        caches.push(if keep_cache { cache } else { Cache::None });
+    }
+
+    Ok(ForwardResult {
+        outputs: outputs.into_iter().map(|o| o.expect("all nodes computed")).collect(),
+        caches,
+    })
+}
+
+/// Runs the backward pass from per-output-node gradients, returning
+/// parameter gradients for every trainable node reached.
+pub fn backward(
+    graph: &ModelGraph,
+    fwd: &ForwardResult,
+    out_grads: HashMap<NodeId, Tensor>,
+) -> Result<Gradients, ExecError> {
+    let n = graph.len();
+    let requires_grad = graph.requires_grad();
+    let mut grads: Vec<Option<Tensor>> = vec![None; n];
+    for (id, g) in out_grads {
+        if requires_grad[id.index()] {
+            accumulate(&mut grads[id.index()], g);
+        }
+    }
+    let mut result = Gradients::default();
+
+    for idx in (0..n).rev() {
+        let Some(grad) = grads[idx].take() else { continue };
+        let id = NodeId(idx);
+        let node = graph.node(id);
+        let parent_outputs: Vec<&Tensor> = node
+            .inputs
+            .iter()
+            .map(|p| &fwd.outputs[p.index()])
+            .collect();
+        let needs_input_grads: Vec<bool> =
+            node.inputs.iter().map(|p| requires_grad[p.index()]).collect();
+        let out = run_backward(
+            node,
+            &fwd.caches[idx],
+            &parent_outputs,
+            &fwd.outputs[idx],
+            &grad,
+            &needs_input_grads,
+        )
+        .map_err(|e| exec_err(&node.name, e))?;
+        if node.trainable() {
+            debug_assert_eq!(out.param_grads.len(), node.params.len());
+            result.params.insert(id, out.param_grads);
+        }
+        for (p, g) in node.inputs.iter().zip(out.input_grads) {
+            if let Some(g) = g {
+                accumulate(&mut grads[p.index()], g);
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
+    match slot {
+        None => *slot = Some(g),
+        Some(acc) => {
+            add_assign(acc, &g).expect("gradient shapes match");
+        }
+    }
+}
+
+struct BackwardOut {
+    input_grads: Vec<Option<Tensor>>,
+    param_grads: Vec<Tensor>,
+}
+
+fn apply_act(act: Activation, pre: &Tensor) -> Tensor {
+    match act {
+        Activation::None => pre.clone(),
+        Activation::Relu => relu(pre),
+        Activation::Gelu => gelu(pre),
+        Activation::Tanh => tanh_act(pre),
+    }
+}
+
+fn act_backward(act: Activation, pre: &Tensor, grad: &Tensor) -> Result<Tensor, TensorError> {
+    match act {
+        Activation::None => Ok(grad.clone()),
+        Activation::Relu => relu_backward(pre, grad),
+        Activation::Gelu => gelu_backward(pre, grad),
+        Activation::Tanh => tanh_backward(&tanh_act(pre), grad),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_forward(
+    node: &crate::graph::Node,
+    parents: &[&Tensor],
+    inputs: &BatchInputs,
+    id: NodeId,
+    keep_cache: bool,
+) -> Result<(Tensor, Cache), TensorError> {
+    let p = &node.params;
+    match &node.kind {
+        LayerKind::Input { shape } => {
+            let t = inputs.get(id).ok_or_else(|| {
+                TensorError::Incompatible(format!("no data bound to input '{}'", node.name))
+            })?;
+            let expected = Shape::new(shape.clone());
+            let got = t.shape().without_batch();
+            got.expect_eq(&expected)?;
+            Ok((t.clone(), Cache::None))
+        }
+        LayerKind::Embedding { vocab, dim, .. } => {
+            let ids = parents[0];
+            let b = ids.shape().dim(0);
+            let s = ids.shape().dim(1);
+            let (tok, pos, gamma, beta) = (&p[0], &p[1], &p[2], &p[3]);
+            let mut e = vec![0.0f32; b * s * dim];
+            for bi in 0..b {
+                for si in 0..s {
+                    let tid = ids.data()[bi * s + si] as usize;
+                    if tid >= *vocab {
+                        return Err(TensorError::Incompatible(format!(
+                            "token id {tid} out of vocab {vocab}"
+                        )));
+                    }
+                    let dst = &mut e[(bi * s + si) * dim..(bi * s + si + 1) * dim];
+                    let tokrow = &tok.data()[tid * dim..(tid + 1) * dim];
+                    let posrow = &pos.data()[si * dim..(si + 1) * dim];
+                    for ((d, &t), &q) in dst.iter_mut().zip(tokrow).zip(posrow) {
+                        *d = t + q;
+                    }
+                }
+            }
+            let e = Tensor::from_vec([b, s, *dim], e)?;
+            let (out, xhat, inv_std) = layer_norm(&e, gamma, beta, 1e-5)?;
+            let cache = if keep_cache {
+                Cache::Embedding { ids: ids.clone(), xhat, inv_std }
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::TransformerBlock { dim, heads, .. } => {
+            transformer_forward(parents[0], p, *dim, *heads, keep_cache)
+        }
+        LayerKind::Dense { act, .. } => {
+            let x = parents[0];
+            let mut pre = matmul(x, &p[0])?;
+            add_assign(&mut pre, &p[1])?;
+            let out = apply_act(*act, &pre);
+            let cache = if keep_cache {
+                Cache::Dense { input: x.clone(), pre }
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::Adapter { .. } => {
+            let x = parents[0];
+            let mut hidden_pre = matmul(x, &p[0])?;
+            add_assign(&mut hidden_pre, &p[1])?;
+            let hidden = relu(&hidden_pre);
+            let mut up = matmul(&hidden, &p[2])?;
+            add_assign(&mut up, &p[3])?;
+            let out = add(x, &up)?;
+            let cache = if keep_cache {
+                Cache::Adapter { input: x.clone(), hidden_pre, hidden }
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::Add => {
+            let mut out = parents[0].clone();
+            for t in &parents[1..] {
+                add_assign(&mut out, t)?;
+            }
+            Ok((out, Cache::None))
+        }
+        LayerKind::ConcatLast => {
+            let widths: Vec<usize> = parents.iter().map(|t| t.shape().last_dim()).collect();
+            let rows = parents[0].shape().outer_elements();
+            let total: usize = widths.iter().sum();
+            let mut data = vec![0.0f32; rows * total];
+            let mut off = 0usize;
+            for (t, &w) in parents.iter().zip(&widths) {
+                let td = t.data();
+                for r in 0..rows {
+                    data[r * total + off..r * total + off + w]
+                        .copy_from_slice(&td[r * w..(r + 1) * w]);
+                }
+                off += w;
+            }
+            let out_shape = parents[0].shape().with_last_dim(total);
+            let cache =
+                if keep_cache { Cache::Concat { widths } } else { Cache::None };
+            Ok((Tensor::from_vec(out_shape, data)?, cache))
+        }
+        LayerKind::MeanPoolSeq => {
+            let x = parents[0]; // [B, S, D]
+            let (b, s, d) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+            let mut out = vec![0.0f32; b * d];
+            let inv = 1.0 / s as f32;
+            for bi in 0..b {
+                for si in 0..s {
+                    let row = &x.data()[(bi * s + si) * d..(bi * s + si + 1) * d];
+                    let dst = &mut out[bi * d..(bi + 1) * d];
+                    for (o, &v) in dst.iter_mut().zip(row) {
+                        *o += v * inv;
+                    }
+                }
+            }
+            let cache = if keep_cache {
+                Cache::InShape(x.shape().clone())
+            } else {
+                Cache::None
+            };
+            Ok((Tensor::from_vec([b, d], out)?, cache))
+        }
+        LayerKind::Conv2d { stride, pad, act, .. } => {
+            let x = parents[0];
+            let pre = conv2d(x, &p[0], &p[1], *stride, *pad)?;
+            let out = apply_act(*act, &pre);
+            let cache = if keep_cache {
+                Cache::Conv { input: x.clone(), pre }
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::ResidualBlock { in_ch, out_ch, stride } => {
+            let x = parents[0];
+            let pre1 = conv2d(x, &p[0], &p[1], *stride, 1)?;
+            let a1 = relu(&pre1);
+            let a2 = conv2d(&a1, &p[2], &p[3], 1, 1)?;
+            let skip = if *in_ch != *out_ch || *stride != 1 {
+                conv2d(x, &p[4], &p[5], *stride, 0)?
+            } else {
+                x.clone()
+            };
+            let sum_pre = add(&a2, &skip)?;
+            let out = relu(&sum_pre);
+            let cache = if keep_cache {
+                Cache::ResBlock(Box::new(ResBlockCache { x: x.clone(), pre1, a1, sum_pre }))
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::MaxPool2d { k, stride } => {
+            let x = parents[0];
+            let (out, argmax) = max_pool2d(x, *k, *stride)?;
+            let cache = if keep_cache {
+                Cache::MaxPool { in_shape: x.shape().clone(), argmax }
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::GlobalAvgPool => {
+            let x = parents[0];
+            let out = avg_pool2d_global(x)?;
+            let cache = if keep_cache {
+                Cache::InShape(x.shape().clone())
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::Flatten => {
+            let x = parents[0];
+            let b = x.shape().dim(0);
+            let rest = x.len() / b.max(1);
+            let out = x.reshape([b, rest])?;
+            let cache = if keep_cache {
+                Cache::InShape(x.shape().clone())
+            } else {
+                Cache::None
+            };
+            Ok((out, cache))
+        }
+        LayerKind::SliceSeq { index } => {
+            let x = parents[0]; // [B, S, D]
+            let (b, s, d) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+            let mut out = vec![0.0f32; b * d];
+            for bi in 0..b {
+                out[bi * d..(bi + 1) * d]
+                    .copy_from_slice(&x.data()[(bi * s + index) * d..(bi * s + index + 1) * d]);
+            }
+            let cache = if keep_cache {
+                Cache::InShape(x.shape().clone())
+            } else {
+                Cache::None
+            };
+            Ok((Tensor::from_vec([b, d], out)?, cache))
+        }
+        LayerKind::ZerosLike { shape } => {
+            let b = parents[0].shape().dim(0);
+            Ok((Tensor::zeros(Shape::new(shape.clone()).with_batch(b)), Cache::None))
+        }
+    }
+}
+
+/// Extracts head `h` of record `b` from `[B, S, D]` as `[S, dh]`.
+fn slice_head(x: &Tensor, b: usize, s: usize, d: usize, h: usize, dh: usize) -> Tensor {
+    let mut out = vec![0.0f32; s * dh];
+    let base = b * s * d + h * dh;
+    for si in 0..s {
+        out[si * dh..(si + 1) * dh]
+            .copy_from_slice(&x.data()[base + si * d..base + si * d + dh]);
+    }
+    Tensor::from_vec([s, dh], out).expect("head slice shape")
+}
+
+/// Adds `[S, dh]` into head `h` of record `b` of `[B, S, D]`.
+fn add_head(dst: &mut Tensor, src: &Tensor, b: usize, s: usize, d: usize, h: usize, dh: usize) {
+    let base = b * s * d + h * dh;
+    let dd = dst.data_mut();
+    for si in 0..s {
+        let drow = &mut dd[base + si * d..base + si * d + dh];
+        let srow = &src.data()[si * dh..(si + 1) * dh];
+        for (o, &v) in drow.iter_mut().zip(srow) {
+            *o += v;
+        }
+    }
+}
+
+fn transformer_forward(
+    x: &Tensor,
+    p: &[Tensor],
+    dim: usize,
+    heads: usize,
+    keep_cache: bool,
+) -> Result<(Tensor, Cache), TensorError> {
+    let (b, s) = (x.shape().dim(0), x.shape().dim(1));
+    let dh = dim / heads;
+    let scale_f = 1.0 / (dh as f32).sqrt();
+    let (wq, bq, wk, bk, wv, bv, wo, bo) =
+        (&p[0], &p[1], &p[2], &p[3], &p[4], &p[5], &p[6], &p[7]);
+    let (ln1g, ln1b) = (&p[8], &p[9]);
+    let (w1, b1, w2, b2) = (&p[10], &p[11], &p[12], &p[13]);
+    let (ln2g, ln2b) = (&p[14], &p[15]);
+
+    let mut q = matmul(x, wq)?;
+    add_assign(&mut q, bq)?;
+    let mut k = matmul(x, wk)?;
+    add_assign(&mut k, bk)?;
+    let mut v = matmul(x, wv)?;
+    add_assign(&mut v, bv)?;
+
+    let mut ctx = Tensor::zeros(x.shape().clone());
+    let mut attn_mats = Vec::with_capacity(if keep_cache { b * heads } else { 0 });
+    for bi in 0..b {
+        for h in 0..heads {
+            let qh = slice_head(&q, bi, s, dim, h, dh);
+            let kh = slice_head(&k, bi, s, dim, h, dh);
+            let vh = slice_head(&v, bi, s, dim, h, dh);
+            let scores = scale(&matmul_tb(&qh, &kh)?, scale_f);
+            let attn = softmax_last(&scores);
+            let ctx_h = matmul(&attn, &vh)?;
+            add_head(&mut ctx, &ctx_h, bi, s, dim, h, dh);
+            if keep_cache {
+                attn_mats.push(attn);
+            }
+        }
+    }
+    let mut ao = matmul(&ctx, wo)?;
+    add_assign(&mut ao, bo)?;
+    let res1 = add(x, &ao)?;
+    let (h1, ln1_xhat, ln1_inv_std) = layer_norm(&res1, ln1g, ln1b, 1e-5)?;
+    let mut ff_pre = matmul(&h1, w1)?;
+    add_assign(&mut ff_pre, b1)?;
+    let ff_act = gelu(&ff_pre);
+    let mut ff = matmul(&ff_act, w2)?;
+    add_assign(&mut ff, b2)?;
+    let res2 = add(&h1, &ff)?;
+    let (out, ln2_xhat, ln2_inv_std) = layer_norm(&res2, ln2g, ln2b, 1e-5)?;
+
+    let cache = if keep_cache {
+        Cache::Transformer(Box::new(TransformerCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            attn: attn_mats,
+            ctx,
+            ln1_xhat,
+            ln1_inv_std,
+            h1,
+            ff_pre,
+            ff_act,
+            ln2_xhat,
+            ln2_inv_std,
+        }))
+    } else {
+        Cache::None
+    };
+    Ok((out, cache))
+}
+
+#[allow(clippy::too_many_lines)]
+fn transformer_backward(
+    tc: &TransformerCache,
+    p: &[Tensor],
+    dim: usize,
+    heads: usize,
+    dout: &Tensor,
+    trainable: bool,
+    need_input_grad: bool,
+) -> Result<BackwardOut, TensorError> {
+    let (b, s) = (tc.x.shape().dim(0), tc.x.shape().dim(1));
+    let dh = dim / heads;
+    let scale_f = 1.0 / (dh as f32).sqrt();
+    let (wq, wk, wv, wo) = (&p[0], &p[2], &p[4], &p[6]);
+    let (ln1g, w1, w2, ln2g) = (&p[8], &p[10], &p[12], &p[14]);
+
+    // Output layer norm.
+    let (dres2, dg2, db2ln) = layer_norm_backward(&tc.ln2_xhat, &tc.ln2_inv_std, ln2g, dout)?;
+    // Feed-forward branch.
+    let dff = &dres2;
+    let dw2 = matmul_ta(&tc.ff_act, dff)?;
+    let db2 = sum_rows(dff)?;
+    let dff_act = matmul_tb_weight(dff, w2)?;
+    let dff_pre = gelu_backward(&tc.ff_pre, &dff_act)?;
+    let dw1 = matmul_ta(&tc.h1, &dff_pre)?;
+    let db1 = sum_rows(&dff_pre)?;
+    let mut dh1 = dres2.clone(); // residual path
+    add_assign(&mut dh1, &matmul_tb_weight(&dff_pre, w1)?)?;
+    // Attention layer norm.
+    let (dres1, dg1, db1ln) = layer_norm_backward(&tc.ln1_xhat, &tc.ln1_inv_std, ln1g, &dh1)?;
+    // Attention output projection.
+    let dao = &dres1;
+    let dwo = matmul_ta(&tc.ctx, dao)?;
+    let dbo = sum_rows(dao)?;
+    let dctx = matmul_tb_weight(dao, wo)?;
+    // Attention cores, per record and head.
+    let mut dq = Tensor::zeros(tc.q.shape().clone());
+    let mut dk = Tensor::zeros(tc.k.shape().clone());
+    let mut dv = Tensor::zeros(tc.v.shape().clone());
+    for bi in 0..b {
+        for h in 0..heads {
+            let attn = &tc.attn[bi * heads + h];
+            let dctx_h = slice_head(&dctx, bi, s, dim, h, dh);
+            let qh = slice_head(&tc.q, bi, s, dim, h, dh);
+            let kh = slice_head(&tc.k, bi, s, dim, h, dh);
+            let vh = slice_head(&tc.v, bi, s, dim, h, dh);
+            let dattn = matmul_tb(&dctx_h, &vh)?;
+            let dvh = matmul_ta(attn, &dctx_h)?;
+            let dscores = softmax_last_backward(attn, &dattn)?;
+            let dqh = scale(&matmul(&dscores, &kh)?, scale_f);
+            let dkh = scale(&matmul_ta(&dscores, &qh)?, scale_f);
+            add_head(&mut dq, &dqh, bi, s, dim, h, dh);
+            add_head(&mut dk, &dkh, bi, s, dim, h, dh);
+            add_head(&mut dv, &dvh, bi, s, dim, h, dh);
+        }
+    }
+    // Input projections.
+    let param_grads = if trainable {
+        vec![
+            matmul_ta(&tc.x, &dq)?,
+            sum_rows(&dq)?,
+            matmul_ta(&tc.x, &dk)?,
+            sum_rows(&dk)?,
+            matmul_ta(&tc.x, &dv)?,
+            sum_rows(&dv)?,
+            dwo,
+            dbo,
+            dg1,
+            db1ln,
+            dw1,
+            db1,
+            dw2,
+            db2,
+            dg2,
+            db2ln,
+        ]
+    } else {
+        Vec::new()
+    };
+    let dx = if need_input_grad {
+        let mut dx = dres1.clone(); // residual into the block input
+        add_assign(&mut dx, &matmul_tb_weight(&dq, wq)?)?;
+        add_assign(&mut dx, &matmul_tb_weight(&dk, wk)?)?;
+        add_assign(&mut dx, &matmul_tb_weight(&dv, wv)?)?;
+        Some(dx)
+    } else {
+        None
+    };
+    Ok(BackwardOut { input_grads: vec![dx], param_grads })
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_backward(
+    node: &crate::graph::Node,
+    cache: &Cache,
+    parents: &[&Tensor],
+    output: &Tensor,
+    grad: &Tensor,
+    needs_input_grads: &[bool],
+) -> Result<BackwardOut, TensorError> {
+    let p = &node.params;
+    let trainable = node.trainable();
+    let no_params = Vec::new();
+    match (&node.kind, cache) {
+        (LayerKind::Input { .. }, _) => {
+            Ok(BackwardOut { input_grads: vec![], param_grads: no_params })
+        }
+        (LayerKind::Embedding { dim, .. }, Cache::Embedding { ids, xhat, inv_std }) => {
+            let gamma = &p[2];
+            let (de, dgamma, dbeta) = layer_norm_backward(xhat, inv_std, gamma, grad)?;
+            let param_grads = if trainable {
+                let (b, s) = (ids.shape().dim(0), ids.shape().dim(1));
+                let mut dtok = Tensor::zeros(p[0].shape().clone());
+                let mut dpos = Tensor::zeros(p[1].shape().clone());
+                for bi in 0..b {
+                    for si in 0..s {
+                        let tid = ids.data()[bi * s + si] as usize;
+                        let src = &de.data()[(bi * s + si) * dim..(bi * s + si + 1) * dim];
+                        let trow = &mut dtok.data_mut()[tid * dim..(tid + 1) * dim];
+                        for (o, &g) in trow.iter_mut().zip(src) {
+                            *o += g;
+                        }
+                        let prow = &mut dpos.data_mut()[si * dim..(si + 1) * dim];
+                        for (o, &g) in prow.iter_mut().zip(src) {
+                            *o += g;
+                        }
+                    }
+                }
+                vec![dtok, dpos, dgamma, dbeta]
+            } else {
+                no_params
+            };
+            // ids are not differentiable.
+            Ok(BackwardOut { input_grads: vec![None], param_grads })
+        }
+        (LayerKind::TransformerBlock { dim, heads, .. }, Cache::Transformer(tc)) => {
+            transformer_backward(tc, p, *dim, *heads, grad, trainable, needs_input_grads[0])
+        }
+        (LayerKind::Dense { act, .. }, Cache::Dense { input, pre }) => {
+            let dpre = act_backward(*act, pre, grad)?;
+            let param_grads = if trainable {
+                vec![matmul_ta(input, &dpre)?, sum_rows(&dpre)?]
+            } else {
+                no_params
+            };
+            let dx = if needs_input_grads[0] {
+                Some(matmul_tb_weight(&dpre, &p[0])?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads })
+        }
+        (LayerKind::Adapter { .. }, Cache::Adapter { input, hidden_pre, hidden }) => {
+            // out = x + relu(xWd + bd) Wu + bu
+            let du = grad; // gradient into the up-projection output
+            let mut param_grads = no_params;
+            let dh = matmul_tb_weight(du, &p[2])?;
+            let dh_pre = relu_backward(hidden_pre, &dh)?;
+            if trainable {
+                param_grads = vec![
+                    matmul_ta(input, &dh_pre)?,
+                    sum_rows(&dh_pre)?,
+                    matmul_ta(hidden, du)?,
+                    sum_rows(du)?,
+                ];
+            }
+            let dx = if needs_input_grads[0] {
+                let mut dx = grad.clone(); // residual path
+                let through = matmul_tb_weight(&dh_pre, &p[0])?;
+                add_assign(&mut dx, &through)?;
+                Some(dx)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads })
+        }
+        (LayerKind::Add, _) => {
+            let input_grads = needs_input_grads
+                .iter()
+                .map(|&need| if need { Some(grad.clone()) } else { None })
+                .collect();
+            Ok(BackwardOut { input_grads, param_grads: no_params })
+        }
+        (LayerKind::ConcatLast, Cache::Concat { widths }) => {
+            let rows = grad.shape().outer_elements();
+            let total = grad.shape().last_dim();
+            let mut input_grads = Vec::with_capacity(widths.len());
+            let mut off = 0usize;
+            for (i, &w) in widths.iter().enumerate() {
+                if needs_input_grads[i] {
+                    let mut data = vec![0.0f32; rows * w];
+                    for r in 0..rows {
+                        data[r * w..(r + 1) * w]
+                            .copy_from_slice(&grad.data()[r * total + off..r * total + off + w]);
+                    }
+                    input_grads.push(Some(Tensor::from_vec(
+                        parents[i].shape().clone(),
+                        data,
+                    )?));
+                } else {
+                    input_grads.push(None);
+                }
+                off += w;
+            }
+            Ok(BackwardOut { input_grads, param_grads: no_params })
+        }
+        (LayerKind::MeanPoolSeq, Cache::InShape(in_shape)) => {
+            let dx = if needs_input_grads[0] {
+                let (b, s, d) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2));
+                let inv = 1.0 / s as f32;
+                let mut data = vec![0.0f32; b * s * d];
+                for bi in 0..b {
+                    let src = &grad.data()[bi * d..(bi + 1) * d];
+                    for si in 0..s {
+                        let dst = &mut data[(bi * s + si) * d..(bi * s + si + 1) * d];
+                        for (o, &g) in dst.iter_mut().zip(src) {
+                            *o = g * inv;
+                        }
+                    }
+                }
+                Some(Tensor::from_vec(in_shape.clone(), data)?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads: no_params })
+        }
+        (LayerKind::Conv2d { stride, pad, act, .. }, Cache::Conv { input, pre }) => {
+            let dpre = act_backward(*act, pre, grad)?;
+            let (dx, dw, db) = conv2d_backward(input, &p[0], &dpre, *stride, *pad)?;
+            let param_grads = if trainable { vec![dw, db] } else { no_params };
+            let dx = if needs_input_grads[0] { Some(dx) } else { None };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads })
+        }
+        (LayerKind::ResidualBlock { in_ch, out_ch, stride }, Cache::ResBlock(rc)) => {
+            let dsum = relu_backward(&rc.sum_pre, grad)?;
+            // Main path: conv2 then conv1.
+            let (da1, dw2, db2) = conv2d_backward(&rc.a1, &p[2], &dsum, 1, 1)?;
+            let dpre1 = relu_backward(&rc.pre1, &da1)?;
+            let (dx_main, dw1, db1) = conv2d_backward(&rc.x, &p[0], &dpre1, *stride, 1)?;
+            // Skip path.
+            let has_proj = *in_ch != *out_ch || *stride != 1;
+            let (dx_skip, proj_grads) = if has_proj {
+                let (dx, dwp, dbp) = conv2d_backward(&rc.x, &p[4], &dsum, *stride, 0)?;
+                (dx, Some((dwp, dbp)))
+            } else {
+                (dsum.clone(), None)
+            };
+            let param_grads = if trainable {
+                let mut g = vec![dw1, db1, dw2, db2];
+                if let Some((dwp, dbp)) = proj_grads {
+                    g.push(dwp);
+                    g.push(dbp);
+                }
+                g
+            } else {
+                no_params
+            };
+            let dx = if needs_input_grads[0] {
+                Some(add(&dx_main, &dx_skip)?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads })
+        }
+        (LayerKind::MaxPool2d { .. }, Cache::MaxPool { in_shape, argmax }) => {
+            let dx = if needs_input_grads[0] {
+                Some(max_pool2d_backward(in_shape, argmax, grad)?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads: no_params })
+        }
+        (LayerKind::GlobalAvgPool, Cache::InShape(in_shape)) => {
+            let dx = if needs_input_grads[0] {
+                let (b, c, h, w) =
+                    (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2), in_shape.dim(3));
+                let inv = 1.0 / (h * w) as f32;
+                let mut data = vec![0.0f32; b * c * h * w];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let g = grad.data()[bi * c + ci] * inv;
+                        let base = (bi * c + ci) * h * w;
+                        data[base..base + h * w].iter_mut().for_each(|x| *x = g);
+                    }
+                }
+                Some(Tensor::from_vec(in_shape.clone(), data)?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads: no_params })
+        }
+        (LayerKind::Flatten, Cache::InShape(in_shape)) => {
+            let dx = if needs_input_grads[0] {
+                Some(grad.reshape(in_shape.clone())?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads: no_params })
+        }
+        (LayerKind::SliceSeq { index }, Cache::InShape(in_shape)) => {
+            let dx = if needs_input_grads[0] {
+                let (b, s, d) = (in_shape.dim(0), in_shape.dim(1), in_shape.dim(2));
+                let mut data = vec![0.0f32; b * s * d];
+                for bi in 0..b {
+                    data[(bi * s + index) * d..(bi * s + index + 1) * d]
+                        .copy_from_slice(&grad.data()[bi * d..(bi + 1) * d]);
+                }
+                Some(Tensor::from_vec(in_shape.clone(), data)?)
+            } else {
+                None
+            };
+            Ok(BackwardOut { input_grads: vec![dx], param_grads: no_params })
+        }
+        (LayerKind::ZerosLike { .. }, _) => {
+            // Constant output: no gradient flows to the (shape-donor) input.
+            Ok(BackwardOut { input_grads: vec![None], param_grads: no_params })
+        }
+        (kind, _) => Err(TensorError::Incompatible(format!(
+            "missing forward cache for {} backward (was the forward run with training=true? output shape {})",
+            kind.type_name(),
+            output.shape(),
+        ))),
+    }
+}
+
+/// `dX = dY · Wᵀ` where `W` is stored `(in, out)`: uses `matmul_tb` against
+/// `W` viewed as `(out, in)` columns — i.e. plain `matmul_tb(dY, Wᵀstored)`.
+/// Our `matmul_tb(a, b)` computes `a · bᵀ` for `b` stored `(k, n)`; here we
+/// need `dY(…,out) · Wᵀ(out,in)` with `W` stored `(in, out)`, so transpose
+/// the weight once.
+fn matmul_tb_weight(dy: &Tensor, w: &Tensor) -> Result<Tensor, TensorError> {
+    // W is (in, out); dX = dY · Wᵀ. matmul_tb(dy, b) computes dy · bᵀ with b
+    // stored (k, n) = (in, out): dy(…,out)·bᵀ requires b's inner dim to be
+    // out, i.e. b stored (in, out) transposed gives (out, in)... matmul_tb
+    // expects b as (k, n) with n == dy's last dim. W is (in, out) with
+    // out == dy.last, so matmul_tb(dy, W) = dy · Wᵀ with result (…, in). ✓
+    matmul_tb(dy, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ModelGraph, ParamInit};
+    use nautilus_tensor::init::{randn, seeded_rng};
+    use nautilus_tensor::ops::cross_entropy_logits;
+
+    /// Builds a graph, runs a scalar loss, and finite-difference-checks the
+    /// gradient of every trainable parameter.
+    fn grad_check(graph: &mut ModelGraph, inputs: &BatchInputs, targets: &[i64], tol: f32) {
+        let out_id = graph.outputs()[0];
+        let loss_of = |g: &ModelGraph| -> f32 {
+            let fwd = forward(g, inputs, false).unwrap();
+            cross_entropy_logits(fwd.output(out_id), targets).unwrap().0
+        };
+        let fwd = forward(graph, inputs, true).unwrap();
+        let (_, dlogits) = cross_entropy_logits(fwd.output(out_id), targets).unwrap();
+        let mut out_grads = HashMap::new();
+        out_grads.insert(out_id, dlogits);
+        let grads = backward(graph, &fwd, out_grads).unwrap();
+
+        let trainable_ids: Vec<NodeId> =
+            graph.ids().filter(|&id| graph.node(id).trainable()).collect();
+        assert!(!trainable_ids.is_empty());
+        for id in trainable_ids {
+            let nparams = graph.node(id).params.len();
+            let g = grads.params.get(&id).unwrap_or_else(|| {
+                panic!("no grads for trainable node {}", graph.node(id).name)
+            });
+            assert_eq!(g.len(), nparams);
+            #[allow(clippy::needless_range_loop)]
+            for pi in 0..nparams {
+                let plen = graph.node(id).params[pi].len();
+                // Spot-check up to 4 coordinates per parameter.
+                let step = (plen / 4).max(1);
+                for ei in (0..plen).step_by(step) {
+                    let eps = 1e-2f32;
+                    let orig = graph.node(id).params[pi].data()[ei];
+                    graph.node_mut(id).params[pi].data_mut()[ei] = orig + eps;
+                    let lp = loss_of(graph);
+                    graph.node_mut(id).params[pi].data_mut()[ei] = orig - eps;
+                    let lm = loss_of(graph);
+                    graph.node_mut(id).params[pi].data_mut()[ei] = orig;
+                    let num = (lp - lm) / (2.0 * eps);
+                    let ana = g[pi].data()[ei];
+                    assert!(
+                        (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                        "node {} param {pi} elem {ei}: numeric {num} vs analytic {ana}",
+                        graph.node(id).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_stack_grad_check() {
+        let mut rng = seeded_rng(11);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [6]);
+        let h = g
+            .add_layer(
+                "hidden",
+                LayerKind::Dense { in_dim: 6, out_dim: 5, act: Activation::Relu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 5, out_dim: 3, act: Activation::None },
+                &[h],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([4, 6], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[0, 1, 2, 0], 5e-2);
+    }
+
+    #[test]
+    fn adapter_grad_check() {
+        let mut rng = seeded_rng(13);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let a = g
+            .add_layer(
+                "adapter",
+                LayerKind::Adapter { dim: 4, bottleneck: 3 },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 4, out_dim: 2, act: Activation::None },
+                &[a],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([3, 4], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[0, 1, 1], 5e-2);
+    }
+
+    #[test]
+    fn transformer_grad_check() {
+        let mut rng = seeded_rng(17);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("tokens", [5]);
+        let emb = g
+            .add_layer(
+                "emb",
+                LayerKind::Embedding { vocab: 11, dim: 8, max_len: 8 },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let t = g
+            .add_layer(
+                "block",
+                LayerKind::TransformerBlock { dim: 8, heads: 2, ff_dim: 12 },
+                &[emb],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 8, out_dim: 3, act: Activation::None },
+                &[t],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let ids =
+            Tensor::from_vec([2, 5], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0])
+                .unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, ids);
+        // Token tagging: 2 records x 5 tokens -> 10 targets.
+        grad_check(&mut g, &inputs, &[0, 1, 2, 0, 1, 2, 0, 1, 2, 0], 8e-2);
+    }
+
+    #[test]
+    fn conv_resblock_grad_check() {
+        let mut rng = seeded_rng(19);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("img", [2, 6, 6]);
+        let c = g
+            .add_layer(
+                "stem",
+                LayerKind::Conv2d { in_ch: 2, out_ch: 4, k: 3, stride: 1, pad: 1, act: Activation::Relu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let r = g
+            .add_layer(
+                "res",
+                LayerKind::ResidualBlock { in_ch: 4, out_ch: 8, stride: 2 },
+                &[c],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let gap = g
+            .add_layer("gap", LayerKind::GlobalAvgPool, &[r], true, ParamInit::Given(vec![]))
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 8, out_dim: 2, act: Activation::None },
+                &[gap],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 2, 6, 6], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[0, 1], 8e-2);
+    }
+
+    #[test]
+    fn concat_and_add_grad_check() {
+        let mut rng = seeded_rng(23);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let a = g
+            .add_layer(
+                "a",
+                LayerKind::Dense { in_dim: 4, out_dim: 3, act: Activation::Tanh },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let b = g
+            .add_layer(
+                "b",
+                LayerKind::Dense { in_dim: 4, out_dim: 3, act: Activation::Gelu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let sum = g
+            .add_layer("sum", LayerKind::Add, &[a, b], true, ParamInit::Given(vec![]))
+            .unwrap();
+        let cat = g
+            .add_layer("cat", LayerKind::ConcatLast, &[sum, a], true, ParamInit::Given(vec![]))
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 6, out_dim: 2, act: Activation::None },
+                &[cat],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([3, 4], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[1, 0, 1], 5e-2);
+    }
+
+    #[test]
+    fn frozen_backbone_gets_no_gradients() {
+        let mut rng = seeded_rng(29);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let frozen = g
+            .add_layer(
+                "frozen",
+                LayerKind::Dense { in_dim: 4, out_dim: 4, act: Activation::Relu },
+                &[inp],
+                true,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let head = g
+            .add_layer(
+                "head",
+                LayerKind::Dense { in_dim: 4, out_dim: 2, act: Activation::None },
+                &[frozen],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(head).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 4], 1.0, &mut rng));
+        let fwd = forward(&g, &inputs, true).unwrap();
+        let (_, dl) = cross_entropy_logits(fwd.output(head), &[0, 1]).unwrap();
+        let mut ogs = HashMap::new();
+        ogs.insert(head, dl);
+        let grads = backward(&g, &fwd, ogs).unwrap();
+        assert!(grads.params.contains_key(&head));
+        assert!(!grads.params.contains_key(&frozen));
+    }
+
+    #[test]
+    fn forward_requires_bound_inputs() {
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let _ = inp;
+        let r = forward(&g, &BatchInputs::new(), false);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn forward_rejects_wrong_record_shape() {
+        let mut rng = seeded_rng(31);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 5], 1.0, &mut rng));
+        assert!(forward(&g, &inputs, false).is_err());
+    }
+
+    #[test]
+    fn slice_seq_grad_check() {
+        // A head over one sliced position: the scatter backward must place
+        // gradient mass only at that position.
+        let mut rng = seeded_rng(41);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("seq", [4, 3]);
+        let proj = g
+            .add_layer(
+                "proj",
+                LayerKind::Dense { in_dim: 3, out_dim: 3, act: Activation::Tanh },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let sl = g
+            .add_layer(
+                "pick2",
+                LayerKind::SliceSeq { index: 2 },
+                &[proj],
+                true,
+                ParamInit::Given(vec![]),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 3, out_dim: 2, act: Activation::None },
+                &[sl],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([3, 4, 3], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[0, 1, 0], 5e-2);
+    }
+
+    #[test]
+    fn zeros_like_blocks_gradients() {
+        let mut rng = seeded_rng(43);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        // Trainable layer feeding a ZerosLike: its output is discarded, so
+        // it must receive no gradient even though it is trainable.
+        let dead = g
+            .add_layer(
+                "dead-branch",
+                LayerKind::Dense { in_dim: 4, out_dim: 4, act: Activation::None },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let z = g
+            .add_layer(
+                "zeros",
+                LayerKind::ZerosLike { shape: vec![4] },
+                &[dead],
+                true,
+                ParamInit::Given(vec![]),
+            )
+            .unwrap();
+        let live = g
+            .add_layer(
+                "live",
+                LayerKind::Dense { in_dim: 4, out_dim: 4, act: Activation::Relu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let sum = g
+            .add_layer("sum", LayerKind::Add, &[z, live], true, ParamInit::Given(vec![]))
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 4, out_dim: 2, act: Activation::None },
+                &[sum],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 4], 1.0, &mut rng));
+        let fwd = forward(&g, &inputs, true).unwrap();
+        // Zeros output really is zeros.
+        assert!(fwd.output(z).data().iter().all(|&x| x == 0.0));
+        let (_, dl) = cross_entropy_logits(fwd.output(o), &[0, 1]).unwrap();
+        let mut og = HashMap::new();
+        og.insert(o, dl);
+        let grads = backward(&g, &fwd, og).unwrap();
+        assert!(!grads.params.contains_key(&dead), "gradient crossed ZerosLike");
+        assert!(grads.params.contains_key(&live));
+        assert!(grads.params.contains_key(&o));
+    }
+
+    #[test]
+    fn multi_output_graph_trains_both_heads() {
+        let mut rng = seeded_rng(47);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        let trunk = g
+            .add_layer(
+                "trunk",
+                LayerKind::Dense { in_dim: 4, out_dim: 6, act: Activation::Relu },
+                &[inp],
+                true,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let h1 = g
+            .add_layer(
+                "head1",
+                LayerKind::Dense { in_dim: 6, out_dim: 2, act: Activation::None },
+                &[trunk],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let h2 = g
+            .add_layer(
+                "head2",
+                LayerKind::Dense { in_dim: 6, out_dim: 3, act: Activation::None },
+                &[trunk],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(h1).unwrap();
+        g.add_output(h2).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 4], 1.0, &mut rng));
+        let fwd = forward(&g, &inputs, true).unwrap();
+        let (_, g1) = cross_entropy_logits(fwd.output(h1), &[0, 1]).unwrap();
+        let (_, g2) = cross_entropy_logits(fwd.output(h2), &[2, 0]).unwrap();
+        let mut og = HashMap::new();
+        og.insert(h1, g1);
+        og.insert(h2, g2);
+        let grads = backward(&g, &fwd, og).unwrap();
+        assert!(grads.params.contains_key(&h1));
+        assert!(grads.params.contains_key(&h2));
+        assert!(!grads.params.contains_key(&trunk), "trunk frozen");
+    }
+
+    #[test]
+    fn maxpool_flatten_pipeline() {
+        let mut rng = seeded_rng(37);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("img", [1, 4, 4]);
+        let mp = g
+            .add_layer(
+                "pool",
+                LayerKind::MaxPool2d { k: 2, stride: 2 },
+                &[inp],
+                true,
+                ParamInit::Given(vec![]),
+            )
+            .unwrap();
+        let fl = g
+            .add_layer("flat", LayerKind::Flatten, &[mp], true, ParamInit::Given(vec![]))
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 4, out_dim: 2, act: Activation::None },
+                &[fl],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        let mut inputs = BatchInputs::new();
+        inputs.insert(inp, randn([2, 1, 4, 4], 1.0, &mut rng));
+        grad_check(&mut g, &inputs, &[0, 1], 5e-2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Task heads: loss and accuracy computation over model logits.
+
+use nautilus_tensor::ops::{argmax_last, cross_entropy_logits};
+use nautilus_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// The prediction task shape, fixed per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Per-token classification (NER tagging): logits `[B, S, C]`, targets
+    /// `[B, S]` with `-1` for padding.
+    TokenTagging,
+    /// Whole-record classification: logits `[B, C]`, targets `[B]`.
+    Classification,
+}
+
+impl TaskKind {
+    /// Mean cross-entropy loss and logits gradient.
+    pub fn loss(&self, logits: &Tensor, targets: &[i64]) -> Result<(f32, Tensor), TensorError> {
+        cross_entropy_logits(logits, targets)
+    }
+
+    /// Fraction of non-padding targets predicted correctly.
+    pub fn accuracy(&self, logits: &Tensor, targets: &[i64]) -> Result<f32, TensorError> {
+        let preds = argmax_last(logits);
+        if preds.len() != targets.len() {
+            return Err(TensorError::Incompatible(format!(
+                "predictions {} vs targets {}",
+                preds.len(),
+                targets.len()
+            )));
+        }
+        let mut counted = 0usize;
+        let mut correct = 0usize;
+        for (&p, &t) in preds.iter().zip(targets) {
+            if t < 0 {
+                continue;
+            }
+            counted += 1;
+            if p as i64 == t {
+                correct += 1;
+            }
+        }
+        Ok(if counted == 0 { 0.0 } else { correct as f32 / counted as f32 })
+    }
+
+    /// Per-row maximum softmax probability — the confidence score consumed
+    /// by uncertainty-based active-learning samplers.
+    pub fn confidences(&self, logits: &Tensor) -> Vec<f32> {
+        let probs = nautilus_tensor::ops::softmax_last(logits);
+        let (rows, cols, data) = probs.as_matrix();
+        (0..rows)
+            .map(|r| data[r * cols..(r + 1) * cols].iter().fold(0.0f32, |m, &x| m.max(x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_non_padding() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0]).unwrap();
+        let t = TaskKind::Classification;
+        assert_eq!(t.accuracy(&logits, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+        assert_eq!(t.accuracy(&logits, &[0, 1, -1]).unwrap(), 1.0);
+        assert!(t.accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn loss_decreasing_in_confidence() {
+        let t = TaskKind::TokenTagging;
+        let weak = Tensor::from_vec([1, 2], vec![0.1, 0.0]).unwrap();
+        let strong = Tensor::from_vec([1, 2], vec![5.0, 0.0]).unwrap();
+        let (lw, _) = t.loss(&weak, &[0]).unwrap();
+        let (ls, _) = t.loss(&strong, &[0]).unwrap();
+        assert!(ls < lw);
+    }
+
+    #[test]
+    fn confidences_are_max_probs() {
+        let logits = Tensor::from_vec([2, 2], vec![0.0, 0.0, 10.0, 0.0]).unwrap();
+        let c = TaskKind::Classification.confidences(&logits);
+        assert!((c[0] - 0.5).abs() < 1e-5);
+        assert!(c[1] > 0.99);
+    }
+}

@@ -1,0 +1,148 @@
+//! Human-readable model summaries (Keras `model.summary()` equivalent).
+
+use crate::graph::ModelGraph;
+
+/// Renders a per-layer table: name, type, output shape, parameter count,
+/// frozen flag, and which analysis classes the node falls into.
+pub fn summarize(graph: &ModelGraph) -> String {
+    let materializable = graph.materializable();
+    let requires_grad = graph.requires_grad();
+    let mut rows: Vec<[String; 6]> = Vec::with_capacity(graph.len());
+    for id in graph.ids() {
+        let node = graph.node(id);
+        let class = if materializable[id.index()] {
+            "materializable"
+        } else if node.trainable() {
+            "trainable"
+        } else if requires_grad[id.index()] {
+            "frozen-pass-through"
+        } else {
+            "frozen"
+        };
+        rows.push([
+            node.name.clone(),
+            node.kind.type_name().to_string(),
+            graph.shape(id).to_string(),
+            node.param_elements().to_string(),
+            if node.frozen { "yes".into() } else { "no".into() },
+            class.to_string(),
+        ]);
+    }
+    let headers = ["layer", "type", "output", "params", "frozen", "class"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (w, c) in widths.iter_mut().zip(r.iter()) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&headers.map(String::from)));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(&r));
+        out.push('\n');
+    }
+    let total: usize = graph.nodes().iter().map(|n| n.param_elements()).sum();
+    let trainable = graph.trainable_param_elements();
+    out.push_str(&format!(
+        "total params: {total} ({trainable} trainable, {} frozen)\n",
+        total - trainable
+    ));
+    out
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Nodes are shaded by analysis class: materializable (green), trainable
+/// (orange), frozen pass-through (gray). Useful for eyeballing what the
+/// planner can and cannot reuse.
+pub fn to_dot(graph: &ModelGraph) -> String {
+    let materializable = graph.materializable();
+    let mut out = String::from("digraph model {\n  rankdir=BT;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n");
+    for id in graph.ids() {
+        let node = graph.node(id);
+        let color = if materializable[id.index()] {
+            "#c8e6c9"
+        } else if node.trainable() {
+            "#ffe0b2"
+        } else {
+            "#eeeeee"
+        };
+        let outline = if graph.outputs().contains(&id) { ", penwidth=3" } else { "" };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{} {}\", fillcolor=\"{color}\"{outline}];\n",
+            id.index(),
+            node.name.replace('"', "'"),
+            node.kind.type_name(),
+            graph.shape(id),
+        ));
+        for p in &node.inputs {
+            out.push_str(&format!("  n{} -> n{};\n", p.index(), id.index()));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ParamInit;
+    use crate::layer::{Activation, LayerKind};
+    use nautilus_tensor::init::seeded_rng;
+
+    #[test]
+    fn summary_lists_every_layer_and_totals() {
+        let mut rng = seeded_rng(1);
+        let mut g = ModelGraph::new();
+        let i = g.add_input("in", [4]);
+        let f = g
+            .add_layer(
+                "frozen",
+                LayerKind::Dense { in_dim: 4, out_dim: 8, act: Activation::Relu },
+                &[i],
+                true,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let h = g
+            .add_layer(
+                "head",
+                LayerKind::Dense { in_dim: 8, out_dim: 2, act: Activation::None },
+                &[f],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(h).unwrap();
+        let s = summarize(&g);
+        assert!(s.contains("in"));
+        assert!(s.contains("frozen"));
+        assert!(s.contains("head"));
+        assert!(s.contains("materializable"));
+        assert!(s.contains("trainable"));
+        let total = (4 * 8 + 8) + (8 * 2 + 2);
+        let head = 8 * 2 + 2;
+        assert!(s.contains(&format!("total params: {total} ({head} trainable")));
+
+        // DOT export: one node line per layer, one edge per input, output
+        // highlighted.
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph model {"));
+        assert_eq!(dot.matches("fillcolor").count(), 3);
+        assert_eq!(dot.matches(" -> ").count(), 2);
+        assert!(dot.contains("penwidth=3"));
+        assert!(dot.contains("#c8e6c9"), "materializable shading present");
+        assert!(dot.contains("#ffe0b2"), "trainable shading present");
+    }
+}

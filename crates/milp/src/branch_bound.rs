@@ -1,0 +1,376 @@
+//! Best-first branch-and-bound over the LP relaxation.
+
+use crate::problem::{Problem, VarKind};
+use crate::simplex::{solve_lp, LpStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Integer feasibility tolerance.
+const INT_TOL: f64 = 1e-6;
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct BbOptions {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: u64,
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Duration,
+    /// Accept an incumbent whose gap to the best bound is below this
+    /// (absolute) value.
+    pub abs_gap: f64,
+}
+
+impl Default for BbOptions {
+    fn default() -> Self {
+        BbOptions {
+            max_nodes: 200_000,
+            time_limit: Duration::from_secs(60),
+            abs_gap: 1e-6,
+        }
+    }
+}
+
+/// Final status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// A feasible incumbent was found but the node/time budget ran out
+    /// before optimality was proven.
+    Feasible,
+    /// No feasible assignment exists.
+    Infeasible,
+    /// The relaxation is unbounded (ill-posed model).
+    Unbounded,
+    /// The budget ran out before any incumbent was found.
+    NoSolution,
+}
+
+/// MILP solve result.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Solve status.
+    pub status: MilpStatus,
+    /// Objective of the incumbent (minimization).
+    pub objective: f64,
+    /// Variable assignment of the incumbent, integer variables rounded
+    /// exactly to integers.
+    pub values: Vec<f64>,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Total solve wall time.
+    pub elapsed: Duration,
+    /// Best lower bound proven (equals `objective` when `Optimal`).
+    pub best_bound: f64,
+}
+
+struct Node {
+    bound: f64,
+    bounds: Vec<(f64, f64)>,
+    depth: u32,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *smallest* LP bound first
+        // (best-first search), with deeper nodes breaking ties (dive bias).
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+    }
+}
+
+fn most_fractional(problem: &Problem, x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, def) in problem.vars.iter().enumerate() {
+        if def.kind != VarKind::Integer {
+            continue;
+        }
+        let frac = (x[j] - x[j].round()).abs();
+        if frac > INT_TOL {
+            let dist_to_half = (x[j] - x[j].floor() - 0.5).abs();
+            if best.is_none_or(|(_, d)| dist_to_half < d) {
+                best = Some((j, dist_to_half));
+            }
+        }
+    }
+    best
+}
+
+/// Rounds integer variables of `x` and checks full feasibility; returns the
+/// rounded assignment and objective if it is feasible (a cheap primal
+/// heuristic that often closes structured instances at the root).
+fn try_round(problem: &Problem, x: &[f64]) -> Option<(Vec<f64>, f64)> {
+    let mut r = x.to_vec();
+    for (j, def) in problem.vars.iter().enumerate() {
+        if def.kind == VarKind::Integer {
+            r[j] = r[j].round();
+        }
+    }
+    if problem.is_feasible(&r, 1e-6) {
+        let obj = problem.objective.eval(&r);
+        Some((r, obj))
+    } else {
+        None
+    }
+}
+
+/// Solves the problem with branch-and-bound. Always returns the best
+/// incumbent found; see [`MilpStatus`] for how to interpret it.
+pub fn solve(problem: &Problem, options: &BbOptions) -> MilpSolution {
+    let start = Instant::now();
+    let root_bounds: Vec<(f64, f64)> = problem.vars.iter().map(|v| (v.lb, v.ub)).collect();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut nodes_explored = 0u64;
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { bound: f64::NEG_INFINITY, bounds: root_bounds, depth: 0 });
+    let mut best_bound = f64::NEG_INFINITY;
+    let mut exhausted = true;
+
+    while let Some(node) = heap.pop() {
+        if nodes_explored >= options.max_nodes || start.elapsed() > options.time_limit {
+            exhausted = false;
+            break;
+        }
+        nodes_explored += 1;
+
+        // Prune against the incumbent before paying for the LP.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.bound >= *inc_obj - options.abs_gap {
+                continue;
+            }
+        }
+
+        let lp = solve_lp(problem, Some(&node.bounds));
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                return MilpSolution {
+                    status: MilpStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    values: vec![],
+                    nodes: nodes_explored,
+                    elapsed: start.elapsed(),
+                    best_bound: f64::NEG_INFINITY,
+                };
+            }
+            LpStatus::IterLimit => {
+                // Treat as unexplorable; conservatively keep the node's bound.
+                exhausted = false;
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        if node.depth == 0 {
+            best_bound = lp.objective;
+        }
+        if let Some((_, inc_obj)) = &incumbent {
+            if lp.objective >= *inc_obj - options.abs_gap {
+                continue;
+            }
+        }
+
+        match most_fractional(problem, &lp.x) {
+            None => {
+                // Integral: new incumbent.
+                let mut vals = lp.x.clone();
+                for (j, def) in problem.vars.iter().enumerate() {
+                    if def.kind == VarKind::Integer {
+                        vals[j] = vals[j].round();
+                    }
+                }
+                let obj = problem.objective.eval(&vals);
+                if incumbent.as_ref().is_none_or(|(_, o)| obj < *o) {
+                    incumbent = Some((vals, obj));
+                }
+            }
+            Some((j, _)) => {
+                // Primal heuristic at every node: rounded LP point.
+                if let Some((vals, obj)) = try_round(problem, &lp.x) {
+                    if incumbent.as_ref().is_none_or(|(_, o)| obj < *o) {
+                        incumbent = Some((vals, obj));
+                    }
+                }
+                let xj = lp.x[j];
+                let mut down = node.bounds.clone();
+                down[j].1 = xj.floor();
+                let mut up = node.bounds;
+                up[j].0 = xj.ceil();
+                heap.push(Node { bound: lp.objective, bounds: down, depth: node.depth + 1 });
+                heap.push(Node { bound: lp.objective, bounds: up, depth: node.depth + 1 });
+            }
+        }
+    }
+
+    let elapsed = start.elapsed();
+    match incumbent {
+        Some((values, objective)) => {
+            let proven = exhausted
+                || heap
+                    .peek()
+                    .is_none_or(|n| n.bound >= objective - options.abs_gap);
+            MilpSolution {
+                status: if proven { MilpStatus::Optimal } else { MilpStatus::Feasible },
+                objective,
+                values,
+                nodes: nodes_explored,
+                elapsed,
+                best_bound: if proven { objective } else { best_bound },
+            }
+        }
+        None => MilpSolution {
+            status: if exhausted { MilpStatus::Infeasible } else { MilpStatus::NoSolution },
+            objective: f64::INFINITY,
+            values: vec![],
+            nodes: nodes_explored,
+            elapsed,
+            best_bound,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Problem, Sense};
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> (Problem, Vec<crate::VarId>) {
+        let mut p = Problem::new();
+        let vars: Vec<_> =
+            (0..values.len()).map(|i| p.binary(format!("item{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            w.add_term(v, weights[i]);
+            obj.add_term(v, -values[i]); // maximize value == minimize -value
+        }
+        p.add_constraint(w, Sense::Le, cap);
+        p.minimize(obj);
+        (p, vars)
+    }
+
+    fn brute_force_knapsack(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+        let n = values.len();
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let mut w = 0.0;
+            let mut v = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= cap && v > best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        let values = [10.0, 13.0, 7.0, 8.0, 2.0, 5.0];
+        let weights = [3.0, 4.0, 2.0, 3.0, 1.0, 2.0];
+        for cap in [0.0, 1.0, 4.0, 6.0, 9.0, 15.0] {
+            let (p, _) = knapsack(&values, &weights, cap);
+            let sol = solve(&p, &BbOptions::default());
+            assert_eq!(sol.status, MilpStatus::Optimal, "cap {cap}");
+            let expected = brute_force_knapsack(&values, &weights, cap);
+            assert!(
+                (-sol.objective - expected).abs() < 1e-6,
+                "cap {cap}: got {} expected {expected}",
+                -sol.objective
+            );
+            assert!(p.is_feasible(&sol.values, 1e-6));
+        }
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut p = Problem::new();
+        let x = p.continuous("x", 0.0, 4.0);
+        p.minimize(LinExpr::term(x, -2.0));
+        let sol = solve(&p, &BbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective + 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        // x + y = 1 with x = y (both binary) has no integer solution when we
+        // also require x + y = 1 and x - y = 0 simultaneously... actually the
+        // LP relaxation x=y=0.5 is feasible; integrality makes it infeasible.
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        let y = p.binary("y");
+        p.eq(LinExpr::term(x, 1.0).plus(y, 1.0), 1.0);
+        p.eq(LinExpr::term(x, 1.0).plus(y, -1.0), 0.0);
+        p.minimize(LinExpr::term(x, 1.0));
+        let sol = solve(&p, &BbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn integer_rounding_not_assumed() {
+        // min x1 + x2 s.t. 2x1 + 2x2 >= 3, binaries: LP gives 0.75 total,
+        // integer optimum needs both = 1 or one... 2x >= 3 -> x1+x2 >= 1.5,
+        // so integral optimum is 2.
+        let mut p = Problem::new();
+        let x = p.binary("x1");
+        let y = p.binary("x2");
+        p.ge(LinExpr::term(x, 2.0).plus(y, 2.0), 3.0);
+        p.minimize(LinExpr::term(x, 1.0).plus(y, 1.0));
+        let sol = solve(&p, &BbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min -y - 0.5 x, y binary, x in [0, 10], x <= 4 + 6y.
+        // y=1: x<=10, obj = -1 - 5 = -6. Optimal.
+        let mut p = Problem::new();
+        let y = p.binary("y");
+        let x = p.continuous("x", 0.0, 10.0);
+        let mut c = LinExpr::term(x, 1.0);
+        c.add_term(y, -6.0);
+        p.le(c, 4.0);
+        p.minimize(LinExpr::term(y, -1.0).plus(x, -0.5));
+        let sol = solve(&p, &BbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective + 6.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.values[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_degrades_to_feasible_or_none() {
+        let values: Vec<f64> = (0..14).map(|i| ((i * 37) % 11 + 1) as f64).collect();
+        let weights: Vec<f64> = (0..14).map(|i| ((i * 53) % 7 + 1) as f64).collect();
+        let (p, _) = knapsack(&values, &weights, 20.0);
+        let sol = solve(&p, &BbOptions { max_nodes: 3, ..Default::default() });
+        assert!(matches!(
+            sol.status,
+            MilpStatus::Feasible | MilpStatus::Optimal | MilpStatus::NoSolution
+        ));
+        if matches!(sol.status, MilpStatus::Feasible | MilpStatus::Optimal) {
+            assert!(p.is_feasible(&sol.values, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Linear expressions over problem variables.
+
+use std::collections::BTreeMap;
+
+/// Opaque handle to a variable in a [`crate::Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Index of the variable in the owning problem.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A linear expression `Σ coef_i · x_i + constant`.
+///
+/// Coefficients are kept in a `BTreeMap` keyed by variable so repeated
+/// `add_term` calls merge, which keeps constraint matrices canonical and makes
+/// tests deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub(crate) terms: BTreeMap<VarId, f64>,
+    pub(crate) constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-variable expression `coef · x`.
+    pub fn term(var: VarId, coef: f64) -> Self {
+        let mut e = Self::new();
+        e.add_term(var, coef);
+        e
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// Adds `coef · x` to the expression (merging with an existing term).
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        if coef != 0.0 {
+            let e = self.terms.entry(var).or_insert(0.0);
+            *e += coef;
+            if *e == 0.0 {
+                self.terms.remove(&var);
+            }
+        }
+        self
+    }
+
+    /// Adds a constant.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Adds another expression to this one.
+    pub fn add_expr(&mut self, other: &LinExpr) -> &mut Self {
+        for (&v, &c) in &other.terms {
+            self.add_term(v, c);
+        }
+        self.constant += other.constant;
+        self
+    }
+
+    /// Builder-style variant of [`LinExpr::add_term`].
+    pub fn plus(mut self, var: VarId, coef: f64) -> Self {
+        self.add_term(var, coef);
+        self
+    }
+
+    /// Number of nonzero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Evaluates the expression for a full assignment vector.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.index()]).sum::<f64>()
+    }
+}
+
+/// Sums an iterator of expressions.
+pub fn sum(exprs: impl IntoIterator<Item = LinExpr>) -> LinExpr {
+    let mut out = LinExpr::new();
+    for e in exprs {
+        out.add_expr(&e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_merge_and_cancel() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let mut e = LinExpr::term(x, 2.0);
+        e.add_term(y, 1.0);
+        e.add_term(x, 3.0);
+        assert_eq!(e.num_terms(), 2);
+        e.add_term(x, -5.0);
+        assert_eq!(e.num_terms(), 1);
+    }
+
+    #[test]
+    fn eval_includes_constant() {
+        let x = VarId(0);
+        let e = LinExpr::term(x, 2.0).plus(VarId(1), -1.0);
+        let mut e = e;
+        e.add_constant(10.0);
+        assert_eq!(e.eval(&[3.0, 4.0]), 10.0 + 6.0 - 4.0);
+    }
+
+    #[test]
+    fn sum_of_exprs() {
+        let x = VarId(0);
+        let s = sum(vec![LinExpr::term(x, 1.0), LinExpr::term(x, 2.0), LinExpr::constant(5.0)]);
+        assert_eq!(s.eval(&[1.0]), 8.0);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Mixed-integer linear programming substrate.
+//!
+//! The paper solves its materialization optimization (Eq 8–10) with Gurobi;
+//! this crate is the from-scratch replacement: a dense two-phase primal
+//! simplex with bounded variables ([`simplex`]) and a best-first
+//! branch-and-bound driver for binary/integer variables ([`branch_bound`]),
+//! exposed through a small model-building API ([`problem`]).
+//!
+//! Scale expectations: the Nautilus planner produces instances with a few
+//! hundred binary variables and a few hundred rows (candidate models are
+//! grouped by identical graph structure first), which this solver handles in
+//! well under a second. The branch-and-bound keeps the best incumbent found
+//! and honors node limits, so callers always get a feasible answer when one
+//! exists — matching how the planner degrades gracefully.
+
+pub mod branch_bound;
+pub mod expr;
+pub mod problem;
+pub mod simplex;
+
+pub use branch_bound::{solve, BbOptions, MilpSolution, MilpStatus};
+pub use expr::{LinExpr, VarId};
+pub use problem::{Problem, Sense, VarKind};
+pub use simplex::{LpOutcome, LpStatus};

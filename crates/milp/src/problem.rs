@@ -1,0 +1,174 @@
+//! Problem construction API.
+
+use crate::expr::{LinExpr, VarId};
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Variable integrality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Continuous within its bounds.
+    Continuous,
+    /// Integer within its bounds (binaries are integers in `[0, 1]`).
+    Integer,
+}
+
+/// A variable definition.
+#[derive(Debug, Clone)]
+pub struct VarDef {
+    /// Debug name, surfaced in solver traces and tests.
+    pub name: String,
+    /// Lower bound.
+    pub lb: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub ub: f64,
+    /// Integrality.
+    pub kind: VarKind,
+}
+
+/// One linear constraint `expr (sense) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side; its constant is folded into `rhs` at solve time.
+    pub expr: LinExpr,
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization problem over continuous and integer variables.
+///
+/// Maximization callers negate their objective; the Nautilus planner always
+/// minimizes training cost, so no convenience wrapper is provided.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Problem {
+    /// An empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name, 0.0, 1.0, VarKind::Integer)
+    }
+
+    /// Adds a continuous variable within `[lb, ub]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name, lb, ub, VarKind::Continuous)
+    }
+
+    /// Adds a variable with explicit bounds and kind.
+    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, kind: VarKind) -> VarId {
+        assert!(lb <= ub, "variable bounds inverted: {lb} > {ub}");
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDef { name: name.into(), lb, ub, kind });
+        id
+    }
+
+    /// Adds the constraint `expr (sense) rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint { expr, sense, rhs });
+    }
+
+    /// Convenience: `expr ≤ rhs`.
+    pub fn le(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, Sense::Le, rhs);
+    }
+
+    /// Convenience: `expr ≥ rhs`.
+    pub fn ge(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, Sense::Ge, rhs);
+    }
+
+    /// Convenience: `expr = rhs`.
+    pub fn eq(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, Sense::Eq, rhs);
+    }
+
+    /// Sets the minimization objective.
+    pub fn minimize(&mut self, objective: LinExpr) {
+        self.objective = objective;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable definition lookup.
+    pub fn var(&self, id: VarId) -> &VarDef {
+        &self.vars[id.index()]
+    }
+
+    /// Checks a full assignment against every constraint and bound.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, def) in values.iter().zip(&self.vars) {
+            if *v < def.lb - tol || *v > def.ub + tol {
+                return false;
+            }
+            if def.kind == VarKind::Integer && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_check_feasibility() {
+        let mut p = Problem::new();
+        let x = p.binary("x");
+        let y = p.continuous("y", 0.0, 2.0);
+        p.le(LinExpr::term(x, 1.0).plus(y, 1.0), 2.0);
+        p.minimize(LinExpr::term(x, -1.0).plus(y, -1.0));
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[1.0, 1.5], 1e-9)); // violates constraint
+        assert!(!p.is_feasible(&[0.5, 0.0], 1e-9)); // fractional binary
+        assert!(!p.is_feasible(&[0.0, 3.0], 1e-9)); // bound violation
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var(x).name, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_panic() {
+        let mut p = Problem::new();
+        p.continuous("bad", 1.0, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: the MILP solver against brute force on random instances.
+
+use nautilus_milp::{solve, BbOptions, LinExpr, MilpStatus, Problem, Sense};
+use proptest::prelude::*;
+
+/// A random small binary program: n vars, up to m random ≤/≥ constraints.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n: usize,
+    obj: Vec<f64>,
+    rows: Vec<(Vec<f64>, bool, f64)>, // (coefs, is_le, rhs)
+}
+
+fn bip_strategy() -> impl Strategy<Value = RandomBip> {
+    (2..=6usize)
+        .prop_flat_map(|n| {
+            let obj = proptest::collection::vec(-5.0f64..5.0, n);
+            let row = (
+                proptest::collection::vec(-3.0f64..3.0, n),
+                any::<bool>(),
+                -4.0f64..6.0,
+            );
+            let rows = proptest::collection::vec(row, 1..4);
+            (Just(n), obj, rows)
+        })
+        .prop_map(|(n, obj, rows)| RandomBip { n, obj, rows })
+}
+
+fn build(bip: &RandomBip) -> Problem {
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..bip.n).map(|i| p.binary(format!("x{i}"))).collect();
+    for (coefs, is_le, rhs) in &bip.rows {
+        let mut e = LinExpr::new();
+        for (v, &c) in vars.iter().zip(coefs) {
+            e.add_term(*v, c);
+        }
+        p.add_constraint(e, if *is_le { Sense::Le } else { Sense::Ge }, *rhs);
+    }
+    let mut obj = LinExpr::new();
+    for (v, &c) in vars.iter().zip(&bip.obj) {
+        obj.add_term(*v, c);
+    }
+    p.minimize(obj);
+    p
+}
+
+fn brute_force(bip: &RandomBip) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0..(1u32 << bip.n) {
+        let x: Vec<f64> =
+            (0..bip.n).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
+        let feasible = bip.rows.iter().all(|(coefs, is_le, rhs)| {
+            let lhs: f64 = coefs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            if *is_le {
+                lhs <= rhs + 1e-9
+            } else {
+                lhs >= rhs - 1e-9
+            }
+        });
+        if feasible {
+            let obj: f64 = bip.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            if best.is_none_or(|b| obj < b) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+/// A random small LP over continuous variables in `[0, 10]`.
+fn lp_strategy() -> impl Strategy<Value = RandomBip> {
+    bip_strategy()
+}
+
+fn build_continuous(bip: &RandomBip) -> Problem {
+    let mut p = Problem::new();
+    let vars: Vec<_> =
+        (0..bip.n).map(|i| p.continuous(format!("x{i}"), 0.0, 10.0)).collect();
+    for (coefs, is_le, rhs) in &bip.rows {
+        let mut e = LinExpr::new();
+        for (v, &c) in vars.iter().zip(coefs) {
+            e.add_term(*v, c);
+        }
+        p.add_constraint(e, if *is_le { Sense::Le } else { Sense::Ge }, *rhs);
+    }
+    let mut obj = LinExpr::new();
+    for (v, &c) in vars.iter().zip(&bip.obj) {
+        obj.add_term(*v, c);
+    }
+    p.minimize(obj);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simplex optimum is feasible and no random feasible point beats it.
+    #[test]
+    fn lp_optimum_dominates_sampled_feasible_points(
+        bip in lp_strategy(),
+        samples in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..10.0, 6), 32),
+    ) {
+        let p = build_continuous(&bip);
+        let out = nautilus_milp::simplex::solve_lp(&p, None);
+        match out.status {
+            nautilus_milp::LpStatus::Optimal => {
+                prop_assert!(p.is_feasible(&out.x, 1e-5),
+                    "optimum not feasible: {:?}", out.x);
+                for s in &samples {
+                    let x: Vec<f64> = s[..bip.n].to_vec();
+                    if p.is_feasible(&x, 1e-9) {
+                        let val: f64 = bip.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+                        prop_assert!(out.objective <= val + 1e-5,
+                            "sampled point {x:?} (obj {val}) beats 'optimum' {}",
+                            out.objective);
+                    }
+                }
+            }
+            nautilus_milp::LpStatus::Infeasible => {
+                // No sampled point may be feasible either.
+                for s in &samples {
+                    let x: Vec<f64> = s[..bip.n].to_vec();
+                    prop_assert!(!p.is_feasible(&x, 1e-9),
+                        "solver said infeasible but {x:?} is feasible");
+                }
+            }
+            other => prop_assert!(false, "unexpected LP status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn milp_matches_brute_force(bip in bip_strategy()) {
+        let p = build(&bip);
+        let sol = solve(&p, &BbOptions::default());
+        match brute_force(&bip) {
+            None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, MilpStatus::Optimal);
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "solver {} vs brute force {}", sol.objective, best);
+                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn incumbent_never_beats_relaxation(bip in bip_strategy()) {
+        let p = build(&bip);
+        let lp = nautilus_milp::simplex::solve_lp(&p, None);
+        let sol = solve(&p, &BbOptions::default());
+        if sol.status == MilpStatus::Optimal
+            && lp.status == nautilus_milp::LpStatus::Optimal {
+            prop_assert!(sol.objective >= lp.objective - 1e-5,
+                "MILP {} below LP bound {}", sol.objective, lp.objective);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! MiniBERT: embedding + stack of transformer encoder blocks, plus the
+//! BERT-based transfer-learning adaptations (feature transfer, adapters,
+//! fine-tuning) used by the FTR-* and ATR workloads.
+
+use crate::{shapes_only_sig, BuildScale};
+use nautilus_dnn::graph::{GraphError, ModelGraph, NodeId, ParamInit};
+use nautilus_dnn::layer::{Activation, LayerKind};
+use nautilus_tensor::init::seeded_rng;
+
+/// Configuration of a MiniBERT backbone.
+#[derive(Debug, Clone)]
+pub struct BertConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub ff: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Maximum (and, in this reproduction, fixed) sequence length.
+    pub seq_len: usize,
+    /// Seed for the deterministic "pre-trained" parameters.
+    pub seed: u64,
+}
+
+impl BertConfig {
+    /// A CPU-trainable configuration used by tests, examples, and the
+    /// real-backend experiments.
+    pub fn tiny(seq_len: usize, vocab: usize) -> Self {
+        BertConfig { vocab, hidden: 32, heads: 4, ff: 64, layers: 6, seq_len, seed: 1000 }
+    }
+
+    /// BERT-base-like dimensions for the simulated backend (12 layers,
+    /// hidden 768, ff 3072, sequences tokenized and padded to 128 — the
+    /// standard BERT fine-tuning setting).
+    pub fn base_like() -> Self {
+        BertConfig { vocab: 30_522, hidden: 768, heads: 12, ff: 3072, layers: 12, seq_len: 128, seed: 1000 }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_node(
+        &self,
+        g: &mut ModelGraph,
+        name: &str,
+        kind: LayerKind,
+        inputs: &[NodeId],
+        frozen: bool,
+        scale: BuildScale,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Result<NodeId, GraphError> {
+        match scale {
+            BuildScale::Real => g.add_layer(name, kind, inputs, frozen, ParamInit::Seeded(rng)),
+            BuildScale::ShapesOnly => {
+                // Keep the RNG stream aligned with the Real build so both
+                // scales produce structurally identical graphs, then tag
+                // parameters with a seed+name signature.
+                let sig = shapes_only_sig(self.seed, name);
+                g.add_layer(name, kind, inputs, frozen, ParamInit::ShapesOnly { sig })
+            }
+        }
+    }
+}
+
+/// Handles into a built backbone.
+#[derive(Debug, Clone)]
+pub struct BertBackbone {
+    /// Token-id input placeholder.
+    pub input: NodeId,
+    /// Embedding layer output.
+    pub embedding: NodeId,
+    /// Transformer block outputs, bottom to top.
+    pub blocks: Vec<NodeId>,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl BertBackbone {
+    /// The top (last) hidden layer.
+    pub fn last_hidden(&self) -> NodeId {
+        *self.blocks.last().expect("backbone has at least one block")
+    }
+}
+
+/// Builds the frozen pre-trained backbone into `g`.
+///
+/// `adapters_after` optionally interleaves trainable bottleneck adapters
+/// after the listed block indices (0-based), producing the ATR topology of
+/// Fig 2(D): blocks stay frozen, adapters train, and everything *above* the
+/// lowest adapter stops being materializable.
+pub fn build_backbone(
+    cfg: &BertConfig,
+    g: &mut ModelGraph,
+    scale: BuildScale,
+    adapters_after: &[(usize, usize)], // (block index, bottleneck width)
+) -> Result<BertBackbone, GraphError> {
+    let mut rng = seeded_rng(cfg.seed);
+    let input = g.add_input("tokens", [cfg.seq_len]);
+    let embedding = cfg.add_node(
+        g,
+        "bert/embedding",
+        LayerKind::Embedding { vocab: cfg.vocab, dim: cfg.hidden, max_len: cfg.seq_len },
+        &[input],
+        true,
+        scale,
+        &mut rng,
+    )?;
+    let mut prev = embedding;
+    let mut blocks = Vec::with_capacity(cfg.layers);
+    for i in 0..cfg.layers {
+        let block = cfg.add_node(
+            g,
+            &format!("bert/block{i}"),
+            LayerKind::TransformerBlock { dim: cfg.hidden, heads: cfg.heads, ff_dim: cfg.ff },
+            &[prev],
+            true,
+            scale,
+            &mut rng,
+        )?;
+        prev = block;
+        if let Some(&(_, bottleneck)) = adapters_after.iter().find(|(bi, _)| *bi == i) {
+            // Adapters are *new* trainable layers, not pre-trained: they get
+            // their own parameters regardless of scale. A fresh RNG keyed by
+            // block index keeps builds deterministic.
+            let name = format!("adapter{i}");
+            let kind = LayerKind::Adapter { dim: cfg.hidden, bottleneck };
+            let adapter = match scale {
+                BuildScale::Real => {
+                    let mut arng = seeded_rng(cfg.seed ^ (0xADA0 + i as u64));
+                    g.add_layer(&name, kind, &[prev], false, ParamInit::Seeded(&mut arng))?
+                }
+                BuildScale::ShapesOnly => g.add_layer(
+                    &name,
+                    kind,
+                    &[prev],
+                    false,
+                    ParamInit::ShapesOnly { sig: shapes_only_sig(cfg.seed, &name) },
+                )?,
+            };
+            prev = adapter;
+        }
+        blocks.push(prev);
+    }
+    Ok(BertBackbone { input, embedding, blocks, hidden: cfg.hidden })
+}
+
+/// The six feature-extraction strategies of the FTR workloads (Table 3,
+/// taken from Devlin et al.'s feature-based experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureStrategy {
+    /// The embedding layer output.
+    EmbeddingOut,
+    /// The second-to-last hidden layer.
+    SecondLastHidden,
+    /// The last hidden layer.
+    LastHidden,
+    /// Elementwise sum of the last four hidden layers.
+    SumLast4,
+    /// Concatenation of the last four hidden layers.
+    ConcatLast4,
+    /// Elementwise sum of all hidden layers.
+    SumAllHidden,
+}
+
+impl FeatureStrategy {
+    /// All strategies in Table 3 order.
+    pub const ALL: [FeatureStrategy; 6] = [
+        FeatureStrategy::EmbeddingOut,
+        FeatureStrategy::SecondLastHidden,
+        FeatureStrategy::LastHidden,
+        FeatureStrategy::SumLast4,
+        FeatureStrategy::ConcatLast4,
+        FeatureStrategy::SumAllHidden,
+    ];
+
+    /// Short label used in workload tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureStrategy::EmbeddingOut => "embedding",
+            FeatureStrategy::SecondLastHidden => "second-last-hidden",
+            FeatureStrategy::LastHidden => "last-hidden",
+            FeatureStrategy::SumLast4 => "sum-last-4",
+            FeatureStrategy::ConcatLast4 => "concat-last-4",
+            FeatureStrategy::SumAllHidden => "sum-all-hidden",
+        }
+    }
+
+    /// Feature width produced on a backbone of width `hidden`.
+    pub fn feature_dim(&self, hidden: usize) -> usize {
+        match self {
+            FeatureStrategy::ConcatLast4 => 4 * hidden,
+            _ => hidden,
+        }
+    }
+}
+
+/// Builds a feature-transfer candidate (Fig 2B): the whole backbone frozen,
+/// features extracted per `strategy`, then a *new* trainable transformer
+/// block over the features and a token-classification head.
+pub fn feature_transfer_model(
+    cfg: &BertConfig,
+    strategy: FeatureStrategy,
+    num_tags: usize,
+    scale: BuildScale,
+) -> Result<ModelGraph, GraphError> {
+    let mut g = ModelGraph::new();
+    let bb = build_backbone(cfg, &mut g, scale, &[])?;
+    let l = bb.blocks.len();
+    if l < 4 {
+        return Err(GraphError::Layer(format!(
+            "feature strategies need >= 4 blocks, got {l}"
+        )));
+    }
+    let features = match strategy {
+        FeatureStrategy::EmbeddingOut => bb.embedding,
+        FeatureStrategy::SecondLastHidden => bb.blocks[l - 2],
+        FeatureStrategy::LastHidden => bb.blocks[l - 1],
+        FeatureStrategy::SumLast4 => g.add_layer(
+            "features/sum-last-4",
+            LayerKind::Add,
+            &[bb.blocks[l - 4], bb.blocks[l - 3], bb.blocks[l - 2], bb.blocks[l - 1]],
+            true,
+            ParamInit::Given(vec![]),
+        )?,
+        FeatureStrategy::ConcatLast4 => g.add_layer(
+            "features/concat-last-4",
+            LayerKind::ConcatLast,
+            &[bb.blocks[l - 4], bb.blocks[l - 3], bb.blocks[l - 2], bb.blocks[l - 1]],
+            true,
+            ParamInit::Given(vec![]),
+        )?,
+        FeatureStrategy::SumAllHidden => g.add_layer(
+            "features/sum-all-hidden",
+            LayerKind::Add,
+            &bb.blocks,
+            true,
+            ParamInit::Given(vec![]),
+        )?,
+    };
+    let fdim = strategy.feature_dim(cfg.hidden);
+    let head_seed = cfg.seed ^ 0xF00D ^ strategy.label().len() as u64;
+    let mut hrng = seeded_rng(head_seed);
+    // Wide features (concat-last-4) are first projected back to the model
+    // width so the new transformer layer has the backbone's cost profile
+    // regardless of strategy (the paper's added layer operates at the
+    // standard hidden size).
+    let head_in = if fdim == cfg.hidden {
+        features
+    } else {
+        add_head_node(
+            &mut g,
+            "head/projection",
+            LayerKind::Dense { in_dim: fdim, out_dim: cfg.hidden, act: Activation::None },
+            &[features],
+            scale,
+            cfg.seed,
+            &mut hrng,
+        )?
+    };
+    let head_block = add_head_node(
+        &mut g,
+        "head/transformer",
+        LayerKind::TransformerBlock { dim: cfg.hidden, heads: cfg.heads, ff_dim: cfg.ff },
+        &[head_in],
+        scale,
+        cfg.seed,
+        &mut hrng,
+    )?;
+    let logits = add_head_node(
+        &mut g,
+        "head/classifier",
+        LayerKind::Dense { in_dim: cfg.hidden, out_dim: num_tags, act: Activation::None },
+        &[head_block],
+        scale,
+        cfg.seed,
+        &mut hrng,
+    )?;
+    g.add_output(logits)?;
+    Ok(g)
+}
+
+/// Builds an adapter-training candidate (Fig 2D): backbone frozen, adapters
+/// adapting the top `adapted_layers` blocks, token-classification head.
+///
+/// "Adapting block j" inserts a bottleneck adapter *below* block j (after
+/// block j−1), matching Houlsby adapters living inside the block: gradients
+/// must pass through the adapted blocks, so they are frozen but not
+/// materializable.
+pub fn adapter_model(
+    cfg: &BertConfig,
+    adapted_layers: usize,
+    bottleneck: usize,
+    num_tags: usize,
+    scale: BuildScale,
+) -> Result<ModelGraph, GraphError> {
+    let lo = cfg.layers.saturating_sub(adapted_layers + 1);
+    let adapters: Vec<(usize, usize)> =
+        (lo..cfg.layers.saturating_sub(1)).map(|i| (i, bottleneck)).collect();
+    let mut g = ModelGraph::new();
+    let bb = build_backbone(cfg, &mut g, scale, &adapters)?;
+    let mut hrng = seeded_rng(cfg.seed ^ 0xAD00 ^ adapted_layers as u64);
+    let logits = add_head_node(
+        &mut g,
+        "head/classifier",
+        LayerKind::Dense { in_dim: cfg.hidden, out_dim: num_tags, act: Activation::None },
+        &[bb.last_hidden()],
+        scale,
+        cfg.seed,
+        &mut hrng,
+    )?;
+    g.add_output(logits)?;
+    Ok(g)
+}
+
+/// Builds a fine-tuning candidate (Fig 2C): the top `unfrozen_layers`
+/// transformer blocks unfrozen, the rest frozen, token-classification head.
+pub fn fine_tune_model(
+    cfg: &BertConfig,
+    unfrozen_layers: usize,
+    num_tags: usize,
+    scale: BuildScale,
+) -> Result<ModelGraph, GraphError> {
+    let mut g = ModelGraph::new();
+    let bb = build_backbone(cfg, &mut g, scale, &[])?;
+    let first_unfrozen = cfg.layers.saturating_sub(unfrozen_layers);
+    // Unfreezing must not change parameter values, only the flag.
+    for (i, &b) in bb.blocks.iter().enumerate() {
+        if i >= first_unfrozen {
+            g.node_mut(b).frozen = false;
+        }
+    }
+    let mut hrng = seeded_rng(cfg.seed ^ 0xFE00 ^ unfrozen_layers as u64);
+    let logits = add_head_node(
+        &mut g,
+        "head/classifier",
+        LayerKind::Dense { in_dim: cfg.hidden, out_dim: num_tags, act: Activation::None },
+        &[bb.last_hidden()],
+        scale,
+        cfg.seed,
+        &mut hrng,
+    )?;
+    g.add_output(logits)?;
+    Ok(g)
+}
+
+fn add_head_node(
+    g: &mut ModelGraph,
+    name: &str,
+    kind: LayerKind,
+    inputs: &[NodeId],
+    scale: BuildScale,
+    seed: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<NodeId, GraphError> {
+    match scale {
+        BuildScale::Real => g.add_layer(name, kind, inputs, false, ParamInit::Seeded(rng)),
+        BuildScale::ShapesOnly => g.add_layer(
+            name,
+            kind,
+            inputs,
+            false,
+            ParamInit::ShapesOnly { sig: shapes_only_sig(seed, name) },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BertConfig {
+        BertConfig::tiny(8, 50)
+    }
+
+    #[test]
+    fn backbone_is_fully_frozen_and_materializable() {
+        let mut g = ModelGraph::new();
+        let bb = build_backbone(&tiny(), &mut g, BuildScale::Real, &[]).unwrap();
+        assert_eq!(bb.blocks.len(), 6);
+        let m = g.materializable();
+        assert!(m.iter().all(|&x| x), "whole frozen backbone is materializable");
+    }
+
+    #[test]
+    fn feature_transfer_structure() {
+        for strategy in FeatureStrategy::ALL {
+            let g = feature_transfer_model(&tiny(), strategy, 9, BuildScale::Real).unwrap();
+            g.validate().unwrap();
+            assert_eq!(g.outputs().len(), 1);
+            let out = g.outputs()[0];
+            // Token tagging: [seq, num_tags].
+            assert_eq!(g.shape(out).0, vec![8, 9], "{strategy:?}");
+            // Trainable nodes: head transformer + classifier, plus a
+            // projection for the wide concat strategy.
+            let trainables =
+                g.ids().filter(|&id| g.node(id).trainable()).count();
+            let expected = if strategy == FeatureStrategy::ConcatLast4 { 3 } else { 2 };
+            assert_eq!(trainables, expected, "{strategy:?}");
+            // Everything below the head is materializable.
+            let m = g.materializable();
+            let mat_count = m.iter().filter(|&&x| x).count();
+            assert!(mat_count >= 8, "{strategy:?}: {mat_count}");
+        }
+    }
+
+    #[test]
+    fn concat_strategy_widens_features() {
+        let g =
+            feature_transfer_model(&tiny(), FeatureStrategy::ConcatLast4, 9, BuildScale::Real)
+                .unwrap();
+        let concat = g
+            .ids()
+            .find(|&id| g.node(id).name.contains("concat"))
+            .expect("concat node present");
+        assert_eq!(g.shape(concat).0, vec![8, 4 * 32]);
+    }
+
+    #[test]
+    fn identical_configs_share_backbone_signatures() {
+        let a = feature_transfer_model(&tiny(), FeatureStrategy::LastHidden, 9, BuildScale::Real)
+            .unwrap();
+        let b =
+            feature_transfer_model(&tiny(), FeatureStrategy::SumLast4, 9, BuildScale::Real)
+                .unwrap();
+        let sa = a.expr_signatures();
+        let sb = b.expr_signatures();
+        // Backbone nodes 0..=7 (input, embedding, 6 blocks) line up.
+        for i in 0..8 {
+            assert_eq!(sa[i], sb[i], "backbone node {i} signature differs");
+        }
+    }
+
+    #[test]
+    fn shapes_only_matches_real_structure_and_signatures_are_stable() {
+        let cfg = tiny();
+        let real =
+            feature_transfer_model(&cfg, FeatureStrategy::SumLast4, 9, BuildScale::Real).unwrap();
+        let sim = feature_transfer_model(&cfg, FeatureStrategy::SumLast4, 9, BuildScale::ShapesOnly)
+            .unwrap();
+        assert_eq!(real.len(), sim.len());
+        for (a, b) in real.nodes().iter().zip(sim.nodes()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.frozen, b.frozen);
+            assert_eq!(a.param_shapes, b.param_shapes);
+            assert!(b.params.is_empty() || b.param_shapes.is_empty());
+        }
+        let sim2 =
+            feature_transfer_model(&cfg, FeatureStrategy::SumLast4, 9, BuildScale::ShapesOnly)
+                .unwrap();
+        assert_eq!(sim.expr_signatures(), sim2.expr_signatures());
+    }
+
+    #[test]
+    fn adapter_model_breaks_materializability_above_lowest_adapter() {
+        let cfg = tiny();
+        let g = adapter_model(&cfg, 2, 8, 9, BuildScale::Real).unwrap();
+        g.validate().unwrap();
+        let m = g.materializable();
+        let rg = g.requires_grad();
+        // Blocks 0..3 and embedding materializable; adapters trainable.
+        let adapters: Vec<NodeId> =
+            g.ids().filter(|&id| g.node(id).name.starts_with("adapter")).collect();
+        assert_eq!(adapters.len(), 2);
+        for &a in &adapters {
+            assert!(g.node(a).trainable());
+            assert!(!m[a.index()]);
+            assert!(rg[a.index()]);
+        }
+        // The top block (after an adapter) is frozen but not materializable.
+        let top_block = g.ids().find(|&id| g.node(id).name == "bert/block5").unwrap();
+        assert!(g.node(top_block).frozen);
+        assert!(!m[top_block.index()]);
+        // But blocks below the first adapter are.
+        let low_block = g.ids().find(|&id| g.node(id).name == "bert/block3").unwrap();
+        assert!(m[low_block.index()]);
+    }
+
+    #[test]
+    fn fine_tune_model_unfreezes_top_blocks_without_touching_params() {
+        let cfg = tiny();
+        let frozen_version = feature_transfer_model(&cfg, FeatureStrategy::LastHidden, 9, BuildScale::Real).unwrap();
+        let g = fine_tune_model(&cfg, 2, 9, BuildScale::Real).unwrap();
+        g.validate().unwrap();
+        let m = g.materializable();
+        let b3 = g.ids().find(|&id| g.node(id).name == "bert/block3").unwrap();
+        let b4 = g.ids().find(|&id| g.node(id).name == "bert/block4").unwrap();
+        let b5 = g.ids().find(|&id| g.node(id).name == "bert/block5").unwrap();
+        assert!(m[b3.index()] && !m[b4.index()] && !m[b5.index()]);
+        assert!(g.node(b4).trainable() && g.node(b5).trainable());
+        // Parameter values equal the frozen build (only the flag changed).
+        let f4 = frozen_version.ids().find(|&id| frozen_version.node(id).name == "bert/block4").unwrap();
+        assert_eq!(frozen_version.node(f4).params, g.node(b4).params);
+    }
+
+    #[test]
+    fn base_like_dimensions() {
+        let cfg = BertConfig::base_like();
+        let g = feature_transfer_model(&cfg, FeatureStrategy::LastHidden, 9, BuildScale::ShapesOnly)
+            .unwrap();
+        // ~110M params like BERT-base (within 20%).
+        let params = g.params_bytes() / 4;
+        assert!(params > 80_000_000 && params < 140_000_000, "params {params}");
+    }
+}

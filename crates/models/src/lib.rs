@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Model zoo: pre-trained backbones and transfer-learning adaptations.
+//!
+//! The paper adapts BERT-base (FTR-*, ATR workloads) and ResNet-50 (FTU);
+//! real pre-trained weights are unavailable here, so backbones carry
+//! deterministic seeded "pre-trained" parameters. Two build scales share all
+//! code paths:
+//!
+//! * **real** — small dimensions with actual parameter tensors, trainable on
+//!   CPU (accuracy experiments, tests, examples);
+//! * **shapes-only** — BERT-base / ResNet-50-like dimensions with parameter
+//!   *shapes* but no data, consumed by the simulated backend for the
+//!   paper-scale runtime figures.
+//!
+//! Recurrent source models are supported by unrolling them in time
+//! ([`rnn`], paper §2.5).
+//!
+//! The three transfer approaches of §2.4 are provided as graph builders:
+//! [`bert::feature_transfer_model`] (Fig 2B), [`bert::fine_tune_model`] /
+//! [`resnet::fine_tune_model`] (Fig 2C), and [`bert::adapter_model`]
+//! (Fig 2D). All builders derive backbone parameters from the config seed,
+//! so every candidate model in a workload shares bit-identical frozen
+//! layers — the premise of the multi-model graph merge (Def 4.3).
+
+pub mod bert;
+pub mod resnet;
+pub mod rnn;
+
+/// Whether to build graphs with real parameters or shapes only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildScale {
+    /// Allocate and initialize real parameter tensors.
+    Real,
+    /// Record parameter shapes only (simulated backend).
+    ShapesOnly,
+}
+
+/// Derives a stable parameter signature for shapes-only nodes from the
+/// backbone seed and a layer tag (two builds of the same config produce
+/// identical signatures; different seeds do not).
+pub(crate) fn shapes_only_sig(seed: u64, tag: &str) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    tag.hash(&mut h);
+    h.finish()
+}

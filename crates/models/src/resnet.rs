@@ -1,0 +1,294 @@
+//! MiniResNet: convolutional stem + residual stages + classifier, plus the
+//! fine-tuning adaptation used by the FTU workload.
+
+use crate::{shapes_only_sig, BuildScale};
+use nautilus_dnn::graph::{GraphError, ModelGraph, NodeId, ParamInit};
+use nautilus_dnn::layer::{Activation, LayerKind};
+use nautilus_tensor::init::seeded_rng;
+
+/// Configuration of a MiniResNet backbone.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Input image side (square RGB, CHW).
+    pub image_size: usize,
+    /// Stem output channels.
+    pub stem_channels: usize,
+    /// Residual blocks per stage.
+    pub stage_blocks: Vec<usize>,
+    /// Channels per stage (first block of each stage downsamples).
+    pub stage_channels: Vec<usize>,
+    /// Stem convolution stride (2 downsamples like ResNet-50's 7x7/2 stem).
+    pub stem_stride: usize,
+    /// Whether a 2x2/2 max-pool follows the stem (ResNet-50 style).
+    pub stem_pool: bool,
+    /// Seed for the deterministic "pre-trained" parameters.
+    pub seed: u64,
+}
+
+impl ResNetConfig {
+    /// A CPU-trainable configuration with 16 residual blocks — enough depth
+    /// for the FTU workload's "last {3, 6, 9, 12} blocks" sweeps.
+    pub fn tiny(image_size: usize) -> Self {
+        ResNetConfig {
+            image_size,
+            stem_channels: 8,
+            stage_blocks: vec![3, 4, 6, 3],
+            stage_channels: vec![8, 16, 24, 32],
+            stem_stride: 1,
+            stem_pool: false,
+            seed: 2000,
+        }
+    }
+
+    /// ResNet-50-like cost profile for the simulated backend: 16 residual
+    /// blocks in the classic 3-4-6-3 arrangement, a downsampling stem
+    /// (stride-2 conv + max-pool), and channel growth tuned so early stages
+    /// carry most of the FLOPs (the paper notes FTU uses a less
+    /// compute-intensive model than BERT).
+    pub fn resnet50_like() -> Self {
+        ResNetConfig {
+            image_size: 224,
+            stem_channels: 64,
+            stage_blocks: vec![3, 4, 6, 3],
+            stage_channels: vec![64, 96, 128, 160],
+            stem_stride: 2,
+            stem_pool: true,
+            seed: 2000,
+        }
+    }
+
+    /// Total number of residual blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.stage_blocks.iter().sum()
+    }
+}
+
+/// Handles into a built backbone.
+#[derive(Debug, Clone)]
+pub struct ResNetBackbone {
+    /// Image input placeholder.
+    pub input: NodeId,
+    /// Stem convolution output.
+    pub stem: NodeId,
+    /// Residual block outputs, bottom to top.
+    pub blocks: Vec<NodeId>,
+    /// Global-average-pool output (feature vector).
+    pub pooled: NodeId,
+    /// Feature width after pooling.
+    pub feature_dim: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_node(
+    cfg: &ResNetConfig,
+    g: &mut ModelGraph,
+    name: &str,
+    kind: LayerKind,
+    inputs: &[NodeId],
+    frozen: bool,
+    scale: BuildScale,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<NodeId, GraphError> {
+    match scale {
+        BuildScale::Real => g.add_layer(name, kind, inputs, frozen, ParamInit::Seeded(rng)),
+        BuildScale::ShapesOnly => g.add_layer(
+            name,
+            kind,
+            inputs,
+            frozen,
+            ParamInit::ShapesOnly { sig: shapes_only_sig(cfg.seed, name) },
+        ),
+    }
+}
+
+/// Builds the frozen pre-trained backbone into `g`.
+pub fn build_backbone(
+    cfg: &ResNetConfig,
+    g: &mut ModelGraph,
+    scale: BuildScale,
+) -> Result<ResNetBackbone, GraphError> {
+    if cfg.stage_blocks.len() != cfg.stage_channels.len() {
+        return Err(GraphError::Layer(format!(
+            "stage_blocks ({}) and stage_channels ({}) must align",
+            cfg.stage_blocks.len(),
+            cfg.stage_channels.len()
+        )));
+    }
+    let mut rng = seeded_rng(cfg.seed);
+    let input = g.add_input("image", [3, cfg.image_size, cfg.image_size]);
+    let stem = add_node(
+        cfg,
+        g,
+        "resnet/stem",
+        LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: cfg.stem_channels,
+            k: 3,
+            stride: cfg.stem_stride,
+            pad: 1,
+            act: Activation::Relu,
+        },
+        &[input],
+        true,
+        scale,
+        &mut rng,
+    )?;
+    let mut prev = stem;
+    if cfg.stem_pool {
+        prev = g.add_layer(
+            "resnet/stem-pool",
+            LayerKind::MaxPool2d { k: 2, stride: 2 },
+            &[prev],
+            true,
+            ParamInit::Given(vec![]),
+        )?;
+    }
+    let mut prev_ch = cfg.stem_channels;
+    let mut blocks = Vec::with_capacity(cfg.num_blocks());
+    let mut idx = 0usize;
+    for (stage, (&count, &ch)) in
+        cfg.stage_blocks.iter().zip(&cfg.stage_channels).enumerate()
+    {
+        for b in 0..count {
+            // First block of each stage after the first downsamples.
+            let stride = if b == 0 && stage > 0 { 2 } else { 1 };
+            let block = add_node(
+                cfg,
+                g,
+                &format!("resnet/block{idx}"),
+                LayerKind::ResidualBlock { in_ch: prev_ch, out_ch: ch, stride },
+                &[prev],
+                true,
+                scale,
+                &mut rng,
+            )?;
+            prev = block;
+            prev_ch = ch;
+            blocks.push(block);
+            idx += 1;
+        }
+    }
+    let pooled = g.add_layer(
+        "resnet/gap",
+        LayerKind::GlobalAvgPool,
+        &[prev],
+        true,
+        ParamInit::Given(vec![]),
+    )?;
+    Ok(ResNetBackbone { input, stem, blocks, pooled, feature_dim: prev_ch })
+}
+
+/// Builds a fine-tuning candidate (Fig 2C, the FTU workload): the top
+/// `unfrozen_blocks` residual blocks unfrozen, classifier head on pooled
+/// features.
+pub fn fine_tune_model(
+    cfg: &ResNetConfig,
+    unfrozen_blocks: usize,
+    num_classes: usize,
+    scale: BuildScale,
+) -> Result<ModelGraph, GraphError> {
+    let mut g = ModelGraph::new();
+    let bb = build_backbone(cfg, &mut g, scale)?;
+    let total = bb.blocks.len();
+    let first_unfrozen = total.saturating_sub(unfrozen_blocks);
+    for (i, &b) in bb.blocks.iter().enumerate() {
+        if i >= first_unfrozen {
+            g.node_mut(b).frozen = false;
+        }
+    }
+    let mut hrng = seeded_rng(cfg.seed ^ 0xCAFE ^ unfrozen_blocks as u64);
+    let logits = match scale {
+        BuildScale::Real => g.add_layer(
+            "head/classifier",
+            LayerKind::Dense { in_dim: bb.feature_dim, out_dim: num_classes, act: Activation::None },
+            &[bb.pooled],
+            false,
+            ParamInit::Seeded(&mut hrng),
+        )?,
+        BuildScale::ShapesOnly => g.add_layer(
+            "head/classifier",
+            LayerKind::Dense { in_dim: bb.feature_dim, out_dim: num_classes, act: Activation::None },
+            &[bb.pooled],
+            false,
+            ParamInit::ShapesOnly { sig: shapes_only_sig(cfg.seed, "head/classifier") },
+        )?,
+    };
+    g.add_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_structure() {
+        let cfg = ResNetConfig::tiny(16);
+        let mut g = ModelGraph::new();
+        let bb = build_backbone(&cfg, &mut g, BuildScale::Real).unwrap();
+        g.validate().unwrap();
+        assert_eq!(bb.blocks.len(), 16);
+        // Spatial dims shrink by 2^3 across the 4 stages.
+        let last = *bb.blocks.last().unwrap();
+        assert_eq!(g.shape(last).0, vec![32, 2, 2]);
+        assert_eq!(g.shape(bb.pooled).0, vec![32]);
+    }
+
+    #[test]
+    fn fine_tune_freezing_schemes() {
+        let cfg = ResNetConfig::tiny(16);
+        for k in [3usize, 6, 9, 12] {
+            let g = fine_tune_model(&cfg, k, 2, BuildScale::Real).unwrap();
+            g.validate().unwrap();
+            let trainable_blocks = g
+                .ids()
+                .filter(|&id| g.node(id).name.starts_with("resnet/block") && g.node(id).trainable())
+                .count();
+            assert_eq!(trainable_blocks, k);
+            // Materializable frontier: everything strictly below the first
+            // unfrozen block.
+            let m = g.materializable();
+            let mat_blocks = g
+                .ids()
+                .filter(|&id| g.node(id).name.starts_with("resnet/block") && m[id.index()])
+                .count();
+            assert_eq!(mat_blocks, 16 - k);
+        }
+    }
+
+    #[test]
+    fn shared_backbone_signatures_across_freezing_schemes() {
+        let cfg = ResNetConfig::tiny(16);
+        let a = fine_tune_model(&cfg, 3, 2, BuildScale::Real).unwrap();
+        let b = fine_tune_model(&cfg, 6, 2, BuildScale::Real).unwrap();
+        let sa = a.expr_signatures();
+        let sb = b.expr_signatures();
+        // Nodes below both unfreezing points share signatures: input, stem,
+        // and the first 10 blocks (ids 0..=11).
+        for i in 0..12 {
+            assert_eq!(sa[i], sb[i], "node {i}");
+        }
+        // An unfrozen block differs (frozen flag is part of the signature).
+        assert_ne!(sa[14], sb[14]);
+    }
+
+    #[test]
+    fn resnet50_like_params_in_range() {
+        let g = fine_tune_model(&ResNetConfig::resnet50_like(), 3, 2, BuildScale::ShapesOnly)
+            .unwrap();
+        let params = g.params_bytes() / 4;
+        // Plain blocks at the cost-decaying widths: a few million params.
+        assert!(params > 1_000_000 && params < 40_000_000, "params {params}");
+    }
+
+    #[test]
+    fn misaligned_stages_rejected() {
+        let cfg = ResNetConfig {
+            stage_blocks: vec![2, 2],
+            stage_channels: vec![8],
+            ..ResNetConfig::tiny(16)
+        };
+        let mut g = ModelGraph::new();
+        assert!(build_backbone(&cfg, &mut g, BuildScale::Real).is_err());
+    }
+}

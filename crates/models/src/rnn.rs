@@ -1,0 +1,257 @@
+//! Recurrent encoders, unrolled in time.
+//!
+//! The paper's formalization covers DAGs only and notes (§2.5) that
+//! recurrent models are supported "by unraveling them in time and
+//! transforming them into a non-recurrent DL model". This module does
+//! exactly that: an Elman-style RNN cell `h_t = tanh(W·[x_t; h_{t−1}])` is
+//! unrolled into `steps` graph nodes that *share one parameter tensor set*
+//! (every step node carries the same tensors, hence the same `param_sig`).
+//! Because a pre-trained recurrent encoder is frozen, weight sharing never
+//! interacts with training, and every unrolled step is materializable —
+//! Nautilus can cut the recurrence at any step.
+
+use crate::{shapes_only_sig, BuildScale};
+use nautilus_dnn::graph::{GraphError, ModelGraph, NodeId, ParamInit};
+use nautilus_dnn::layer::{Activation, LayerKind};
+use nautilus_tensor::init::{glorot, seeded_rng};
+use nautilus_tensor::Tensor;
+
+/// Configuration of an unrolled recurrent encoder.
+#[derive(Debug, Clone)]
+pub struct RnnEncoderConfig {
+    /// Per-step input width.
+    pub input_dim: usize,
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Sequence length (= unrolled depth).
+    pub steps: usize,
+    /// Seed for the deterministic "pre-trained" cell weights.
+    pub seed: u64,
+}
+
+impl RnnEncoderConfig {
+    /// A CPU-trainable configuration.
+    pub fn tiny(steps: usize) -> Self {
+        RnnEncoderConfig { input_dim: 8, hidden: 16, steps, seed: 3000 }
+    }
+}
+
+/// Handles into an unrolled encoder.
+#[derive(Debug, Clone)]
+pub struct RnnBackbone {
+    /// Sequence input placeholder (`[steps, input_dim]` per record).
+    pub input: NodeId,
+    /// Hidden state after each step, `h_1 .. h_steps`.
+    pub hiddens: Vec<NodeId>,
+}
+
+impl RnnBackbone {
+    /// The final hidden state.
+    pub fn last_hidden(&self) -> NodeId {
+        *self.hiddens.last().expect("at least one step")
+    }
+}
+
+/// Unrolls the frozen pre-trained encoder into `g`.
+pub fn build_backbone(
+    cfg: &RnnEncoderConfig,
+    g: &mut ModelGraph,
+    scale: BuildScale,
+) -> Result<RnnBackbone, GraphError> {
+    let input = g.add_input("sequence", [cfg.steps, cfg.input_dim]);
+    let h0 = g.add_layer(
+        "rnn/h0",
+        LayerKind::ZerosLike { shape: vec![cfg.hidden] },
+        &[input],
+        true,
+        ParamInit::Given(vec![]),
+    )?;
+    // One shared parameter set for every unrolled step.
+    let cell_kind = LayerKind::Dense {
+        in_dim: cfg.input_dim + cfg.hidden,
+        out_dim: cfg.hidden,
+        act: Activation::Tanh,
+    };
+    let shared: Option<Vec<Tensor>> = match scale {
+        BuildScale::Real => {
+            let mut rng = seeded_rng(cfg.seed);
+            Some(vec![
+                glorot(
+                    [cfg.input_dim + cfg.hidden, cfg.hidden],
+                    cfg.input_dim + cfg.hidden,
+                    cfg.hidden,
+                    &mut rng,
+                ),
+                Tensor::zeros([cfg.hidden]),
+            ])
+        }
+        BuildScale::ShapesOnly => None,
+    };
+    let mut h = h0;
+    let mut hiddens = Vec::with_capacity(cfg.steps);
+    for t in 0..cfg.steps {
+        let xt = g.add_layer(
+            format!("rnn/x{t}"),
+            LayerKind::SliceSeq { index: t },
+            &[input],
+            true,
+            ParamInit::Given(vec![]),
+        )?;
+        let cat = g.add_layer(
+            format!("rnn/cat{t}"),
+            LayerKind::ConcatLast,
+            &[xt, h],
+            true,
+            ParamInit::Given(vec![]),
+        )?;
+        let init = match &shared {
+            Some(params) => ParamInit::Given(params.clone()),
+            None => ParamInit::ShapesOnly { sig: shapes_only_sig(cfg.seed, "rnn/cell") },
+        };
+        h = g.add_layer(format!("rnn/h{}", t + 1), cell_kind.clone(), &[cat], true, init)?;
+        hiddens.push(h);
+    }
+    Ok(RnnBackbone { input, hiddens })
+}
+
+/// A sequence-classification candidate: frozen unrolled encoder + trainable
+/// classifier on the final hidden state (feature transfer, Fig 2B, over a
+/// recurrent source model).
+pub fn sequence_classifier(
+    cfg: &RnnEncoderConfig,
+    num_classes: usize,
+    scale: BuildScale,
+) -> Result<ModelGraph, GraphError> {
+    let mut g = ModelGraph::new();
+    let bb = build_backbone(cfg, &mut g, scale)?;
+    let mut hrng = seeded_rng(cfg.seed ^ 0x5E0);
+    let logits = match scale {
+        BuildScale::Real => g.add_layer(
+            "head/classifier",
+            LayerKind::Dense { in_dim: cfg.hidden, out_dim: num_classes, act: Activation::None },
+            &[bb.last_hidden()],
+            false,
+            ParamInit::Seeded(&mut hrng),
+        )?,
+        BuildScale::ShapesOnly => g.add_layer(
+            "head/classifier",
+            LayerKind::Dense { in_dim: cfg.hidden, out_dim: num_classes, act: Activation::None },
+            &[bb.last_hidden()],
+            false,
+            ParamInit::ShapesOnly { sig: shapes_only_sig(cfg.seed, "head/classifier") },
+        )?,
+    };
+    g.add_output(logits)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::exec::{forward, BatchInputs};
+    use nautilus_tensor::init::randn;
+
+    #[test]
+    fn unrolled_encoder_is_fully_materializable() {
+        let cfg = RnnEncoderConfig::tiny(5);
+        let g = sequence_classifier(&cfg, 3, BuildScale::Real).unwrap();
+        g.validate().unwrap();
+        let m = g.materializable();
+        // Everything except the trainable classifier head.
+        let mat = m.iter().filter(|&&x| x).count();
+        assert_eq!(mat, g.len() - 1);
+    }
+
+    #[test]
+    fn steps_share_parameters_but_not_expressions() {
+        let cfg = RnnEncoderConfig::tiny(4);
+        let mut g = ModelGraph::new();
+        let bb = build_backbone(&cfg, &mut g, BuildScale::Real).unwrap();
+        let sigs = g.expr_signatures();
+        let cells: Vec<&nautilus_dnn::Node> =
+            bb.hiddens.iter().map(|&h| g.node(h)).collect();
+        // Identical layers (same params)...
+        for w in cells.windows(2) {
+            assert_eq!(w[0].param_sig, w[1].param_sig);
+            assert_eq!(w[0].params, w[1].params);
+        }
+        // ...but distinct expressions (different parents -> different sigs).
+        let mut step_sigs: Vec<u64> = bb.hiddens.iter().map(|h| sigs[h.index()]).collect();
+        step_sigs.dedup();
+        assert_eq!(step_sigs.len(), bb.hiddens.len());
+    }
+
+    #[test]
+    fn unrolling_matches_manual_recurrence() {
+        let cfg = RnnEncoderConfig::tiny(3);
+        let mut g = ModelGraph::new();
+        let bb = build_backbone(&cfg, &mut g, BuildScale::Real).unwrap();
+        for (i, &h) in bb.hiddens.iter().enumerate() {
+            let _ = i;
+            g.add_output(h).unwrap();
+        }
+        let mut rng = seeded_rng(9);
+        let x = randn([2, 3, 8], 1.0, &mut rng);
+        let mut inputs = BatchInputs::new();
+        inputs.insert(bb.input, x.clone());
+        let fwd = forward(&g, &inputs, false).unwrap();
+
+        // Manual recurrence with the same shared weights.
+        let cell = g.node(bb.hiddens[0]);
+        let (w, b) = (&cell.params[0], &cell.params[1]);
+        let mut h = Tensor::zeros([2, 16]);
+        for t in 0..3 {
+            // x_t: [2, 8]
+            let mut xt = vec![0.0f32; 2 * 8];
+            for bi in 0..2 {
+                xt[bi * 8..(bi + 1) * 8]
+                    .copy_from_slice(&x.data()[(bi * 3 + t) * 8..(bi * 3 + t + 1) * 8]);
+            }
+            let xt = Tensor::from_vec([2, 8], xt).unwrap();
+            let cat = {
+                let mut d = vec![0.0f32; 2 * 24];
+                for bi in 0..2 {
+                    d[bi * 24..bi * 24 + 8].copy_from_slice(&xt.data()[bi * 8..(bi + 1) * 8]);
+                    d[bi * 24 + 8..(bi + 1) * 24]
+                        .copy_from_slice(&h.data()[bi * 16..(bi + 1) * 16]);
+                }
+                Tensor::from_vec([2, 24], d).unwrap()
+            };
+            let mut pre = nautilus_tensor::ops::matmul(&cat, w).unwrap();
+            nautilus_tensor::ops::add_assign(&mut pre, b).unwrap();
+            h = nautilus_tensor::ops::tanh_act(&pre);
+            assert_eq!(fwd.output(bb.hiddens[t]), &h, "step {t}");
+        }
+    }
+
+    #[test]
+    fn classifier_head_trains_through_frozen_unroll() {
+        use nautilus_dnn::exec::backward;
+        use nautilus_tensor::ops::cross_entropy_logits;
+        let cfg = RnnEncoderConfig::tiny(4);
+        let g = sequence_classifier(&cfg, 2, BuildScale::Real).unwrap();
+        let input = g.input_ids()[0];
+        let out = g.outputs()[0];
+        let mut rng = seeded_rng(11);
+        let mut inputs = BatchInputs::new();
+        inputs.insert(input, randn([3, 4, 8], 1.0, &mut rng));
+        let fwd = forward(&g, &inputs, true).unwrap();
+        let (_, grad) = cross_entropy_logits(fwd.output(out), &[0, 1, 0]).unwrap();
+        let mut og = std::collections::HashMap::new();
+        og.insert(out, grad);
+        let grads = backward(&g, &fwd, og).unwrap();
+        assert_eq!(grads.params.len(), 1, "only the head is trainable");
+    }
+
+    #[test]
+    fn shapes_only_build_matches_structure() {
+        let cfg = RnnEncoderConfig::tiny(3);
+        let real = sequence_classifier(&cfg, 2, BuildScale::Real).unwrap();
+        let sim = sequence_classifier(&cfg, 2, BuildScale::ShapesOnly).unwrap();
+        assert_eq!(real.len(), sim.len());
+        for (a, b) in real.nodes().iter().zip(sim.nodes()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.param_shapes, b.param_shapes);
+        }
+    }
+}

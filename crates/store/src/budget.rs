@@ -1,0 +1,94 @@
+//! Disk budget bookkeeping for `Bdisk` enforcement.
+
+/// Tracks bytes allocated against a fixed disk budget.
+///
+/// The planner *plans* within the budget (Eq 10 (e)); this tracker is the
+/// runtime belt-and-suspenders that materialization never exceeds it.
+#[derive(Debug, Clone)]
+pub struct DiskBudget {
+    limit: u64,
+    used: u64,
+}
+
+impl DiskBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: u64) -> Self {
+        DiskBudget { limit, used: 0 }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.used)
+    }
+
+    /// Attempts to charge `bytes`; fails without charging when over budget.
+    pub fn charge(&mut self, bytes: u64) -> Result<(), BudgetExceeded> {
+        if self.used + bytes > self.limit {
+            Err(BudgetExceeded { requested: bytes, remaining: self.remaining() })
+        } else {
+            self.used += bytes;
+            Ok(())
+        }
+    }
+
+    /// Releases previously charged bytes (e.g. a dropped materialization).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+}
+
+/// Error: a charge would exceed the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Bytes that were requested.
+    pub requested: u64,
+    /// Bytes that remain available.
+    pub remaining: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "disk budget exceeded: requested {} bytes, {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let mut b = DiskBudget::new(100);
+        b.charge(60).unwrap();
+        assert_eq!(b.remaining(), 40);
+        let err = b.charge(50).unwrap_err();
+        assert_eq!(err.remaining, 40);
+        assert_eq!(b.used(), 60); // failed charge does not consume
+        b.release(30);
+        b.charge(50).unwrap();
+        assert_eq!(b.used(), 80);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut b = DiskBudget::new(10);
+        b.release(100);
+        assert_eq!(b.used(), 0);
+    }
+}

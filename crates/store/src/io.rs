@@ -1,0 +1,103 @@
+//! Shared IO counters.
+//!
+//! Every read/write done by a store (or *accounted* by the simulated
+//! backend) increments these counters; the Fig 11 experiment compares them
+//! across execution strategies.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Cumulative IO statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Bytes read from disk (page-cache *misses* under the simulated model).
+    pub disk_read_bytes: u64,
+    /// Bytes served from the page cache (simulated model only).
+    pub cached_read_bytes: u64,
+    /// Bytes written.
+    pub disk_write_bytes: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+}
+
+impl IoStats {
+    /// Total bytes read from any source.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.disk_read_bytes + self.cached_read_bytes
+    }
+}
+
+/// Cheaply clonable handle to shared [`IoStats`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedIoStats(Arc<Mutex<IoStats>>);
+
+impl SharedIoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read that hit the disk.
+    pub fn record_disk_read(&self, bytes: u64) {
+        let mut s = self.0.lock();
+        s.disk_read_bytes += bytes;
+        s.read_ops += 1;
+    }
+
+    /// Records a read served from cache.
+    pub fn record_cached_read(&self, bytes: u64) {
+        let mut s = self.0.lock();
+        s.cached_read_bytes += bytes;
+        s.read_ops += 1;
+    }
+
+    /// Records a write.
+    pub fn record_write(&self, bytes: u64) {
+        let mut s = self.0.lock();
+        s.disk_write_bytes += bytes;
+        s.write_ops += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        *self.0.lock()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.0.lock() = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let io = SharedIoStats::new();
+        io.record_disk_read(100);
+        io.record_cached_read(50);
+        io.record_write(30);
+        io.record_write(20);
+        let s = io.snapshot();
+        assert_eq!(s.disk_read_bytes, 100);
+        assert_eq!(s.cached_read_bytes, 50);
+        assert_eq!(s.total_read_bytes(), 150);
+        assert_eq!(s.disk_write_bytes, 50);
+        assert_eq!(s.read_ops, 2);
+        assert_eq!(s.write_ops, 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedIoStats::new();
+        let b = a.clone();
+        b.record_write(7);
+        assert_eq!(a.snapshot().disk_write_bytes, 7);
+        a.reset();
+        assert_eq!(b.snapshot(), IoStats::default());
+    }
+}

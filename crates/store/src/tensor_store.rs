@@ -1,0 +1,428 @@
+//! Append-only chunked tensor store.
+//!
+//! One store instance manages a directory; each *key* (e.g. a materialized
+//! layer, or the raw labeled dataset) holds a sequence of chunks, one per
+//! append — which in Nautilus means one per labeling cycle (§4.2.3,
+//! incremental feature materialization). Records are per-record tensors of a
+//! fixed shape; appends take batched tensors `[n, ...record]` and scans
+//! return them the same way.
+
+use crate::io::SharedIoStats;
+use nautilus_tensor::{ser, Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+
+/// Store errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Manifest is unreadable.
+    BadManifest(String),
+    /// Chunk payload is corrupt.
+    BadChunk(String),
+    /// Append shape does not match the key's record shape.
+    ShapeMismatch {
+        /// The key being appended to.
+        key: String,
+        /// Shape already registered for the key.
+        expected: Vec<usize>,
+        /// Shape of the incoming records.
+        actual: Vec<usize>,
+    },
+    /// The key does not exist.
+    MissingKey(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io: {e}"),
+            StoreError::BadManifest(m) => write!(f, "bad manifest: {m}"),
+            StoreError::BadChunk(m) => write!(f, "bad chunk: {m}"),
+            StoreError::ShapeMismatch { key, expected, actual } => {
+                write!(f, "append to '{key}': record shape {actual:?} != {expected:?}")
+            }
+            StoreError::MissingKey(k) => write!(f, "missing key '{k}'"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChunkMeta {
+    file: String,
+    records: usize,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KeyMeta {
+    dir: String,
+    record_shape: Vec<usize>,
+    records: usize,
+    bytes: u64,
+    chunks: Vec<ChunkMeta>,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Manifest {
+    keys: BTreeMap<String, KeyMeta>,
+}
+
+/// An on-disk store of per-record tensors grouped by key.
+#[derive(Debug)]
+pub struct TensorStore {
+    root: PathBuf,
+    manifest: Manifest,
+    io: SharedIoStats,
+}
+
+fn dir_for(key: &str) -> String {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    let safe: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .take(40)
+        .collect();
+    format!("{safe}-{:016x}", h.finish())
+}
+
+impl TensorStore {
+    /// Opens (or creates) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, io: SharedIoStats) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let manifest_path = root.join("manifest.json");
+        let manifest = if manifest_path.exists() {
+            let data = std::fs::read(&manifest_path)?;
+            serde_json::from_slice(&data).map_err(|e| StoreError::BadManifest(e.to_string()))?
+        } else {
+            Manifest::default()
+        };
+        Ok(TensorStore { root, manifest, io })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn persist_manifest(&self) -> Result<(), StoreError> {
+        let data = serde_json::to_vec_pretty(&self.manifest)
+            .map_err(|e| StoreError::BadManifest(e.to_string()))?;
+        std::fs::write(self.root.join("manifest.json"), data)?;
+        Ok(())
+    }
+
+    /// Appends a batch of records (`[n, ...record]`) under `key`.
+    ///
+    /// Returns the number of bytes written. The first append fixes the key's
+    /// record shape; later appends must match.
+    pub fn append(&mut self, key: &str, batch: &Tensor) -> Result<u64, StoreError> {
+        let record_shape = batch.shape().without_batch();
+        let entry = self.manifest.keys.entry(key.to_string()).or_insert_with(|| KeyMeta {
+            dir: dir_for(key),
+            record_shape: record_shape.0.clone(),
+            records: 0,
+            bytes: 0,
+            chunks: Vec::new(),
+        });
+        if entry.record_shape != record_shape.0 {
+            return Err(StoreError::ShapeMismatch {
+                key: key.to_string(),
+                expected: entry.record_shape.clone(),
+                actual: record_shape.0,
+            });
+        }
+        let dir = self.root.join(&entry.dir);
+        std::fs::create_dir_all(&dir)?;
+        let file = format!("chunk-{:06}.bin", entry.chunks.len());
+        let bytes = ser::encode(batch);
+        let n = bytes.len() as u64;
+        std::fs::write(dir.join(&file), &bytes)?;
+        entry.chunks.push(ChunkMeta { file, records: batch.shape().dim(0), bytes: n });
+        entry.records += batch.shape().dim(0);
+        entry.bytes += n;
+        self.io.record_write(n);
+        self.persist_manifest()?;
+        Ok(n)
+    }
+
+    /// Reads every record under `key` as one batched tensor, in append
+    /// order. Returns the tensor and the number of bytes read.
+    pub fn read_all(&self, key: &str) -> Result<(Tensor, u64), StoreError> {
+        let meta = self
+            .manifest
+            .keys
+            .get(key)
+            .ok_or_else(|| StoreError::MissingKey(key.to_string()))?;
+        let dir = self.root.join(&meta.dir);
+        let mut parts = Vec::with_capacity(meta.chunks.len());
+        let mut total = 0u64;
+        for c in &meta.chunks {
+            let data = std::fs::read(dir.join(&c.file))?;
+            total += data.len() as u64;
+            let t = ser::decode(bytes::Bytes::from(data))
+                .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+            parts.push(t);
+        }
+        self.io.record_disk_read(total);
+        if parts.is_empty() {
+            let shape = Shape::new(meta.record_shape.clone()).with_batch(0);
+            return Ok((Tensor::zeros(shape), 0));
+        }
+        let out = Tensor::concat_outer(&parts).map_err(|e| StoreError::BadChunk(e.to_string()))?;
+        Ok((out, total))
+    }
+
+    /// Reads records `[start, end)` under `key`, touching only the chunks
+    /// that overlap the range. Returns the batched tensor and bytes read.
+    ///
+    /// Epoch scans use [`TensorStore::read_all`]; this ranged variant serves
+    /// callers that stream mini-batches larger than memory.
+    pub fn read_records(
+        &self,
+        key: &str,
+        start: usize,
+        end: usize,
+    ) -> Result<(Tensor, u64), StoreError> {
+        let meta = self
+            .manifest
+            .keys
+            .get(key)
+            .ok_or_else(|| StoreError::MissingKey(key.to_string()))?;
+        let end = end.min(meta.records);
+        let start = start.min(end);
+        let record = Shape::new(meta.record_shape.clone());
+        if start == end {
+            return Ok((Tensor::zeros(record.with_batch(0)), 0));
+        }
+        let dir = self.root.join(&meta.dir);
+        let mut parts = Vec::new();
+        let mut bytes = 0u64;
+        let mut offset = 0usize;
+        for c in &meta.chunks {
+            let chunk_range = offset..offset + c.records;
+            offset += c.records;
+            if chunk_range.end <= start || chunk_range.start >= end {
+                continue;
+            }
+            let data = std::fs::read(dir.join(&c.file))?;
+            bytes += data.len() as u64;
+            let t = ser::decode(bytes::Bytes::from(data))
+                .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+            let lo = start.saturating_sub(chunk_range.start);
+            let hi = (end - chunk_range.start).min(c.records);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let slices: Vec<Tensor> = idx.iter().map(|&i| t.outer_slice(i)).collect();
+            parts.push(
+                Tensor::stack(&slices).map_err(|e| StoreError::BadChunk(e.to_string()))?,
+            );
+        }
+        self.io.record_disk_read(bytes);
+        let out =
+            Tensor::concat_outer(&parts).map_err(|e| StoreError::BadChunk(e.to_string()))?;
+        Ok((out, bytes))
+    }
+
+    /// True when the key exists (possibly with zero records).
+    pub fn contains(&self, key: &str) -> bool {
+        self.manifest.keys.contains_key(key)
+    }
+
+    /// Number of records stored under `key` (0 when absent).
+    pub fn num_records(&self, key: &str) -> usize {
+        self.manifest.keys.get(key).map_or(0, |m| m.records)
+    }
+
+    /// Bytes stored under `key` (0 when absent).
+    pub fn bytes(&self, key: &str) -> u64 {
+        self.manifest.keys.get(key).map_or(0, |m| m.bytes)
+    }
+
+    /// Record shape of `key`.
+    pub fn record_shape(&self, key: &str) -> Option<Shape> {
+        self.manifest.keys.get(key).map(|m| Shape::new(m.record_shape.clone()))
+    }
+
+    /// All keys in sorted order.
+    pub fn keys(&self) -> Vec<String> {
+        self.manifest.keys.keys().cloned().collect()
+    }
+
+    /// Total bytes across all keys.
+    pub fn total_bytes(&self) -> u64 {
+        self.manifest.keys.values().map(|m| m.bytes).sum()
+    }
+
+    /// Removes a key and its data; returns the bytes freed.
+    pub fn delete(&mut self, key: &str) -> Result<u64, StoreError> {
+        let Some(meta) = self.manifest.keys.remove(key) else { return Ok(0) };
+        let dir = self.root.join(&meta.dir);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        self.persist_manifest()?;
+        Ok(meta.bytes)
+    }
+
+    /// Removes every key; returns the bytes freed.
+    pub fn clear(&mut self) -> Result<u64, StoreError> {
+        let keys = self.keys();
+        let mut freed = 0;
+        for k in keys {
+            freed += self.delete(&k)?;
+        }
+        Ok(freed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_tensor::init::{randn, seeded_rng};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "nautilus-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_scan_round_trip() {
+        let io = SharedIoStats::new();
+        let root = temp_root("roundtrip");
+        let mut s = TensorStore::open(&root, io.clone()).unwrap();
+        let mut rng = seeded_rng(1);
+        let b1 = randn([3, 4], 1.0, &mut rng);
+        let b2 = randn([2, 4], 1.0, &mut rng);
+        s.append("layer0", &b1).unwrap();
+        s.append("layer0", &b2).unwrap();
+        assert_eq!(s.num_records("layer0"), 5);
+        let (all, read) = s.read_all("layer0").unwrap();
+        assert_eq!(all.shape().0, vec![5, 4]);
+        assert_eq!(&all.data()[..12], b1.data());
+        assert_eq!(&all.data()[12..], b2.data());
+        assert!(read > 0);
+        let st = io.snapshot();
+        assert_eq!(st.write_ops, 2);
+        assert!(st.disk_read_bytes >= read);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn ranged_reads_touch_only_overlapping_chunks() {
+        let io = SharedIoStats::new();
+        let root = temp_root("ranged");
+        let mut s = TensorStore::open(&root, io.clone()).unwrap();
+        // Three chunks of 4 records each, values = record index.
+        for c in 0..3 {
+            let vals: Vec<f32> = (c * 4..(c + 1) * 4).map(|i| i as f32).collect();
+            s.append("k", &Tensor::from_vec([4, 1], vals).unwrap()).unwrap();
+        }
+        // Range fully inside chunk 1.
+        io.reset();
+        let (t, bytes) = s.read_records("k", 5, 7).unwrap();
+        assert_eq!(t.data(), &[5.0, 6.0]);
+        let one_chunk = bytes;
+        assert!(one_chunk > 0);
+        // Range spanning chunks 0 and 1 reads exactly two chunks.
+        let (t, bytes) = s.read_records("k", 2, 6).unwrap();
+        assert_eq!(t.data(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(bytes, 2 * one_chunk);
+        // Clamped and empty ranges.
+        let (t, _) = s.read_records("k", 10, 99).unwrap();
+        assert_eq!(t.data(), &[10.0, 11.0]);
+        let (t, bytes) = s.read_records("k", 3, 3).unwrap();
+        assert_eq!(t.shape().dim(0), 0);
+        assert_eq!(bytes, 0);
+        // Whole range equals read_all.
+        let (ranged, _) = s.read_records("k", 0, 12).unwrap();
+        let (all, _) = s.read_all("k").unwrap();
+        assert_eq!(ranged, all);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_manifest() {
+        let io = SharedIoStats::new();
+        let root = temp_root("reopen");
+        {
+            let mut s = TensorStore::open(&root, io.clone()).unwrap();
+            s.append("k", &Tensor::ones([2, 3])).unwrap();
+        }
+        let s = TensorStore::open(&root, io).unwrap();
+        assert_eq!(s.num_records("k"), 2);
+        assert_eq!(s.record_shape("k"), Some(Shape::new([3])));
+        let (t, _) = s.read_all("k").unwrap();
+        assert_eq!(t.sum(), 6.0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let root = temp_root("mismatch");
+        let mut s = TensorStore::open(&root, SharedIoStats::new()).unwrap();
+        s.append("k", &Tensor::ones([2, 3])).unwrap();
+        let err = s.append("k", &Tensor::ones([2, 4])).unwrap_err();
+        assert!(matches!(err, StoreError::ShapeMismatch { .. }));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_key_and_delete() {
+        let root = temp_root("delete");
+        let mut s = TensorStore::open(&root, SharedIoStats::new()).unwrap();
+        assert!(matches!(s.read_all("nope"), Err(StoreError::MissingKey(_))));
+        assert_eq!(s.num_records("nope"), 0);
+        s.append("k", &Tensor::ones([4, 2])).unwrap();
+        let freed = s.delete("k").unwrap();
+        assert!(freed > 0);
+        assert!(!s.contains("k"));
+        assert_eq!(s.delete("k").unwrap(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let root = temp_root("collide");
+        let mut s = TensorStore::open(&root, SharedIoStats::new()).unwrap();
+        s.append("model/layer:1", &Tensor::ones([1, 2])).unwrap();
+        s.append("model/layer:2", &Tensor::zeros([1, 2])).unwrap();
+        let (a, _) = s.read_all("model/layer:1").unwrap();
+        let (b, _) = s.read_all("model/layer:2").unwrap();
+        assert_eq!(a.sum(), 2.0);
+        assert_eq!(b.sum(), 0.0);
+        assert_eq!(s.keys().len(), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn total_bytes_and_clear() {
+        let root = temp_root("clear");
+        let mut s = TensorStore::open(&root, SharedIoStats::new()).unwrap();
+        s.append("a", &Tensor::ones([2, 2])).unwrap();
+        s.append("b", &Tensor::ones([2, 2])).unwrap();
+        let total = s.total_bytes();
+        assert!(total > 0);
+        assert_eq!(s.clear().unwrap(), total);
+        assert_eq!(s.total_bytes(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

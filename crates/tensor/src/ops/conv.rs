@@ -1,0 +1,336 @@
+//! 2-D convolution and pooling kernels (NCHW layout).
+//!
+//! Inputs are `[batch, channels, height, width]`; convolution weights are
+//! `[out_c, in_c, kh, kw]`. Direct (non-im2col) loops are used: at the tiny
+//! real-execution scale they are fast enough and trivially auditable.
+
+use crate::{Tensor, TensorError};
+
+fn dims4(t: &Tensor, what: &str) -> Result<(usize, usize, usize, usize), TensorError> {
+    let s = &t.shape().0;
+    if s.len() != 4 {
+        return Err(TensorError::Incompatible(format!(
+            "{what} must be rank-4 NCHW, got {:?}",
+            s
+        )));
+    }
+    Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// Output spatial extent for a convolution/pool axis.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad).saturating_sub(kernel) / stride + 1
+}
+
+/// Direct 2-D convolution with stride and symmetric zero padding.
+///
+/// `weight` is `[out_c, in_c, kh, kw]`; `bias` is `[out_c]`.
+#[allow(clippy::needless_range_loop)]
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    let (b, c_in, h, w) = dims4(input, "conv input")?;
+    let (c_out, wc_in, kh, kw) = dims4(weight, "conv weight")?;
+    if wc_in != c_in {
+        return Err(TensorError::Incompatible(format!(
+            "conv channels: input {c_in} vs weight {wc_in}"
+        )));
+    }
+    if bias.len() != c_out {
+        return Err(TensorError::Incompatible(format!(
+            "conv bias length {} vs out channels {c_out}",
+            bias.len()
+        )));
+    }
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    let x = input.data();
+    let wt = weight.data();
+    let bs = bias.data();
+    let mut out = vec![0.0f32; b * c_out * oh * ow];
+    for n in 0..b {
+        for co in 0..c_out {
+            let obase = ((n * c_out) + co) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bs[co];
+                    for ci in 0..c_in {
+                        let ibase = ((n * c_in) + ci) * h * w;
+                        let wbase = ((co * c_in) + ci) * kh * kw;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x[ibase + iy as usize * w + ix as usize]
+                                    * wt[wbase + ky * kw + kx];
+                            }
+                        }
+                    }
+                    out[obase + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([b, c_out, oh, ow], out)
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// Returns `(d_input, d_weight, d_bias)` for the upstream gradient `grad`
+/// shaped like the convolution output.
+#[allow(clippy::needless_range_loop)]
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    let (b, c_in, h, w) = dims4(input, "conv input")?;
+    let (c_out, _, kh, kw) = dims4(weight, "conv weight")?;
+    let (gb, gc, oh, ow) = dims4(grad, "conv grad")?;
+    if gb != b || gc != c_out {
+        return Err(TensorError::Incompatible(format!(
+            "conv grad shape {:?} does not match output ({b},{c_out},..)",
+            grad.shape().0
+        )));
+    }
+    let x = input.data();
+    let wt = weight.data();
+    let g = grad.data();
+    let mut dx = vec![0.0f32; x.len()];
+    let mut dw = vec![0.0f32; wt.len()];
+    let mut db = vec![0.0f32; c_out];
+    for n in 0..b {
+        for co in 0..c_out {
+            let obase = ((n * c_out) + co) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[obase + oy * ow + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    db[co] += gv;
+                    for ci in 0..c_in {
+                        let ibase = ((n * c_in) + ci) * h * w;
+                        let wbase = ((co * c_in) + ci) * kh * kw;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let ii = ibase + iy as usize * w + ix as usize;
+                                let wi = wbase + ky * kw + kx;
+                                dx[ii] += gv * wt[wi];
+                                dw[wi] += gv * x[ii];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((
+        Tensor::from_vec(input.shape().clone(), dx)?,
+        Tensor::from_vec(weight.shape().clone(), dw)?,
+        Tensor::from_vec([c_out], db)?,
+    ))
+}
+
+/// Max pooling with a square window; returns `(output, argmax_indices)` where
+/// the indices point into the flattened input and feed the backward pass.
+pub fn max_pool2d(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Result<(Tensor, Vec<u32>), TensorError> {
+    let (b, c, h, w) = dims4(input, "pool input")?;
+    let oh = conv_out_dim(h, k, stride, 0);
+    let ow = conv_out_dim(w, k, stride, 0);
+    let x = input.data();
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut idx = vec![0u32; b * c * oh * ow];
+    for n in 0..b {
+        for ci in 0..c {
+            let ibase = ((n * c) + ci) * h * w;
+            let obase = ((n * c) + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let ii = ibase + (oy * stride + ky) * w + (ox * stride + kx);
+                            if x[ii] > best {
+                                best = x[ii];
+                                best_i = ii;
+                            }
+                        }
+                    }
+                    out[obase + oy * ow + ox] = best;
+                    idx[obase + oy * ow + ox] = best_i as u32;
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec([b, c, oh, ow], out)?, idx))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// element that was the window maximum.
+pub fn max_pool2d_backward(
+    input_shape: &crate::Shape,
+    argmax: &[u32],
+    grad: &Tensor,
+) -> Result<Tensor, TensorError> {
+    if argmax.len() != grad.len() {
+        return Err(TensorError::Incompatible(format!(
+            "argmax length {} vs grad {}",
+            argmax.len(),
+            grad.len()
+        )));
+    }
+    let mut dx = vec![0.0f32; input_shape.num_elements()];
+    for (&i, &g) in argmax.iter().zip(grad.data()) {
+        dx[i as usize] += g;
+    }
+    Tensor::from_vec(input_shape.clone(), dx)
+}
+
+/// Global average pooling: `[b, c, h, w] -> [b, c]`.
+///
+/// The backward pass is a uniform spread of `grad / (h*w)`, done inline by the
+/// pooling layer in `nautilus-dnn`.
+pub fn avg_pool2d_global(input: &Tensor) -> Result<Tensor, TensorError> {
+    let (b, c, h, w) = dims4(input, "gap input")?;
+    let x = input.data();
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = vec![0.0f32; b * c];
+    for n in 0..b {
+        for ci in 0..c {
+            let ibase = ((n * c) + ci) * h * w;
+            out[n * c + ci] = x[ibase..ibase + h * w].iter().sum::<f32>() * inv;
+        }
+    }
+    Tensor::from_vec([b, c], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, seeded_rng};
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8); // "same" padding
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(8, 2, 2, 0), 4);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // 1x1 kernel with weight 1, bias 0 == identity.
+        let x = randn([1, 1, 3, 3], 1.0, &mut seeded_rng(1));
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_hand_checked_3x3() {
+        // 2x2 input, 2x2 kernel, no pad, stride 1 -> single output.
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec([1], vec![0.5]).unwrap();
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y.shape().0, vec![1, 1, 1, 1]);
+        assert_eq!(y.data(), &[1.0 + 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv_same_padding_keeps_spatial_dims() {
+        let x = randn([2, 3, 5, 5], 1.0, &mut seeded_rng(2));
+        let w = randn([4, 3, 3, 3], 0.1, &mut seeded_rng(3));
+        let b = Tensor::zeros([4]);
+        let y = conv2d(&x, &w, &b, 1, 1).unwrap();
+        assert_eq!(y.shape().0, vec![2, 4, 5, 5]);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let x = randn([1, 2, 4, 4], 1.0, &mut seeded_rng(4));
+        let w = randn([3, 2, 3, 3], 0.2, &mut seeded_rng(5));
+        let b = Tensor::zeros([3]);
+        let loss = |xi: &Tensor, wi: &Tensor| conv2d(xi, wi, &b, 1, 1).unwrap().sum();
+        let g = Tensor::ones(conv2d(&x, &w, &b, 1, 1).unwrap().shape().clone());
+        let (dx, dw, db) = conv2d_backward(&x, &w, &g, 1, 1).unwrap();
+        let eps = 1e-2f32;
+        // Spot-check a few input coordinates.
+        for &i in &[0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - dx.data()[i]).abs() < 2e-2, "dx[{i}]: {num} vs {}", dx.data()[i]);
+        }
+        // Spot-check a few weight coordinates.
+        for &i in &[0usize, 5, 17, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw.data()[i]).abs() < 5e-2, "dw[{i}]: {num} vs {}", dw.data()[i]);
+        }
+        // Bias gradient: each output position contributes 1.
+        assert!(db.data().iter().all(|&v| (v - 16.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn max_pool_and_backward() {
+        let x = Tensor::from_vec(
+            [1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 7.0],
+        )
+        .unwrap();
+        let (y, idx) = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.shape().0, vec![1, 1, 1, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0]);
+        let g = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let dx = max_pool2d_backward(x.shape(), &idx, &g).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let y = avg_pool2d_global(&x).unwrap();
+        assert_eq!(y.shape().0, vec![1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let x3 = Tensor::zeros([1, 2, 3]);
+        assert!(avg_pool2d_global(&x3).is_err());
+        assert!(max_pool2d(&x3, 2, 2).is_err());
+    }
+}

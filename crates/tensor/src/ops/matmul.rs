@@ -1,0 +1,217 @@
+//! Matrix multiplication kernels.
+//!
+//! The tensor operands are interpreted as matrices via
+//! [`Tensor::as_matrix`]: every axis but the innermost is flattened into the
+//! row dimension. This matches how dense layers apply to `[batch, seq, dim]`
+//! activations. Kernels use the cache-friendly `i-k-j` loop order.
+
+use crate::{Tensor, TensorError};
+
+/// Above this many multiply-adds, [`matmul`]/[`matmul_tb`] split their
+/// output rows across threads. Row partitioning keeps results bit-identical
+/// to the sequential kernel regardless of thread count.
+const PAR_THRESHOLD: usize = 1 << 22;
+
+fn num_threads(work: usize) -> usize {
+    if work < PAR_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
+    for (arow, orow) in ad.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`, with `A` flattened as `(outer, last)`.
+///
+/// The result keeps `A`'s outer axes and replaces the innermost axis with
+/// `B`'s column count. Large products run on multiple threads.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, ad) = a.as_matrix();
+    let (bk, n, bd) = b.as_matrix();
+    if k != bk {
+        return Err(TensorError::Incompatible(format!(
+            "matmul inner dims: {} vs {}",
+            k, bk
+        )));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let threads = num_threads(m * k * n).min(m.max(1));
+    if threads <= 1 {
+        matmul_rows(ad, bd, &mut out, k, n);
+    } else {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (achunk, ochunk) in
+                ad.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n))
+            {
+                scope.spawn(move |_| matmul_rows(achunk, bd, ochunk, k, n));
+            }
+        })
+        .expect("matmul worker panicked");
+    }
+    Tensor::from_vec(a.shape().with_last_dim(n), out)
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `(m, k)` — i.e. `A` transposed.
+///
+/// Used for parameter gradients: `dW = Xᵀ · dY`.
+pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, ad) = a.as_matrix();
+    let (bm, n, bd) = b.as_matrix();
+    if m != bm {
+        return Err(TensorError::Incompatible(format!(
+            "matmul_ta outer dims: {} vs {}",
+            m, bm
+        )));
+    }
+    let mut out = vec![0.0f32; k * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let brow = &bd[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([k, n], out)
+}
+
+fn matmul_tb_rows(ad: &[f32], bd: &[f32], out: &mut [f32], n: usize, k: usize) {
+    for (arow, orow) in ad.chunks_exact(n).zip(out.chunks_exact_mut(k)) {
+        for (p, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[p * n..(p + 1) * n];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `(k, n)` — i.e. `B` transposed.
+///
+/// Used for input gradients: `dX = dY · Wᵀ`. Large products run on
+/// multiple threads.
+pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, n, ad) = a.as_matrix();
+    let (k, bn, bd) = b.as_matrix();
+    if n != bn {
+        return Err(TensorError::Incompatible(format!(
+            "matmul_tb inner dims: {} vs {}",
+            n, bn
+        )));
+    }
+    let mut out = vec![0.0f32; m * k];
+    let threads = num_threads(m * k * n).min(m.max(1));
+    if threads <= 1 {
+        matmul_tb_rows(ad, bd, &mut out, n, k);
+    } else {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (achunk, ochunk) in
+                ad.chunks(rows_per * n).zip(out.chunks_mut(rows_per * k))
+            {
+                scope.spawn(move |_| matmul_tb_rows(achunk, bd, ochunk, n, k));
+            }
+        })
+        .expect("matmul_tb worker panicked");
+    }
+    Tensor::from_vec(a.shape().with_last_dim(k), out)
+}
+
+/// FLOPs for a mat-mul of `(m, k) · (k, n)`: one multiply and one add per
+/// inner-product term.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], v: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x2_hand_checked() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_keeps_outer_axes() {
+        let a = Tensor::ones([2, 3, 4]);
+        let b = Tensor::ones([4, 5]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().0, vec![2, 3, 5]);
+        assert!(c.data().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::ones([4, 5]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[2, 4], &[1.0, 0.0, 2.0, 1.0, 0.0, 1.0, 1.0, 3.0]);
+        // matmul_ta(a, b) == aT . b, shapes (3,2)·(2,4) = (3,4)
+        let at = t(&[3, 2], &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(matmul_ta(&a, &b).unwrap(), matmul(&at, &b).unwrap());
+
+        // matmul_tb(x, w) == x . wT with w (k,n): shapes (2,3)·(3,4)... build w (4,3)
+        let x = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = t(&[4, 3], &[1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 3.0, 1.0, 1.0, 1.0, 1.0]);
+        let wt = t(&[3, 4], &[1.0, 2.0, 0.0, 1.0, 0.0, 1.0, 3.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(matmul_tb(&x, &w).unwrap(), matmul(&x, &wt).unwrap());
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        use crate::init::{randn, seeded_rng};
+        // 256*128*256 mult-adds = 8.4M > PAR_THRESHOLD: exercises the
+        // threaded path; row partitioning must be bit-identical.
+        let mut rng = seeded_rng(77);
+        let a = randn([256, 128], 1.0, &mut rng);
+        let b = randn([128, 256], 1.0, &mut rng);
+        let par = matmul(&a, &b).unwrap();
+        let mut seq = vec![0.0f32; 256 * 256];
+        matmul_rows(a.data(), b.data(), &mut seq, 128, 256);
+        assert_eq!(par.data(), &seq[..]);
+
+        let bt = randn([256, 256], 1.0, &mut rng);
+        let par_tb = matmul_tb(&a.reshape([128, 256]).unwrap(), &bt).unwrap();
+        let mut seq_tb = vec![0.0f32; 128 * 256];
+        matmul_tb_rows(a.data(), bt.data(), &mut seq_tb, 256, 256);
+        assert_eq!(par_tb.data(), &seq_tb[..]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Tensor operations, grouped by kind.
+//!
+//! All operations are pure functions over [`crate::Tensor`] values; layers in
+//! the `nautilus-dnn` crate compose them into forward/backward passes. Ops
+//! come in pairs where the model zoo needs gradients (e.g.
+//! [`nn::softmax_last`] / [`nn::softmax_last_backward`]).
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod nn;
+pub mod reduce;
+
+pub use conv::{avg_pool2d_global, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward};
+pub use elementwise::{add, add_assign, axpy, hadamard, scale, sub};
+pub use matmul::{matmul, matmul_ta, matmul_tb};
+pub use nn::{
+    cross_entropy_logits, gelu, gelu_backward, layer_norm, layer_norm_backward, relu,
+    relu_backward, softmax_last, softmax_last_backward, tanh_act, tanh_backward,
+};
+pub use reduce::{argmax_last, mean_axis0, sum_axis0, sum_rows};

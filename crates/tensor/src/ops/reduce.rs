@@ -1,0 +1,107 @@
+//! Reductions used by losses, pooling, and gradient accumulation.
+
+use crate::{Tensor, TensorError};
+
+/// Sums over the outermost axis: `[n, ...] -> [...]`.
+///
+/// Used to accumulate per-record bias gradients into one parameter gradient.
+pub fn sum_axis0(a: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() == 0 {
+        return Ok(a.clone());
+    }
+    let inner = a.shape().without_batch();
+    let n = a.shape().dim(0);
+    let m = inner.num_elements();
+    let mut out = vec![0.0f32; m];
+    for i in 0..n {
+        let row = &a.data()[i * m..(i + 1) * m];
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    Tensor::from_vec(inner, out)
+}
+
+/// Mean over the outermost axis: `[n, ...] -> [...]`.
+pub fn mean_axis0(a: &Tensor) -> Result<Tensor, TensorError> {
+    let n = if a.shape().rank() == 0 { 1 } else { a.shape().dim(0) };
+    let mut s = sum_axis0(a)?;
+    if n > 0 {
+        let inv = 1.0 / n as f32;
+        s.map_in_place(|x| x * inv);
+    }
+    Ok(s)
+}
+
+/// Sums over every axis except the innermost: `[..., d] -> [d]`.
+///
+/// This is the bias-gradient reduction for activations shaped
+/// `[batch, seq, d]`.
+pub fn sum_rows(a: &Tensor) -> Result<Tensor, TensorError> {
+    let (rows, cols, data) = a.as_matrix();
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    Tensor::from_vec([cols], out)
+}
+
+/// Index of the maximum element along the innermost axis, per row:
+/// `[..., d] -> outer_elements` indices.
+pub fn argmax_last(a: &Tensor) -> Vec<usize> {
+    let (rows, cols, data) = a.as_matrix();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (i, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis0_accumulates_records() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]).unwrap();
+        let s = sum_axis0(&a).unwrap();
+        assert_eq!(s.shape().0, vec![3]);
+        assert_eq!(s.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn mean_axis0_divides_by_batch() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 3.0, 3.0, 5.0]).unwrap();
+        assert_eq!(mean_axis0(&a).unwrap().data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_rows_reduces_all_outer_axes() {
+        let a = Tensor::from_vec([2, 2, 2], vec![1.0; 8]).unwrap();
+        let s = sum_rows(&a).unwrap();
+        assert_eq!(s.shape().0, vec![2]);
+        assert_eq!(s.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_last_per_row() {
+        let a = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]).unwrap();
+        assert_eq!(argmax_last(&a), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_first() {
+        let a = Tensor::from_vec([1, 3], vec![1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(argmax_last(&a), vec![0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Compact binary serialization for tensors.
+//!
+//! Format (little-endian):
+//! `magic "NTSR" | u32 version | u32 rank | u64 dim... | f32 data...`
+//!
+//! Used by the checkpoint store and the materialized-feature store. The
+//! format is deliberately self-describing so that a store chunk can be read
+//! back without consulting its manifest.
+
+use crate::{Shape, Tensor, TensorError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"NTSR";
+const VERSION: u32 = 1;
+
+/// Errors produced when decoding serialized tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// The version field is not supported by this build.
+    BadVersion(u32),
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// The declared shape implies an implausibly large payload.
+    TooLarge(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad tensor magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported tensor format version {v}"),
+            DecodeError::Truncated => write!(f, "truncated tensor buffer"),
+            DecodeError::TooLarge(n) => write!(f, "declared tensor size {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound on a single serialized tensor's element count (16 Gi elements),
+/// guarding decode against corrupt headers.
+const MAX_ELEMENTS: u64 = 1 << 34;
+
+/// Serialized size in bytes of a tensor of the given shape.
+pub fn encoded_len(shape: &Shape) -> usize {
+    4 + 4 + 4 + 8 * shape.rank() + crate::ELEM_BYTES * shape.num_elements()
+}
+
+/// Appends the tensor's serialized form to `buf`.
+pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
+    buf.reserve(encoded_len(t.shape()));
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in &t.shape().0 {
+        buf.put_u64_le(d as u64);
+    }
+    for &x in t.data() {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Serializes one tensor into a fresh buffer.
+pub fn encode(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(t.shape()));
+    encode_into(t, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes one tensor from the front of `buf`, advancing it past the payload.
+pub fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
+    if buf.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if buf.remaining() < rank * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut elems: u64 = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le();
+        elems = elems.saturating_mul(d);
+        dims.push(d as usize);
+    }
+    if elems > MAX_ELEMENTS {
+        return Err(DecodeError::TooLarge(elems));
+    }
+    let n = elems as usize;
+    if buf.remaining() < n * crate::ELEM_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(dims, data).map_err(|_| DecodeError::Truncated)
+}
+
+/// Decodes a single tensor that occupies the whole buffer.
+pub fn decode(mut bytes: Bytes) -> Result<Tensor, DecodeError> {
+    decode_from(&mut bytes)
+}
+
+/// Serializes a sequence of tensors back-to-back.
+pub fn encode_many(tensors: &[Tensor]) -> Bytes {
+    let total: usize = tensors.iter().map(|t| encoded_len(t.shape())).sum();
+    let mut buf = BytesMut::with_capacity(total);
+    for t in tensors {
+        encode_into(t, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes back-to-back tensors until the buffer is exhausted.
+pub fn decode_many(mut bytes: Bytes) -> Result<Vec<Tensor>, DecodeError> {
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        out.push(decode_from(&mut bytes)?);
+    }
+    Ok(out)
+}
+
+impl From<DecodeError> for TensorError {
+    fn from(e: DecodeError) -> Self {
+        TensorError::Incompatible(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, seeded_rng};
+
+    #[test]
+    fn round_trip_single() {
+        let t = randn([3, 4, 5], 1.0, &mut seeded_rng(1));
+        let b = encode(&t);
+        assert_eq!(b.len(), encoded_len(t.shape()));
+        assert_eq!(decode(b).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trip_scalar_and_empty() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(decode(encode(&s)).unwrap(), s);
+        let e = Tensor::zeros([0]);
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn round_trip_many() {
+        let ts: Vec<Tensor> =
+            (0..5).map(|i| randn([2, i + 1], 1.0, &mut seeded_rng(i as u64))).collect();
+        let b = encode_many(&ts);
+        assert_eq!(decode_many(b).unwrap(), ts);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = BytesMut::new();
+        b.put_slice(b"XXXX");
+        b.put_u32_le(1);
+        b.put_u32_le(0);
+        assert_eq!(decode(b.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = randn([4, 4], 1.0, &mut seeded_rng(2));
+        let b = encode(&t);
+        let cut = b.slice(0..b.len() - 3);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_oversized_header() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u32_le(VERSION);
+        b.put_u32_le(2);
+        b.put_u64_le(1 << 40);
+        b.put_u64_le(1 << 40);
+        assert!(matches!(decode(b.freeze()), Err(DecodeError::TooLarge(_))));
+    }
+}

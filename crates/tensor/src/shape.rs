@@ -1,0 +1,218 @@
+//! Tensor shapes and shape arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by shape construction and compatibility checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant docs describe the self-named fields
+pub enum ShapeError {
+    /// Two shapes that must match element-wise do not.
+    Mismatch { left: Vec<usize>, right: Vec<usize> },
+    /// A reshape target has a different element count than the source.
+    ElementCount { from: Vec<usize>, to: Vec<usize> },
+    /// An axis index is out of range for the shape's rank.
+    AxisOutOfRange { axis: usize, rank: usize },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Mismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            ShapeError::ElementCount { from, to } => {
+                write!(f, "reshape element count mismatch: {from:?} -> {to:?}")
+            }
+            ShapeError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A tensor shape: the extent of every axis, outermost first.
+///
+/// Shapes are cheap to clone (a single small `Vec`) and are used pervasively
+/// for size/FLOP estimation in the profiler, so the helper methods here return
+/// plain integers rather than iterators.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of axis `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of all extents; 1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size in bytes when stored as f32.
+    pub fn num_bytes(&self) -> usize {
+        self.num_elements() * crate::ELEM_BYTES
+    }
+
+    /// Extent of the innermost (last) axis; 1 for a scalar.
+    pub fn last_dim(&self) -> usize {
+        *self.0.last().unwrap_or(&1)
+    }
+
+    /// All extents except the innermost axis, i.e. the number of "rows" when
+    /// the tensor is viewed as a matrix of `last_dim()`-length vectors.
+    pub fn outer_elements(&self) -> usize {
+        if self.0.is_empty() {
+            1
+        } else {
+            self.0[..self.0.len() - 1].iter().product()
+        }
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (s, d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= *d;
+        }
+        strides
+    }
+
+    /// Returns the shape with a batch axis of extent `n` prepended.
+    pub fn with_batch(&self, n: usize) -> Shape {
+        let mut dims = Vec::with_capacity(self.0.len() + 1);
+        dims.push(n);
+        dims.extend_from_slice(&self.0);
+        Shape(dims)
+    }
+
+    /// Returns the shape with the outermost axis removed.
+    ///
+    /// Used to go from a batched shape back to the per-record shape.
+    pub fn without_batch(&self) -> Shape {
+        Shape(self.0.get(1..).unwrap_or(&[]).to_vec())
+    }
+
+    /// Returns a copy with the innermost axis replaced by `d`.
+    pub fn with_last_dim(&self, d: usize) -> Shape {
+        let mut dims = self.0.clone();
+        if let Some(last) = dims.last_mut() {
+            *last = d;
+        } else {
+            dims.push(d);
+        }
+        Shape(dims)
+    }
+
+    /// Checks element-wise equality, returning a descriptive error otherwise.
+    pub fn expect_eq(&self, other: &Shape) -> Result<(), ShapeError> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(ShapeError::Mismatch { left: self.0.clone(), right: other.0.clone() })
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_and_bytes() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.num_bytes(), 96);
+        assert_eq!(Shape::scalar().num_elements(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let s = Shape::new([3, 4]);
+        let b = s.with_batch(8);
+        assert_eq!(b, Shape::new([8, 3, 4]));
+        assert_eq!(b.without_batch(), s);
+    }
+
+    #[test]
+    fn outer_and_last() {
+        let s = Shape::new([2, 5, 7]);
+        assert_eq!(s.last_dim(), 7);
+        assert_eq!(s.outer_elements(), 10);
+        assert_eq!(s.with_last_dim(3), Shape::new([2, 5, 3]));
+    }
+
+    #[test]
+    fn expect_eq_reports_mismatch() {
+        let a = Shape::new([2, 3]);
+        let b = Shape::new([3, 2]);
+        assert!(a.expect_eq(&a).is_ok());
+        let err = a.expect_eq(&b).unwrap_err();
+        assert!(matches!(err, ShapeError::Mismatch { .. }));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new([2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,312 @@
+//! The core dense tensor type.
+
+use crate::shape::{Shape, ShapeError};
+use std::fmt;
+
+/// Errors produced by tensor construction and operations.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the self-named fields
+pub enum TensorError {
+    /// Shape-level problem (mismatch, bad reshape, bad axis).
+    Shape(ShapeError),
+    /// The provided data buffer does not match the shape's element count.
+    DataLength { expected: usize, actual: usize },
+    /// Operation-specific incompatibility with a human-readable description.
+    Incompatible(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => write!(f, "{e}"),
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} elements)")
+            }
+            TensorError::Incompatible(msg) => write!(f, "incompatible operands: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}
+
+/// A dense, row-major, contiguous f32 tensor.
+///
+/// This is the only runtime data representation in the reproduction: model
+/// parameters, activations, gradients, materialized features, and dataset
+/// records are all `Tensor`s. Integer payloads (token ids, class labels) are
+/// stored as exact small floats, mirroring how the paper's Keras pipeline
+/// feeds ids through `float32` placeholders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and matching data buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::DataLength {
+                expected: shape.num_elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A rank-0 tensor holding one value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> f32 {
+        debug_assert_eq!(self.data.len(), 1, "item() on multi-element tensor");
+        self.data[0]
+    }
+
+    /// Returns a reshaped copy sharing no storage; element count must match.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != self.data.len() {
+            return Err(TensorError::Shape(ShapeError::ElementCount {
+                from: self.shape.0.clone(),
+                to: shape.0.clone(),
+            }));
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// In-place reshape; element count must match.
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<(), TensorError> {
+        let shape = shape.into();
+        if shape.num_elements() != self.data.len() {
+            return Err(TensorError::Shape(ShapeError::ElementCount {
+                from: self.shape.0.clone(),
+                to: shape.0.clone(),
+            }));
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Views the tensor as a `(rows, cols)` matrix where `cols` is the
+    /// innermost axis extent. Panics in debug builds if the tensor is a scalar.
+    pub fn as_matrix(&self) -> (usize, usize, &[f32]) {
+        (self.shape.outer_elements(), self.shape.last_dim(), &self.data)
+    }
+
+    /// Returns the `i`-th outermost slice (e.g. record `i` of a batch) as a
+    /// new tensor with the leading axis removed.
+    pub fn outer_slice(&self, i: usize) -> Tensor {
+        debug_assert!(self.shape.rank() >= 1);
+        let inner = self.shape.without_batch();
+        let n = inner.num_elements();
+        let start = i * n;
+        Tensor { shape: inner, data: self.data[start..start + n].to_vec() }
+    }
+
+    /// Stacks per-record tensors (all of identical shape) into one batched
+    /// tensor with a new leading axis.
+    pub fn stack(records: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = records.first().ok_or_else(|| {
+            TensorError::Incompatible("stack of zero tensors".to_string())
+        })?;
+        let inner = first.shape.clone();
+        let mut data = Vec::with_capacity(records.len() * first.len());
+        for r in records {
+            r.shape.expect_eq(&inner)?;
+            data.extend_from_slice(&r.data);
+        }
+        Ok(Tensor { shape: inner.with_batch(records.len()), data })
+    }
+
+    /// Concatenates tensors along the outermost axis (they must agree on all
+    /// inner axes).
+    pub fn concat_outer(parts: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = parts.first().ok_or_else(|| {
+            TensorError::Incompatible("concat of zero tensors".to_string())
+        })?;
+        let inner = first.shape.without_batch();
+        let mut total = 0usize;
+        for p in parts {
+            p.shape.without_batch().expect_eq(&inner)?;
+            total += p.shape.dim(0);
+        }
+        let mut data = Vec::with_capacity(total * inner.num_elements());
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor { shape: inner.with_batch(total), data })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec([2, 2], vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::DataLength { expected: 4, actual: 3 }));
+    }
+
+    #[test]
+    fn zeros_ones_full_scalar() {
+        assert_eq!(Tensor::zeros([2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full([2], 2.5).data(), &[2.5, 2.5]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.shape(), &Shape::new([3, 2]));
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn stack_and_outer_slice_round_trip() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![4.0, 5.0, 6.0]).unwrap();
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &Shape::new([2, 3]));
+        assert_eq!(s.outer_slice(0), a);
+        assert_eq!(s.outer_slice(1), b);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros([3]);
+        let b = Tensor::zeros([4]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_outer_appends_batches() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec([1, 2], vec![5.0, 6.0]).unwrap();
+        let c = Tensor::concat_outer(&[a, b]).unwrap();
+        assert_eq!(c.shape(), &Shape::new([3, 2]));
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn map_and_stats() {
+        let t = Tensor::from_vec([2, 2], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        assert_eq!(t.map(f32::abs).sum(), 10.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max_abs(), 4.0);
+        assert!(t.all_finite());
+        let mut u = t.clone();
+        u.map_in_place(|x| x * 2.0);
+        assert_eq!(u.sum(), 4.0);
+        let nan = Tensor::from_vec([1], vec![f32::NAN]).unwrap();
+        assert!(!nan.all_finite());
+    }
+
+    #[test]
+    fn as_matrix_view() {
+        let t = Tensor::zeros([2, 3, 4]);
+        let (rows, cols, data) = t.as_matrix();
+        assert_eq!((rows, cols), (6, 4));
+        assert_eq!(data.len(), 24);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for tensor algebra invariants.
+
+use nautilus_tensor::ops::{add, hadamard, matmul, matmul_ta, matmul_tb, scale, softmax_last, sum_axis0};
+use nautilus_tensor::ser;
+use nautilus_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=3usize)
+        .prop_flat_map(move |rank| proptest::collection::vec(1..=max_dim, rank))
+        .prop_flat_map(|dims| {
+            let n: usize = dims.iter().product();
+            proptest::collection::vec(-10.0f32..10.0, n)
+                .prop_map(move |data| Tensor::from_vec(dims.clone(), data).unwrap())
+        })
+}
+
+fn matrix_pair(max: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max, 1..=max, 1..=max).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| Tensor::from_vec([m, k], d).unwrap());
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| Tensor::from_vec([k, n], d).unwrap());
+        (a, b)
+    })
+}
+
+fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialization_round_trips(t in tensor_strategy(6)) {
+        let back = ser::decode(ser::encode(&t)).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn add_is_commutative(t in tensor_strategy(5)) {
+        let u = scale(&t, 0.5);
+        prop_assert_eq!(add(&t, &u).unwrap(), add(&u, &t).unwrap());
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(t in tensor_strategy(5)) {
+        let ones = Tensor::ones(t.shape().clone());
+        prop_assert_eq!(hadamard(&t, &ones).unwrap(), t);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in tensor_strategy(4)) {
+        let u = scale(&t, -0.3);
+        let lhs = scale(&add(&t, &u).unwrap(), 2.0);
+        let rhs = add(&scale(&t, 2.0), &scale(&u, 2.0)).unwrap();
+        assert_close(&lhs, &rhs, 1e-5);
+    }
+
+    #[test]
+    fn matmul_identity((a, _) in matrix_pair(5)) {
+        let k = a.shape().dim(1);
+        let mut eye = Tensor::zeros([k, k]);
+        for i in 0..k {
+            eye.data_mut()[i * k + i] = 1.0;
+        }
+        assert_close(&matmul(&a, &eye).unwrap(), &a, 1e-5);
+    }
+
+    #[test]
+    fn transposed_matmuls_consistent((a, b) in matrix_pair(5)) {
+        // (A·B)ᵀ column check via matmul_ta/matmul_tb round trip:
+        // matmul_ta(A, A·B) = Aᵀ·A·B and matmul(AᵀA, B) must agree.
+        let ab = matmul(&a, &b).unwrap();
+        let lhs = matmul_ta(&a, &ab).unwrap();
+        let ata = matmul_ta(&a, &a).unwrap();
+        let rhs = matmul(&ata, &b).unwrap();
+        assert_close(&lhs, &rhs, 1e-3);
+
+        // matmul_tb(A·B, B) = A·B·Bᵀ and matmul(A, B·Bᵀ) must agree.
+        let lhs2 = matmul_tb(&ab, &b).unwrap();
+        let bbt = matmul_tb(&b, &b).unwrap();
+        let rhs2 = matmul(&a, &bbt).unwrap();
+        assert_close(&lhs2, &rhs2, 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(6)) {
+        let y = softmax_last(&t);
+        let (rows, cols, data) = y.as_matrix();
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sum_axis0_matches_manual(t in tensor_strategy(5)) {
+        if t.shape().rank() >= 1 {
+            let s = sum_axis0(&t).unwrap();
+            let n = t.shape().dim(0);
+            let manual = (0..n).fold(Tensor::zeros(t.shape().without_batch()), |acc, i| {
+                add(&acc, &t.outer_slice(i)).unwrap()
+            });
+            assert_close(&s, &manual, 1e-4);
+        }
+    }
+
+    #[test]
+    fn stack_then_slice_round_trips(t in tensor_strategy(4)) {
+        let parts: Vec<Tensor> = vec![t.clone(), scale(&t, 2.0), scale(&t, -1.0)];
+        let stacked = Tensor::stack(&parts).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert_eq!(&stacked.outer_slice(i), p);
+        }
+    }
+}

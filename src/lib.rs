@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Nautilus reproduction — umbrella crate.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests (and downstream users) can depend on a single crate:
+//!
+//! * [`core`] — the Nautilus system itself (sessions, optimizers, plans);
+//! * [`dnn`] — the deep-learning training substrate;
+//! * [`tensor`] — the tensor math substrate;
+//! * [`milp`] — the MILP solver substrate;
+//! * [`store`] — feature/checkpoint storage with IO accounting;
+//! * [`data`] — synthetic datasets and labeling sessions;
+//! * [`models`] — MiniBERT/MiniResNet and transfer-learning builders.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use nautilus_repro::core::session::{CycleInput, ModelSelection};
+//! use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+//! use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+//!
+//! let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+//! let candidates = spec.candidates().expect("workload builds");
+//! let mut session = ModelSelection::new(
+//!     candidates,
+//!     SystemConfig::tiny(),
+//!     Strategy::Nautilus,
+//!     BackendKind::Real,
+//!     "/tmp/nautilus-quickstart",
+//! )
+//! .expect("session initializes");
+//!
+//! let pool = spec.ner_config().generate(60);
+//! let (train, valid) = pool.split_at(48);
+//! let report = session.fit(CycleInput::Real { train, valid }).expect("cycle runs");
+//! println!("best model: {:?}", report.best);
+//! ```
+
+pub use nautilus_core as core;
+pub use nautilus_data as data;
+pub use nautilus_dnn as dnn;
+pub use nautilus_milp as milp;
+pub use nautilus_models as models;
+pub use nautilus_store as store;
+pub use nautilus_tensor as tensor;

@@ -1,0 +1,78 @@
+//! Cross-crate integration: Nautilus's optimized execution is logically
+//! equivalent to Current Practice (the paper's correctness claim behind
+//! Fig 7) and strictly cheaper in compute.
+
+use nautilus_repro::core::session::{CycleInput, ModelSelection};
+use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use std::path::PathBuf;
+
+type CycleAccuracies = Vec<Vec<(String, Option<f32>)>>;
+
+fn workdir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "nautilus-it-eq-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn run(
+    kind: WorkloadKind,
+    strategy: Strategy,
+    models: usize,
+    tag: &str,
+) -> (CycleAccuracies, f64) {
+    let spec = WorkloadSpec { kind, scale: Scale::Tiny };
+    let mut candidates = spec.candidates().expect("workload builds");
+    candidates.truncate(models);
+    let mut session = ModelSelection::new(
+        candidates,
+        SystemConfig::tiny(),
+        strategy,
+        BackendKind::Real,
+        workdir(&format!("{tag}-{}", strategy.label().replace('/', "_"))),
+    )
+    .expect("session initializes");
+    let pool = match kind {
+        WorkloadKind::Ftu => spec.image_config().generate(60),
+        _ => spec.ner_config().generate(60),
+    };
+    let mut acc = Vec::new();
+    for cycle in 0..2 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        let report = session.fit(CycleInput::Real { train, valid }).expect("cycle runs");
+        let mut a = report.accuracies;
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        acc.push(a);
+    }
+    (acc, session.stats().flops)
+}
+
+#[test]
+fn ftr_nautilus_matches_current_practice_with_less_compute() {
+    let (base, base_flops) = run(WorkloadKind::Ftr2, Strategy::CurrentPractice, 4, "ftr");
+    let (opt, opt_flops) = run(WorkloadKind::Ftr2, Strategy::Nautilus, 4, "ftr");
+    assert_eq!(base, opt, "validation accuracies must match exactly");
+    assert!(
+        opt_flops < base_flops / 2.0,
+        "nautilus {opt_flops:.2e} flops vs current practice {base_flops:.2e}"
+    );
+}
+
+#[test]
+fn ftu_nautilus_matches_current_practice() {
+    let (base, base_flops) = run(WorkloadKind::Ftu, Strategy::CurrentPractice, 3, "ftu");
+    let (opt, opt_flops) = run(WorkloadKind::Ftu, Strategy::Nautilus, 3, "ftu");
+    assert_eq!(base, opt);
+    assert!(opt_flops < base_flops, "{opt_flops:.2e} vs {base_flops:.2e}");
+}
+
+#[test]
+fn atr_nautilus_matches_current_practice() {
+    let (base, _) = run(WorkloadKind::Atr, Strategy::CurrentPractice, 3, "atr");
+    let (opt, _) = run(WorkloadKind::Atr, Strategy::Nautilus, 3, "atr");
+    assert_eq!(base, opt);
+}

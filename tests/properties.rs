@@ -1,0 +1,106 @@
+//! Cross-crate property tests: planner invariants on randomized workloads.
+
+use nautilus_repro::core::fusion::fuse_models;
+use nautilus_repro::core::mat_opt::{
+    choose_materialization, no_reuse_plan, plan_given_v, validate_plan,
+};
+use nautilus_repro::core::multimodel::MultiModelGraph;
+use nautilus_repro::core::spec::{CandidateModel, Hyper};
+use nautilus_repro::core::SystemConfig;
+use nautilus_repro::dnn::{OptimizerSpec, TaskKind};
+use nautilus_repro::models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
+use nautilus_repro::models::BuildScale;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn candidate(strategy_idx: usize, lr: f32, batch: usize, epochs: usize, id: usize) -> CandidateModel {
+    let cfg = BertConfig::tiny(8, 40);
+    let strategy = FeatureStrategy::ALL[strategy_idx % FeatureStrategy::ALL.len()];
+    CandidateModel {
+        name: format!("c{id}-{}-{lr}-{batch}-{epochs}", strategy.label()),
+        graph: feature_transfer_model(&cfg, strategy, 5, BuildScale::Real).unwrap(),
+        hyper: Hyper { batch_size: batch, epochs, optimizer: OptimizerSpec::sgd(lr) },
+        task: TaskKind::TokenTagging,
+    }
+}
+
+fn workload_strategy() -> impl Strategy<Value = Vec<CandidateModel>> {
+    proptest::collection::vec(
+        (0..6usize, 1..5u32, prop_oneof![Just(4usize), Just(8)], 1..3usize),
+        1..5,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, lr, b, e))| candidate(s, lr as f32 * 1e-3, b, e, i))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The MILP's chosen V always fits the budget, and the resulting plans
+    /// are valid (Def 4.5) and never costlier than the no-reuse plan.
+    #[test]
+    fn mat_opt_plans_are_valid_and_never_worse(
+        cands in workload_strategy(),
+        budget_kb in 0u64..2048,
+    ) {
+        let mut cfg = SystemConfig::tiny();
+        cfg.disk_budget_bytes = budget_kb << 10;
+        cfg.planner.flops_per_sec = 2e9;
+        let r = 64usize;
+        let multi = MultiModelGraph::build(&cands);
+        let res = choose_materialization(&multi, &cands, &cfg, r);
+        let total: u64 = res
+            .materialized
+            .iter()
+            .map(|&m| multi.node(m).profile.out_bytes * r as u64)
+            .sum();
+        prop_assert!(total <= cfg.disk_budget_bytes, "V storage {total} > budget");
+        for i in 0..cands.len() {
+            let plan = plan_given_v(&multi, &[i], &res.materialized, &cfg);
+            validate_plan(&multi, &[i], &res.materialized, &plan.actions)
+                .map_err(TestCaseError::fail)?;
+            let base = no_reuse_plan(&multi, &[i], &cfg);
+            prop_assert!(plan.cost_flops <= base.cost_flops + 1.0,
+                "reuse plan ({}) worse than no-reuse ({})",
+                plan.cost_flops, base.cost_flops);
+        }
+    }
+
+    /// Fusion covers every model exactly once, only fuses compatible
+    /// hyperparameters, and never increases total planned cost.
+    #[test]
+    fn fusion_partitions_and_improves(cands in workload_strategy()) {
+        let cfg = SystemConfig::tiny();
+        let multi = MultiModelGraph::build(&cands);
+        let v = BTreeSet::new();
+        let units = fuse_models(&multi, &cands, &v, &cfg, true);
+        let mut covered: Vec<usize> =
+            units.iter().flat_map(|u| u.members.clone()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..cands.len()).collect::<Vec<_>>());
+        let mut fused_total = 0.0;
+        for u in &units {
+            for (k, &m) in u.members.iter().enumerate() {
+                prop_assert_eq!(cands[m].hyper.batch_size, u.batch_size);
+                prop_assert_eq!(cands[m].hyper.epochs, u.member_epochs[k]);
+            }
+            prop_assert_eq!(u.epochs, u.member_epochs.iter().copied().max().unwrap());
+            fused_total += u.weighted_cost_flops;
+        }
+        let solo_total: f64 = (0..cands.len())
+            .map(|i| {
+                let plan = plan_given_v(&multi, &[i], &v, &cfg);
+                nautilus_repro::core::fusion::unit_cost_flops(
+                    &multi, &plan.actions, &cands, &[i], &cfg,
+                )
+            })
+            .sum();
+        prop_assert!(fused_total <= solo_total + 1.0,
+            "fusion increased planned cost: {fused_total} > {solo_total}");
+    }
+}
