@@ -1,8 +1,8 @@
-//! End-to-end Criterion benchmark: one full labeling cycle (materialize +
+//! End-to-end benchmark: one full labeling cycle (materialize +
 //! train + evaluate) on the real backend, per execution strategy — the
 //! wall-clock ablation behind the quickstart example's numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nautilus_util::bench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use nautilus_core::session::{CycleInput, ModelSelection};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::{BackendKind, Strategy, SystemConfig};
@@ -38,7 +38,7 @@ fn bench_cycle(c: &mut Criterion) {
                     let (train, valid) = pool.split_at(32);
                     session.fit(CycleInput::Real { train, valid }).expect("cycle runs")
                 },
-                criterion::BatchSize::LargeInput,
+                BatchSize::LargeInput,
             )
         });
     }

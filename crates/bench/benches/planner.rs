@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the Nautilus planner: multi-model graph
+//! Micro-benchmarks for the Nautilus planner: multi-model graph
 //! construction, the materialization MILP (with the group-dedup ablation),
 //! reuse-plan solving, fusion pairing, and the peak-memory estimator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nautilus_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nautilus_core::fusion::fuse_models;
 use nautilus_core::mat_opt::{choose_materialization_grouped, plan_given_v};
 use nautilus_core::memory::estimate_peak_memory;

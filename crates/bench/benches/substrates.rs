@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for the substrates: tensor kernels, the
+//! Micro-benchmarks for the substrates: tensor kernels, the
 //! store with its page-cache ablation, and real training steps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nautilus_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nautilus_core::backend::{Backend, BackendKind};
 use nautilus_core::config::HardwareProfile;
 use nautilus_dnn::exec::{backward, forward, BatchInputs};
@@ -84,7 +84,7 @@ fn bench_training_step(c: &mut Criterion) {
     let input = graph.input_ids()[0];
     let out = graph.outputs()[0];
     let mut rng = seeded_rng(3);
-    use rand::Rng;
+    use nautilus_util::rng::Rng;
     let ids: Vec<f32> = (0..8 * 8).map(|_| rng.gen_range(0..40) as f32).collect();
     let mut inputs = BatchInputs::new();
     inputs.insert(input, Tensor::from_vec([8, 8], ids).unwrap());

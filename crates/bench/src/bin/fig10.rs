@@ -7,21 +7,23 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct SweepPoint {
     budget_gb: f64,
     mins: f64,
     speedup_vs_current_practice: f64,
 }
 
-#[derive(Serialize)]
+json_struct!(SweepPoint { budget_gb, mins, speedup_vs_current_practice });
+
 struct Fig10Out {
     current_practice_mins: f64,
     mat_sweep: Vec<SweepPoint>,
     fuse_sweep: Vec<SweepPoint>,
 }
+
+json_struct!(Fig10Out { current_practice_mins, mat_sweep, fuse_sweep });
 
 fn main() {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };

@@ -6,9 +6,8 @@ use nautilus_bench::harness::{gb, write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig11Row {
     strategy: String,
     utilization_pct: f64,
@@ -16,6 +15,8 @@ struct Fig11Row {
     disk_write_gb: f64,
     cached_read_gb: f64,
 }
+
+json_struct!(Fig11Row { strategy, utilization_pct, disk_read_gb, disk_write_gb, cached_read_gb });
 
 fn main() {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };

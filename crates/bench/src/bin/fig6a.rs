@@ -8,9 +8,8 @@ use nautilus_bench::harness::{mins, speedup, write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig6aRow {
     workload: String,
     current_practice_mins: f64,
@@ -21,6 +20,8 @@ struct Fig6aRow {
     mat_all_speedup: f64,
     theoretical_speedup: f64,
 }
+
+json_struct!(Fig6aRow { workload, current_practice_mins, mat_all_mins, nautilus_mins, flops_optimal_mins, nautilus_speedup, mat_all_speedup, theoretical_speedup });
 
 fn main() {
     let mut table = Table::new(&[

@@ -5,9 +5,8 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig6bOut {
     strategies: Vec<String>,
     init_secs: Vec<f64>,
@@ -15,6 +14,8 @@ struct Fig6bOut {
     per_cycle_secs: Vec<Vec<f64>>,
     per_cycle_speedup: Vec<f64>,
 }
+
+json_struct!(Fig6bOut { strategies, init_secs, init_breakdown, per_cycle_secs, per_cycle_speedup });
 
 fn main() {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };

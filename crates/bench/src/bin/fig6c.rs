@@ -6,15 +6,16 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig6cRow {
     secs_per_label: f64,
     current_practice_mins: f64,
     nautilus_mins: f64,
     speedup: f64,
 }
+
+json_struct!(Fig6cRow { secs_per_label, current_practice_mins, nautilus_mins, speedup });
 
 fn main() {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };

@@ -12,26 +12,28 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_core::session::{CycleInput, ModelSelection};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::{BackendKind, Strategy, SystemConfig};
-use serde::Serialize;
+use nautilus_util::json_struct;
 
 const CYCLES: usize = 5;
 const TRAIN_PER_CYCLE: usize = 32;
 const VALID_PER_CYCLE: usize = 8;
 const MODELS: usize = 8;
 
-#[derive(Serialize)]
 struct CurvePoint {
     cycle: usize,
     elapsed_secs: f64,
     best_accuracy: f32,
 }
 
-#[derive(Serialize)]
+json_struct!(CurvePoint { cycle, elapsed_secs, best_accuracy });
+
 struct Fig7Out {
     labeling_secs_per_record: f64,
     current_practice: Vec<CurvePoint>,
     nautilus: Vec<CurvePoint>,
 }
+
+json_struct!(Fig7Out { labeling_secs_per_record, current_practice, nautilus });
 
 fn run_strategy(strategy: Strategy) -> Vec<CurvePoint> {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };

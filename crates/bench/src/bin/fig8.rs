@@ -6,9 +6,8 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig8Row {
     workload: String,
     nautilus_mins: f64,
@@ -17,6 +16,8 @@ struct Fig8Row {
     slowdown_without_mat_pct: f64,
     slowdown_without_fuse_pct: f64,
 }
+
+json_struct!(Fig8Row { workload, nautilus_mins, without_mat_mins, without_fuse_mins, slowdown_without_mat_pct, slowdown_without_fuse_pct });
 
 fn main() {
     let mut table = Table::new(&[

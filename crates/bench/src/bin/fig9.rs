@@ -6,9 +6,8 @@ use nautilus_bench::harness::{write_json, Table};
 use nautilus_bench::{run_workload, RunConfig};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::Strategy;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Fig9Row {
     num_models: usize,
     nautilus_mins: f64,
@@ -16,6 +15,8 @@ struct Fig9Row {
     without_fuse_mins: f64,
     current_practice_mins: f64,
 }
+
+json_struct!(Fig9Row { num_models, nautilus_mins, without_mat_mins, without_fuse_mins, current_practice_mins });
 
 fn main() {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Paper };

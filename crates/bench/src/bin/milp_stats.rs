@@ -9,9 +9,8 @@ use nautilus_core::mat_opt::choose_materialization;
 use nautilus_core::multimodel::MultiModelGraph;
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::SystemConfig;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct MilpRow {
     workload: String,
     num_models: usize,
@@ -23,6 +22,8 @@ struct MilpRow {
     status: String,
     materialized_layers: usize,
 }
+
+json_struct!(MilpRow { workload, num_models, graph_groups, milp_vars, milp_constraints, bb_nodes, solve_millis, status, materialized_layers });
 
 fn main() {
     let cfg = SystemConfig::default();

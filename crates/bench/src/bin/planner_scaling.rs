@@ -10,7 +10,7 @@ use nautilus_core::multimodel::MultiModelGraph;
 use nautilus_core::spec::{expand_grid, CandidateModel, ParamAssignment, SearchGrid};
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_core::SystemConfig;
-use serde::Serialize;
+use nautilus_util::json_struct;
 use std::time::Instant;
 
 fn candidates(n_lrs: usize) -> Vec<CandidateModel> {
@@ -28,7 +28,6 @@ fn candidates(n_lrs: usize) -> Vec<CandidateModel> {
         .expect("workload builds")
 }
 
-#[derive(Serialize)]
 struct ScalingRow {
     num_models: usize,
     graph_groups: usize,
@@ -41,6 +40,8 @@ struct ScalingRow {
     fusion_ms: f64,
     fused_units: usize,
 }
+
+json_struct!(ScalingRow { num_models, graph_groups, merged_nodes, build_ms, milp_grouped_ms, milp_grouped_vars, milp_per_model_ms, milp_per_model_vars, fusion_ms, fused_units });
 
 fn main() {
     let cfg = SystemConfig::default();

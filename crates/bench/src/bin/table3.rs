@@ -3,9 +3,8 @@
 use nautilus_bench::harness::{write_json, Table};
 use nautilus_core::multimodel::MultiModelGraph;
 use nautilus_core::workloads::{Scale, WorkloadKind, WorkloadSpec};
-use serde::Serialize;
+use nautilus_util::json_struct;
 
-#[derive(Serialize)]
 struct Table3Row {
     workload: String,
     approach: String,
@@ -17,6 +16,8 @@ struct Table3Row {
     graph_groups: usize,
     merged_nodes: usize,
 }
+
+json_struct!(Table3Row { workload, approach, tuning, batch_sizes, learning_rates, epochs, num_models, graph_groups, merged_nodes });
 
 fn main() {
     let mut table = Table::new(&[

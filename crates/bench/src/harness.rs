@@ -1,6 +1,6 @@
 //! Output helpers: aligned text tables and JSON result files.
 
-use serde::Serialize;
+use nautilus_util::json::{self, ToJson};
 use std::path::PathBuf;
 
 /// Directory where figure binaries drop their JSON results.
@@ -13,9 +13,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serializes `value` to `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    let json = json::to_string_pretty(value);
     std::fs::write(&path, json).expect("write results file");
     println!("\n[written {}]", path.display());
 }

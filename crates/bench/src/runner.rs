@@ -5,7 +5,7 @@ use nautilus_core::session::{CycleInput, ModelSelection, SessionError};
 use nautilus_core::spec::CandidateModel;
 use nautilus_core::workloads::WorkloadSpec;
 use nautilus_core::{BackendKind, Strategy, SystemConfig};
-use serde::Serialize;
+use nautilus_util::json_struct;
 
 /// Knobs for one run.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ impl RunConfig {
 }
 
 /// Results of one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadRun {
     /// Strategy label.
     pub strategy: String,
@@ -48,6 +48,8 @@ pub struct WorkloadRun {
     /// MILP solve stats `(vars, constraints, nodes, millis)` when run.
     pub milp: Option<(usize, usize, u64, u128)>,
 }
+
+json_struct!(WorkloadRun { strategy, init, cycles, stats, total_secs, milp });
 
 impl WorkloadRun {
     /// Sum of per-cycle model-selection seconds (excluding init).

@@ -1,20 +1,22 @@
 //! System configuration: budgets, planner cost constants, and the hardware
 //! profile used by the simulated backend.
 
-use serde::{Deserialize, Serialize};
+use nautilus_util::json_struct;
 
 /// Cost constants the *optimizer* uses (paper §3, user-overridable system
 /// config). These intentionally differ from the simulated hardware profile:
 /// the paper configures its planner with 500 MB/s disk and 6 TFLOP/s (50% of
 /// Titan X peak), conservative relative to page-cache-served reads and
 /// optimistic relative to small-batch GPU efficiency.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PlannerCosts {
     /// Assumed disk read throughput in bytes/second.
     pub disk_bytes_per_sec: f64,
     /// Assumed compute throughput in FLOP/s.
     pub flops_per_sec: f64,
 }
+
+json_struct!(PlannerCosts { disk_bytes_per_sec, flops_per_sec });
 
 impl Default for PlannerCosts {
     fn default() -> Self {
@@ -37,7 +39,7 @@ impl PlannerCosts {
 /// run at DRAM speed — together these reproduce the regime in which the
 /// paper's results live (selective materialization beats both recompute-
 /// everything and load-everything).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HardwareProfile {
     /// Sustained training throughput in FLOP/s.
     pub achieved_flops_per_sec: f64,
@@ -56,6 +58,16 @@ pub struct HardwareProfile {
     pub batch_overhead_secs: f64,
 }
 
+json_struct!(HardwareProfile {
+    achieved_flops_per_sec,
+    disk_bytes_per_sec,
+    dram_bytes_per_sec,
+    page_cache_bytes,
+    session_overhead_secs,
+    epoch_overhead_secs,
+    batch_overhead_secs
+});
+
 impl Default for HardwareProfile {
     fn default() -> Self {
         HardwareProfile {
@@ -72,7 +84,7 @@ impl Default for HardwareProfile {
 
 /// Full system configuration (paper §3: budgets, expected maximum records,
 /// throughput values; all user-overridable).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Disk storage budget `Bdisk` for materialized layer outputs, bytes.
     pub disk_budget_bytes: u64,
@@ -96,6 +108,18 @@ pub struct SystemConfig {
     /// MILP wall-clock budget per solve, seconds.
     pub milp_time_limit_secs: u64,
 }
+
+json_struct!(SystemConfig {
+    disk_budget_bytes,
+    memory_budget_bytes,
+    max_records,
+    planner,
+    hardware,
+    workspace_bytes,
+    shuffle_each_epoch,
+    milp_max_nodes,
+    milp_time_limit_secs
+});
 
 impl Default for SystemConfig {
     fn default() -> Self {

@@ -1,10 +1,10 @@
 //! Run statistics and per-cycle reports.
 
 use nautilus_store::IoStats;
-use serde::Serialize;
+use nautilus_util::json_struct;
 
 /// Cumulative statistics of a model-selection session.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
     /// Total elapsed seconds (virtual clock on the simulated backend).
     pub elapsed_secs: f64,
@@ -19,6 +19,15 @@ pub struct RunStats {
     /// Bytes written.
     pub disk_write_bytes: u64,
 }
+
+json_struct!(RunStats {
+    elapsed_secs,
+    busy_secs,
+    flops,
+    disk_read_bytes,
+    cached_read_bytes,
+    disk_write_bytes
+});
 
 impl RunStats {
     /// Average compute utilization so far (the Fig 11 "GPU utilization"
@@ -44,7 +53,7 @@ impl RunStats {
 }
 
 /// Workload-initialization timing breakdown (Fig 6B's init split).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct InitReport {
     /// Seconds creating the original model checkpoints.
     pub original_checkpoints_secs: f64,
@@ -64,8 +73,19 @@ pub struct InitReport {
     pub theoretical_speedup: f64,
 }
 
+json_struct!(InitReport {
+    original_checkpoints_secs,
+    profiling_secs,
+    optimize_secs,
+    plan_checkpoints_secs,
+    total_secs,
+    num_units,
+    num_materialized,
+    theoretical_speedup
+});
+
 /// Report for one model-selection cycle (`fit` call).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CycleReport {
     /// 1-based cycle number.
     pub cycle: usize,
@@ -86,6 +106,18 @@ pub struct CycleReport {
     /// Cumulative stats at the end of this cycle.
     pub stats: RunStats,
 }
+
+json_struct!(CycleReport {
+    cycle,
+    train_records,
+    valid_records,
+    materialize_secs,
+    train_secs,
+    cycle_secs,
+    accuracies,
+    best,
+    stats
+});
 
 #[cfg(test)]
 mod tests {

@@ -702,7 +702,6 @@ impl ModelSelection {
     /// deterministically on resume.
     pub fn save_state(&self, path: &std::path::Path) -> Result<(), SessionError> {
         use nautilus_tensor::ser;
-        #[derive(serde::Serialize)]
         struct Header {
             version: u32,
             cycle: usize,
@@ -712,6 +711,15 @@ impl ModelSelection {
             best_so_far: Option<(usize, f32)>,
             has_data: bool,
         }
+        nautilus_util::json_struct!(Header {
+            version,
+            cycle,
+            n_train,
+            n_valid,
+            max_records,
+            best_so_far,
+            has_data
+        });
         let header = Header {
             version: 1,
             cycle: self.cycle,
@@ -721,8 +729,7 @@ impl ModelSelection {
             best_so_far: self.best_so_far,
             has_data: self.backend.is_real(),
         };
-        let header_json = serde_json::to_vec(&header)
-            .map_err(|e| SessionError::Invalid(format!("state header: {e}")))?;
+        let header_json = nautilus_util::json::to_vec(&header);
         let mut buf = Vec::new();
         buf.extend_from_slice(&(header_json.len() as u64).to_le_bytes());
         buf.extend_from_slice(&header_json);
@@ -744,7 +751,6 @@ impl ModelSelection {
     /// the feature store under the workdir is reused as-is).
     pub fn restore_state(&mut self, path: &std::path::Path) -> Result<(), SessionError> {
         use nautilus_tensor::ser;
-        #[derive(serde::Deserialize)]
         struct Header {
             version: u32,
             cycle: usize,
@@ -754,13 +760,25 @@ impl ModelSelection {
             best_so_far: Option<(usize, f32)>,
             has_data: bool,
         }
+        nautilus_util::json_struct!(Header {
+            version,
+            cycle,
+            n_train,
+            n_valid,
+            max_records,
+            best_so_far,
+            has_data
+        });
         let data = std::fs::read(path)
             .map_err(|e| SessionError::Invalid(format!("state read: {e}")))?;
         if data.len() < 8 {
             return Err(SessionError::Invalid("truncated session state".into()));
         }
         let hlen = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
-        let header: Header = serde_json::from_slice(&data[8..8 + hlen])
+        if data.len() < 8 + hlen {
+            return Err(SessionError::Invalid("truncated session state header".into()));
+        }
+        let header: Header = nautilus_util::json::from_slice(&data[8..8 + hlen])
             .map_err(|e| SessionError::Invalid(format!("state header: {e}")))?;
         if header.version != 1 {
             return Err(SessionError::Invalid(format!(
@@ -774,7 +792,7 @@ impl ModelSelection {
             ));
         }
         if header.has_data {
-            let tensors = ser::decode_many(bytes::Bytes::copy_from_slice(&data[8 + hlen..]))
+            let tensors = ser::decode_many(&data[8 + hlen..])
                 .map_err(|e| SessionError::Invalid(format!("state payload: {e}")))?;
             let [ti, tl, vi, vl]: [nautilus_tensor::Tensor; 4] = tensors
                 .try_into()

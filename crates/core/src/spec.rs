@@ -166,7 +166,7 @@ pub fn expand_random(
     seed: u64,
     init: &ModelInitFn,
 ) -> Result<Vec<CandidateModel>, String> {
-    use rand::seq::SliceRandom;
+    use nautilus_util::rng::SliceRandom;
     let mut all = grid.assignments();
     let mut rng = nautilus_tensor::init::seeded_rng(seed);
     all.shuffle(&mut rng);

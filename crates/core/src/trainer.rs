@@ -233,7 +233,7 @@ pub fn train_unit_with(
             let epoch_order = |epoch: usize| -> Vec<usize> {
                 let mut order: Vec<usize> = (0..n_train).collect();
                 if shuffle {
-                    use rand::seq::SliceRandom;
+                    use nautilus_util::rng::SliceRandom;
                     let seed = (n_train as u64) << 20 | epoch as u64;
                     let mut rng = nautilus_tensor::init::seeded_rng(seed ^ 0x5EEDu64);
                     order.shuffle(&mut rng);
@@ -436,7 +436,7 @@ mod tests {
     }
 
     fn token_dataset(n: usize, seed: u64) -> Dataset {
-        use rand::Rng;
+        use nautilus_util::rng::Rng;
         let mut rng = nautilus_tensor::init::seeded_rng(seed);
         let tokens: Vec<f32> = (0..n * 8).map(|_| rng.gen_range(0..30) as f32).collect();
         let labels: Vec<f32> = tokens.iter().map(|&t| (t as usize % 5) as f32).collect();

@@ -8,8 +8,11 @@ use nautilus_core::SystemConfig;
 use nautilus_dnn::{OptimizerSpec, TaskKind};
 use nautilus_models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
 use nautilus_models::BuildScale;
-use proptest::prelude::*;
+use nautilus_util::prop::{prop_check, usizes};
+use nautilus_util::{prop_assert, prop_assert_eq};
 use std::collections::BTreeSet;
+
+const CASES: u32 = 16;
 
 fn candidate(strategy_idx: usize, id: usize) -> CandidateModel {
     let cfg = BertConfig::tiny(8, 40);
@@ -22,17 +25,12 @@ fn candidate(strategy_idx: usize, id: usize) -> CandidateModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Activation memory is exactly linear in batch size; parameter and
-    /// workspace terms are batch-independent.
-    #[test]
-    fn activations_scale_linearly_with_batch(
-        sidx in 0..6usize,
-        batch in 1..16usize,
-        factor in 2..5usize,
-    ) {
+/// Activation memory is exactly linear in batch size; parameter and
+/// workspace terms are batch-independent.
+#[test]
+fn activations_scale_linearly_with_batch() {
+    let gen = (usizes(0..6), usizes(1..16), usizes(2..5));
+    prop_check(0xC04E_0001, CASES, &gen, |&(sidx, batch, factor)| {
         let cands = vec![candidate(sidx, 0)];
         let multi = MultiModelGraph::build(&cands);
         let plan = no_reuse_plan(&multi, &[0], &SystemConfig::tiny());
@@ -42,12 +40,16 @@ proptest! {
         prop_assert_eq!(a.params_bytes, b.params_bytes);
         prop_assert_eq!(a.optimizer_bytes, b.optimizer_bytes);
         prop_assert_eq!(a.workspace_bytes, 77);
-    }
+        Ok(())
+    });
+}
 
-    /// The peak is bounded below by the largest single retained activation
-    /// and bounded above by keeping everything live at once.
-    #[test]
-    fn peak_between_trivial_bounds(sidx in 0..6usize, batch in 1..8usize) {
+/// The peak is bounded below by the largest single retained activation
+/// and bounded above by keeping everything live at once.
+#[test]
+fn peak_between_trivial_bounds() {
+    let gen = (usizes(0..6), usizes(1..8));
+    prop_check(0xC04E_0002, CASES, &gen, |&(sidx, batch)| {
         let cands = vec![candidate(sidx, 0)];
         let multi = MultiModelGraph::build(&cands);
         let plan = no_reuse_plan(&multi, &[0], &SystemConfig::tiny());
@@ -66,20 +68,30 @@ proptest! {
             .map(|n| 2 * n.profile.internal_bytes)
             .sum::<u64>()
             * batch as u64;
-        prop_assert!(est.activation_bytes >= max_single,
-            "peak {} below largest tensor {max_single}", est.activation_bytes);
-        prop_assert!(est.activation_bytes <= upper,
-            "peak {} above keep-everything bound {upper}", est.activation_bytes);
-    }
+        prop_assert!(
+            est.activation_bytes >= max_single,
+            "peak {} below largest tensor {max_single}",
+            est.activation_bytes
+        );
+        prop_assert!(
+            est.activation_bytes <= upper,
+            "peak {} above keep-everything bound {upper}",
+            est.activation_bytes
+        );
+        Ok(())
+    });
+}
 
-    /// The analytical estimate tracks the *measured* retention of a real
-    /// forward pass within a constant factor (§5.3's "accurate enough to
-    /// avoid out-of-memory crashes"). The real executor clones layer inputs
-    /// into its backward caches, so the measurement can legitimately exceed
-    /// the zero-copy model — but never by more than ~4x, and the estimate
-    /// must never be under 1/4 of reality.
-    #[test]
-    fn estimate_tracks_measured_retention(sidx in 0..6usize, batch in 1..5usize) {
+/// The analytical estimate tracks the *measured* retention of a real
+/// forward pass within a constant factor (§5.3's "accurate enough to
+/// avoid out-of-memory crashes"). The real executor clones layer inputs
+/// into its backward caches, so the measurement can legitimately exceed
+/// the zero-copy model — but never by more than ~4x, and the estimate
+/// must never be under 1/4 of reality.
+#[test]
+fn estimate_tracks_measured_retention() {
+    let gen = (usizes(0..6), usizes(1..5));
+    prop_check(0xC04E_0003, CASES, &gen, |&(sidx, batch)| {
         use nautilus_dnn::exec::{forward, BatchInputs};
         use nautilus_tensor::Tensor;
         let cands = vec![candidate(sidx, 0)];
@@ -95,20 +107,26 @@ proptest! {
         let fwd = forward(g, &inputs, true).unwrap();
         let measured = fwd.retained_activation_bytes() as u64;
 
-        prop_assert!(est.activation_bytes * 4 >= measured,
-            "estimate {} too far below measured {measured}", est.activation_bytes);
-        prop_assert!(measured * 4 >= est.activation_bytes,
-            "estimate {} too far above measured {measured}", est.activation_bytes);
-    }
+        prop_assert!(
+            est.activation_bytes * 4 >= measured,
+            "estimate {} too far below measured {measured}",
+            est.activation_bytes
+        );
+        prop_assert!(
+            measured * 4 >= est.activation_bytes,
+            "estimate {} too far above measured {measured}",
+            est.activation_bytes
+        );
+        Ok(())
+    });
+}
 
-    /// Fusing more members never reduces the estimated peak (the fused plan
-    /// strictly contains each member's plan when nothing is materialized).
-    #[test]
-    fn fused_memory_dominates_members(
-        s1 in 0..6usize,
-        s2 in 0..6usize,
-        batch in 1..8usize,
-    ) {
+/// Fusing more members never reduces the estimated peak (the fused plan
+/// strictly contains each member's plan when nothing is materialized).
+#[test]
+fn fused_memory_dominates_members() {
+    let gen = (usizes(0..6), usizes(0..6), usizes(1..8));
+    prop_check(0xC04E_0004, CASES, &gen, |&(s1, s2, batch)| {
         let cands = vec![candidate(s1, 0), candidate(s2, 1)];
         let multi = MultiModelGraph::build(&cands);
         let cfg = SystemConfig::tiny();
@@ -118,8 +136,13 @@ proptest! {
         for i in 0..2 {
             let solo = plan_given_v(&multi, &[i], &v, &cfg);
             let est_solo = estimate_peak_memory(&multi, &solo.actions, batch, 0, 2.0);
-            prop_assert!(est_fused.total() >= est_solo.total(),
-                "fused {} < member {i} solo {}", est_fused.total(), est_solo.total());
+            prop_assert!(
+                est_fused.total() >= est_solo.total(),
+                "fused {} < member {i} solo {}",
+                est_fused.total(),
+                est_solo.total()
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -10,8 +10,7 @@
 
 use crate::dataset::Dataset;
 use nautilus_tensor::{Tensor, TensorError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nautilus_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Image augmentation configuration.
 #[derive(Debug, Clone)]

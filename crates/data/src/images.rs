@@ -10,8 +10,7 @@
 
 use crate::dataset::Dataset;
 use nautilus_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nautilus_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of the synthetic cell-image dataset.
 #[derive(Debug, Clone)]
@@ -56,7 +55,7 @@ impl ImageDatasetConfig {
                     let inside = (dx * dx + dy * dy).sqrt() <= radius;
                     for c in 0..3 {
                         let base = if inside { cell_tint[c] } else { 0.05 };
-                        img[c * s * s + y * s + x] = base + rng.gen_range(-0.05..0.05);
+                        img[c * s * s + y * s + x] = base + rng.gen_range(-0.05f32..0.05);
                     }
                 }
             }

@@ -10,9 +10,7 @@
 //! Fig 6(C)/Fig 7(B) total-time experiments.
 
 use crate::dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use nautilus_util::rng::{SeedableRng, SliceRandom, StdRng};
 
 /// How the next batch of records to label is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -11,8 +11,7 @@
 
 use crate::dataset::Dataset;
 use nautilus_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nautilus_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of the synthetic NER corpus.
 #[derive(Debug, Clone)]

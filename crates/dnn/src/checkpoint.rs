@@ -12,8 +12,8 @@ use crate::graph::{ModelGraph, Node, NodeId};
 use crate::layer::LayerKind;
 use nautilus_tensor::ser;
 use nautilus_tensor::{Shape, Tensor};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use nautilus_util::bytesio::{PutBytes, TakeBytes};
+use nautilus_util::{json, json_struct};
 
 /// Checkpoint (de)serialization errors.
 #[derive(Debug)]
@@ -47,7 +47,6 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct NodeHeader {
     name: String,
     kind: LayerKind,
@@ -59,15 +58,18 @@ struct NodeHeader {
     has_data: bool,
 }
 
-#[derive(Serialize, Deserialize)]
+json_struct!(NodeHeader { name, kind, inputs, frozen, param_sig, param_shapes, has_data });
+
 struct GraphHeader {
     version: u32,
     nodes: Vec<NodeHeader>,
     outputs: Vec<usize>,
 }
 
+json_struct!(GraphHeader { version, nodes, outputs });
+
 /// Serializes a model graph (structure + any real parameters) to bytes.
-pub fn save_to_bytes(graph: &ModelGraph) -> Bytes {
+pub fn save_to_bytes(graph: &ModelGraph) -> Vec<u8> {
     let header = GraphHeader {
         version: 1,
         nodes: graph
@@ -85,8 +87,8 @@ pub fn save_to_bytes(graph: &ModelGraph) -> Bytes {
             .collect(),
         outputs: graph.outputs().iter().map(|o| o.index()).collect(),
     };
-    let header_json = serde_json::to_vec(&header).expect("header serializes");
-    let mut buf = BytesMut::with_capacity(header_json.len() + 16 + graph.params_bytes());
+    let header_json = json::to_vec(&header);
+    let mut buf = Vec::with_capacity(header_json.len() + 16 + graph.params_bytes());
     buf.put_u64_le(header_json.len() as u64);
     buf.put_slice(&header_json);
     for n in graph.nodes() {
@@ -94,20 +96,20 @@ pub fn save_to_bytes(graph: &ModelGraph) -> Bytes {
             ser::encode_into(p, &mut buf);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Reconstructs a model graph from [`save_to_bytes`] output.
-pub fn load_from_bytes(mut bytes: Bytes) -> Result<ModelGraph, CheckpointError> {
-    if bytes.remaining() < 8 {
-        return Err(CheckpointError::BadHeader("truncated length prefix".into()));
-    }
-    let hlen = bytes.get_u64_le() as usize;
-    if bytes.remaining() < hlen {
-        return Err(CheckpointError::BadHeader("truncated header".into()));
-    }
-    let header_bytes = bytes.split_to(hlen);
-    let header: GraphHeader = serde_json::from_slice(&header_bytes)
+pub fn load_from_bytes(bytes: &[u8]) -> Result<ModelGraph, CheckpointError> {
+    let mut cur = bytes;
+    let hlen = cur
+        .take_u64_le()
+        .ok_or_else(|| CheckpointError::BadHeader("truncated length prefix".into()))?
+        as usize;
+    let header_bytes = cur
+        .take_slice(hlen)
+        .ok_or_else(|| CheckpointError::BadHeader("truncated header".into()))?;
+    let header: GraphHeader = json::from_slice(header_bytes)
         .map_err(|e| CheckpointError::BadHeader(e.to_string()))?;
     if header.version != 1 {
         return Err(CheckpointError::BadHeader(format!(
@@ -120,7 +122,7 @@ pub fn load_from_bytes(mut bytes: Bytes) -> Result<ModelGraph, CheckpointError> 
         let params: Vec<Tensor> = if nh.has_data {
             (0..nh.param_shapes.len())
                 .map(|_| {
-                    ser::decode_from(&mut bytes)
+                    ser::decode_from(&mut cur)
                         .map_err(|e| CheckpointError::BadPayload(e.to_string()))
                 })
                 .collect::<Result<_, _>>()?
@@ -160,7 +162,7 @@ pub fn save(graph: &ModelGraph, path: &std::path::Path) -> Result<usize, Checkpo
 pub fn load(path: &std::path::Path) -> Result<(ModelGraph, usize), CheckpointError> {
     let data = std::fs::read(path)?;
     let n = data.len();
-    Ok((load_from_bytes(Bytes::from(data))?, n))
+    Ok((load_from_bytes(&data)?, n))
 }
 
 /// Estimated checkpoint size in bytes.
@@ -215,7 +217,7 @@ mod tests {
     fn round_trip_preserves_everything() {
         let g = sample_graph();
         let bytes = save_to_bytes(&g);
-        let back = load_from_bytes(bytes).unwrap();
+        let back = load_from_bytes(&bytes).unwrap();
         assert_eq!(back.len(), g.len());
         assert_eq!(back.outputs(), g.outputs());
         for (a, b) in g.nodes().iter().zip(back.nodes()) {
@@ -256,7 +258,7 @@ mod tests {
             .unwrap();
         g.add_output(d).unwrap();
         let bytes = save_to_bytes(&g);
-        let back = load_from_bytes(bytes).unwrap();
+        let back = load_from_bytes(&bytes).unwrap();
         assert!(back.node(d).params.is_empty());
         assert_eq!(back.node(d).param_sig, 42);
         assert_eq!(back.node(d).param_bytes(), (64 + 8) * 4);
@@ -274,10 +276,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(load_from_bytes(Bytes::from_static(b"nope")).is_err());
-        let mut b = BytesMut::new();
+        assert!(load_from_bytes(b"nope").is_err());
+        let mut b = Vec::new();
         b.put_u64_le(4);
         b.put_slice(b"{..}");
-        assert!(load_from_bytes(b.freeze()).is_err());
+        assert!(load_from_bytes(&b).is_err());
     }
 }

@@ -62,7 +62,7 @@ impl From<LayerError> for GraphError {
 /// How a node's parameters are provided at construction time.
 pub enum ParamInit<'a> {
     /// Initialize fresh tensors from the RNG (real-execution graphs).
-    Seeded(&'a mut dyn rand::RngCore),
+    Seeded(&'a mut dyn nautilus_util::rng::RngCore),
     /// Record parameter shapes only and tag values with `sig`
     /// (paper-scale simulated graphs never allocate weights).
     ShapesOnly {
@@ -184,9 +184,10 @@ impl ModelGraph {
         }
         let expected = kind.num_params();
         let (params, param_shapes, param_sig) = match init {
-            ParamInit::Seeded(rng) => {
-                let mut r = RngAdapter(rng);
-                let params = kind.init_params(&mut r);
+            ParamInit::Seeded(mut rng) => {
+                // `&mut dyn RngCore` is itself an RngCore (and hence Rng),
+                // so one extra reference satisfies `&mut impl Rng`.
+                let params = kind.init_params(&mut rng);
                 let shapes = params.iter().map(|p| p.shape().clone()).collect();
                 let sig = hash_params(&params);
                 (params, shapes, sig)
@@ -377,25 +378,6 @@ impl ModelGraph {
             }
         }
         Ok(())
-    }
-}
-
-/// Adapter so `ParamInit::Seeded` can hold a `&mut dyn RngCore` while
-/// `LayerKind::init_params` takes `impl Rng`.
-struct RngAdapter<'a>(&'a mut dyn rand::RngCore);
-
-impl rand::RngCore for RngAdapter<'_> {
-    fn next_u32(&mut self) -> u32 {
-        self.0.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.0.try_fill_bytes(dest)
     }
 }
 

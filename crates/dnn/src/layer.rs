@@ -16,11 +16,11 @@
 use nautilus_tensor::init;
 use nautilus_tensor::ops::conv::conv_out_dim;
 use nautilus_tensor::{Shape, Tensor};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use nautilus_util::json_enum;
+use nautilus_util::rng::Rng;
 
 /// Pointwise activation applied by layers that take one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// Identity.
     None,
@@ -32,11 +32,13 @@ pub enum Activation {
     Tanh,
 }
 
+json_enum!(Activation { None, Relu, Gelu, Tanh });
+
 /// All supported layer types and their configurations.
 ///
 /// Shapes are *per record* (no batch axis). Token inputs are `[seq]` id
 /// tensors; image inputs are `[channels, height, width]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Model input placeholder with a per-record shape.
     Input {
@@ -136,6 +138,24 @@ pub enum LayerKind {
         shape: Vec<usize>,
     },
 }
+
+json_enum!(LayerKind {
+    Input { shape },
+    Embedding { vocab, dim, max_len },
+    TransformerBlock { dim, heads, ff_dim },
+    Dense { in_dim, out_dim, act },
+    Adapter { dim, bottleneck },
+    Add,
+    ConcatLast,
+    MeanPoolSeq,
+    Conv2d { in_ch, out_ch, k, stride, pad, act },
+    ResidualBlock { in_ch, out_ch, stride },
+    MaxPool2d { k, stride },
+    GlobalAvgPool,
+    Flatten,
+    SliceSeq { index },
+    ZerosLike { shape },
+});
 
 /// Errors from layer configuration/shape checking.
 #[derive(Debug, Clone, PartialEq)]

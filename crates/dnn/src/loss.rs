@@ -2,10 +2,10 @@
 
 use nautilus_tensor::ops::{argmax_last, cross_entropy_logits};
 use nautilus_tensor::{Tensor, TensorError};
-use serde::{Deserialize, Serialize};
+use nautilus_util::json_enum;
 
 /// The prediction task shape, fixed per workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
     /// Per-token classification (NER tagging): logits `[B, S, C]`, targets
     /// `[B, S]` with `-1` for padding.
@@ -13,6 +13,8 @@ pub enum TaskKind {
     /// Whole-record classification: logits `[B, C]`, targets `[B]`.
     Classification,
 }
+
+json_enum!(TaskKind { TokenTagging, Classification });
 
 impl TaskKind {
     /// Mean cross-entropy loss and logits gradient.

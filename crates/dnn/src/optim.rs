@@ -8,12 +8,13 @@ use crate::exec::Gradients;
 use crate::graph::{ModelGraph, NodeId};
 use nautilus_tensor::ops::axpy;
 use nautilus_tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use nautilus_util::bytesio::{PutBytes, TakeBytes};
+use nautilus_util::{json, json_enum, json_struct};
 use std::collections::HashMap;
 
 /// Declarative optimizer configuration, part of a training hyperparameter
 /// set `φ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerSpec {
     /// Stochastic gradient descent with optional momentum.
     Sgd {
@@ -34,6 +35,11 @@ pub enum OptimizerSpec {
         eps: f32,
     },
 }
+
+json_enum!(OptimizerSpec {
+    Sgd { lr, momentum },
+    Adam { lr, beta1, beta2, eps },
+});
 
 impl OptimizerSpec {
     /// Plain SGD with the given learning rate.
@@ -149,7 +155,6 @@ impl Optimizer {
 /// moment tensors). Together with a model checkpoint this captures
 /// everything the paper's "model checkpoints" contain: architecture,
 /// weights, and the optimizer (§3).
-#[derive(serde::Serialize, serde::Deserialize)]
 struct OptimizerHeader {
     spec: OptimizerSpec,
     nodes: Vec<usize>,
@@ -159,11 +164,12 @@ struct OptimizerHeader {
     entries: Vec<(usize, usize, bool)>,
 }
 
+json_struct!(OptimizerHeader { spec, nodes, step, entries });
+
 impl Optimizer {
     /// Serializes the optimizer (spec, bound nodes, step count, and all
     /// moment tensors) to bytes.
-    pub fn to_bytes(&self) -> bytes::Bytes {
-        use bytes::BufMut;
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut keys: Vec<&(NodeId, usize)> = self.state.keys().collect();
         keys.sort();
         let header = OptimizerHeader {
@@ -175,8 +181,8 @@ impl Optimizer {
                 .map(|(n, p)| (n.index(), *p, self.state[&(*n, *p)].v.is_some()))
                 .collect(),
         };
-        let header_json = serde_json::to_vec(&header).expect("header serializes");
-        let mut buf = bytes::BytesMut::new();
+        let header_json = json::to_vec(&header);
+        let mut buf = Vec::new();
         buf.put_u64_le(header_json.len() as u64);
         buf.put_slice(&header_json);
         for k in keys {
@@ -186,27 +192,21 @@ impl Optimizer {
                 nautilus_tensor::ser::encode_into(v, &mut buf);
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Restores an optimizer from [`Optimizer::to_bytes`] output.
-    pub fn from_bytes(mut bytes: bytes::Bytes) -> Result<Self, String> {
-        use bytes::Buf;
-        if bytes.remaining() < 8 {
-            return Err("truncated optimizer snapshot".into());
-        }
-        let hlen = bytes.get_u64_le() as usize;
-        if bytes.remaining() < hlen {
-            return Err("truncated optimizer header".into());
-        }
-        let header_bytes = bytes.split_to(hlen);
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = bytes;
+        let hlen = cur.take_u64_le().ok_or("truncated optimizer snapshot")? as usize;
+        let header_bytes = cur.take_slice(hlen).ok_or("truncated optimizer header")?;
         let header: OptimizerHeader =
-            serde_json::from_slice(&header_bytes).map_err(|e| e.to_string())?;
+            json::from_slice(header_bytes).map_err(|e| e.to_string())?;
         let mut state = HashMap::new();
         for (n, p, has_v) in header.entries {
-            let m = nautilus_tensor::ser::decode_from(&mut bytes).map_err(|e| e.to_string())?;
+            let m = nautilus_tensor::ser::decode_from(&mut cur).map_err(|e| e.to_string())?;
             let v = if has_v {
-                Some(nautilus_tensor::ser::decode_from(&mut bytes).map_err(|e| e.to_string())?)
+                Some(nautilus_tensor::ser::decode_from(&mut cur).map_err(|e| e.to_string())?)
             } else {
                 None
             };
@@ -332,7 +332,7 @@ mod tests {
 
             // Restore and replay the same 5 steps.
             let mut g_res = snap_graph;
-            let mut opt_res = Optimizer::from_bytes(snap_opt).unwrap();
+            let mut opt_res = Optimizer::from_bytes(&snap_opt).unwrap();
             for _ in 0..5 {
                 step(&mut g_res, &mut opt_res);
             }
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn snapshot_rejects_garbage() {
-        assert!(Optimizer::from_bytes(bytes::Bytes::from_static(b"junk")).is_err());
+        assert!(Optimizer::from_bytes(b"junk").is_err());
     }
 
     #[test]

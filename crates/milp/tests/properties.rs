@@ -1,7 +1,12 @@
-//! Property tests: the MILP solver against brute force on random instances.
+//! Property tests: the MILP solver against brute force on random instances,
+//! run under the in-tree shrinking harness with fixed seeds.
 
 use nautilus_milp::{solve, BbOptions, LinExpr, MilpStatus, Problem, Sense};
-use proptest::prelude::*;
+use nautilus_util::prop::{prop_check, Gen};
+use nautilus_util::rng::{Rng, StdRng};
+use nautilus_util::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 48;
 
 /// A random small binary program: n vars, up to m random ≤/≥ constraints.
 #[derive(Debug, Clone)]
@@ -11,19 +16,46 @@ struct RandomBip {
     rows: Vec<(Vec<f64>, bool, f64)>, // (coefs, is_le, rhs)
 }
 
-fn bip_strategy() -> impl Strategy<Value = RandomBip> {
-    (2..=6usize)
-        .prop_flat_map(|n| {
-            let obj = proptest::collection::vec(-5.0f64..5.0, n);
-            let row = (
-                proptest::collection::vec(-3.0f64..3.0, n),
-                any::<bool>(),
-                -4.0f64..6.0,
-            );
-            let rows = proptest::collection::vec(row, 1..4);
-            (Just(n), obj, rows)
-        })
-        .prop_map(|(n, obj, rows)| RandomBip { n, obj, rows })
+struct BipGen;
+
+impl Gen for BipGen {
+    type Value = RandomBip;
+
+    fn generate(&self, rng: &mut StdRng) -> RandomBip {
+        let n = rng.gen_range(2usize..=6);
+        let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
+        let n_rows = rng.gen_range(1usize..4);
+        let rows = (0..n_rows)
+            .map(|_| {
+                let coefs: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+                (coefs, rng.gen_bool(0.5), rng.gen_range(-4.0f64..6.0))
+            })
+            .collect();
+        RandomBip { n, obj, rows }
+    }
+
+    fn shrink(&self, bip: &RandomBip) -> Vec<RandomBip> {
+        let mut out = Vec::new();
+        // Drop constraints one at a time.
+        if bip.rows.len() > 1 {
+            for i in 0..bip.rows.len() {
+                let mut smaller = bip.clone();
+                smaller.rows.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Zero one objective coefficient.
+        if let Some(i) = bip.obj.iter().position(|&c| c != 0.0) {
+            let mut smaller = bip.clone();
+            smaller.obj[i] = 0.0;
+            out.push(smaller);
+        }
+        out
+    }
+}
+
+fn bip_gen() -> BipGen {
+    BipGen
 }
 
 fn build(bip: &RandomBip) -> Problem {
@@ -67,11 +99,6 @@ fn brute_force(bip: &RandomBip) -> Option<f64> {
     best
 }
 
-/// A random small LP over continuous variables in `[0, 10]`.
-fn lp_strategy() -> impl Strategy<Value = RandomBip> {
-    bip_strategy()
-}
-
 fn build_continuous(bip: &RandomBip) -> Problem {
     let mut p = Problem::new();
     let vars: Vec<_> =
@@ -91,68 +118,102 @@ fn build_continuous(bip: &RandomBip) -> Problem {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A BIP plus 32 random sample points in `[0, 10]^6`.
+struct BipWithSamplesGen;
 
-    /// The simplex optimum is feasible and no random feasible point beats it.
-    #[test]
-    fn lp_optimum_dominates_sampled_feasible_points(
-        bip in lp_strategy(),
-        samples in proptest::collection::vec(
-            proptest::collection::vec(0.0f64..10.0, 6), 32),
-    ) {
-        let p = build_continuous(&bip);
+impl Gen for BipWithSamplesGen {
+    type Value = (RandomBip, Vec<Vec<f64>>);
+
+    fn generate(&self, rng: &mut StdRng) -> (RandomBip, Vec<Vec<f64>>) {
+        let bip = BipGen.generate(rng);
+        let samples = (0..32)
+            .map(|_| (0..6).map(|_| rng.gen_range(0.0f64..10.0)).collect())
+            .collect();
+        (bip, samples)
+    }
+
+    fn shrink(&self, (bip, samples): &(RandomBip, Vec<Vec<f64>>)) -> Vec<Self::Value> {
+        BipGen.shrink(bip).into_iter().map(|b| (b, samples.clone())).collect()
+    }
+}
+
+/// The simplex optimum is feasible and no random feasible point beats it.
+#[test]
+fn lp_optimum_dominates_sampled_feasible_points() {
+    prop_check(0x311F_0001, CASES, &BipWithSamplesGen, |(bip, samples)| {
+        let p = build_continuous(bip);
         let out = nautilus_milp::simplex::solve_lp(&p, None);
         match out.status {
             nautilus_milp::LpStatus::Optimal => {
-                prop_assert!(p.is_feasible(&out.x, 1e-5),
-                    "optimum not feasible: {:?}", out.x);
-                for s in &samples {
+                prop_assert!(
+                    p.is_feasible(&out.x, 1e-5),
+                    "optimum not feasible: {:?}",
+                    out.x
+                );
+                for s in samples {
                     let x: Vec<f64> = s[..bip.n].to_vec();
                     if p.is_feasible(&x, 1e-9) {
                         let val: f64 = bip.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
-                        prop_assert!(out.objective <= val + 1e-5,
+                        prop_assert!(
+                            out.objective <= val + 1e-5,
                             "sampled point {x:?} (obj {val}) beats 'optimum' {}",
-                            out.objective);
+                            out.objective
+                        );
                     }
                 }
             }
             nautilus_milp::LpStatus::Infeasible => {
                 // No sampled point may be feasible either.
-                for s in &samples {
+                for s in samples {
                     let x: Vec<f64> = s[..bip.n].to_vec();
-                    prop_assert!(!p.is_feasible(&x, 1e-9),
-                        "solver said infeasible but {x:?} is feasible");
+                    prop_assert!(
+                        !p.is_feasible(&x, 1e-9),
+                        "solver said infeasible but {x:?} is feasible"
+                    );
                 }
             }
             other => prop_assert!(false, "unexpected LP status {other:?}"),
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn milp_matches_brute_force(bip in bip_strategy()) {
-        let p = build(&bip);
+#[test]
+fn milp_matches_brute_force() {
+    prop_check(0x311F_0002, CASES, &bip_gen(), |bip| {
+        let p = build(bip);
         let sol = solve(&p, &BbOptions::default());
-        match brute_force(&bip) {
+        match brute_force(bip) {
             None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
             Some(best) => {
                 prop_assert_eq!(sol.status, MilpStatus::Optimal);
-                prop_assert!((sol.objective - best).abs() < 1e-5,
-                    "solver {} vs brute force {}", sol.objective, best);
+                prop_assert!(
+                    (sol.objective - best).abs() < 1e-5,
+                    "solver {} vs brute force {}",
+                    sol.objective,
+                    best
+                );
                 prop_assert!(p.is_feasible(&sol.values, 1e-6));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn incumbent_never_beats_relaxation(bip in bip_strategy()) {
-        let p = build(&bip);
+#[test]
+fn incumbent_never_beats_relaxation() {
+    prop_check(0x311F_0003, CASES, &bip_gen(), |bip| {
+        let p = build(bip);
         let lp = nautilus_milp::simplex::solve_lp(&p, None);
         let sol = solve(&p, &BbOptions::default());
-        if sol.status == MilpStatus::Optimal
-            && lp.status == nautilus_milp::LpStatus::Optimal {
-            prop_assert!(sol.objective >= lp.objective - 1e-5,
-                "MILP {} below LP bound {}", sol.objective, lp.objective);
+        if sol.status == MilpStatus::Optimal && lp.status == nautilus_milp::LpStatus::Optimal {
+            prop_assert!(
+                sol.objective >= lp.objective - 1e-5,
+                "MILP {} below LP bound {}",
+                sol.objective,
+                lp.objective
+            );
         }
-    }
+        Ok(())
+    });
 }

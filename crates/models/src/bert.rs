@@ -49,7 +49,7 @@ impl BertConfig {
         inputs: &[NodeId],
         frozen: bool,
         scale: BuildScale,
-        rng: &mut rand::rngs::StdRng,
+        rng: &mut nautilus_util::rng::StdRng,
     ) -> Result<NodeId, GraphError> {
         match scale {
             BuildScale::Real => g.add_layer(name, kind, inputs, frozen, ParamInit::Seeded(rng)),
@@ -352,7 +352,7 @@ fn add_head_node(
     inputs: &[NodeId],
     scale: BuildScale,
     seed: u64,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut nautilus_util::rng::StdRng,
 ) -> Result<NodeId, GraphError> {
     match scale {
         BuildScale::Real => g.add_layer(name, kind, inputs, false, ParamInit::Seeded(rng)),

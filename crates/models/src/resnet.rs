@@ -87,7 +87,7 @@ fn add_node(
     inputs: &[NodeId],
     frozen: bool,
     scale: BuildScale,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut nautilus_util::rng::StdRng,
 ) -> Result<NodeId, GraphError> {
     match scale {
         BuildScale::Real => g.add_layer(name, kind, inputs, frozen, ParamInit::Seeded(rng)),

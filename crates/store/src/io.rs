@@ -4,8 +4,7 @@
 //! backend) increments these counters; the Fig 11 experiment compares them
 //! across execution strategies.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Cumulative IO statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,33 +40,33 @@ impl SharedIoStats {
 
     /// Records a read that hit the disk.
     pub fn record_disk_read(&self, bytes: u64) {
-        let mut s = self.0.lock();
+        let mut s = self.0.lock().unwrap();
         s.disk_read_bytes += bytes;
         s.read_ops += 1;
     }
 
     /// Records a read served from cache.
     pub fn record_cached_read(&self, bytes: u64) {
-        let mut s = self.0.lock();
+        let mut s = self.0.lock().unwrap();
         s.cached_read_bytes += bytes;
         s.read_ops += 1;
     }
 
     /// Records a write.
     pub fn record_write(&self, bytes: u64) {
-        let mut s = self.0.lock();
+        let mut s = self.0.lock().unwrap();
         s.disk_write_bytes += bytes;
         s.write_ops += 1;
     }
 
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> IoStats {
-        *self.0.lock()
+        *self.0.lock().unwrap()
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        *self.0.lock() = IoStats::default();
+        *self.0.lock().unwrap() = IoStats::default();
     }
 }
 

@@ -9,7 +9,7 @@
 
 use crate::io::SharedIoStats;
 use nautilus_tensor::{ser, Shape, Tensor};
-use serde::{Deserialize, Serialize};
+use nautilus_util::{json, json_struct};
 use std::collections::BTreeMap;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -59,14 +59,16 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct ChunkMeta {
     file: String,
     records: usize,
     bytes: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+json_struct!(ChunkMeta { file, records, bytes });
+
+#[derive(Debug, Clone)]
 struct KeyMeta {
     dir: String,
     record_shape: Vec<usize>,
@@ -75,10 +77,14 @@ struct KeyMeta {
     chunks: Vec<ChunkMeta>,
 }
 
-#[derive(Debug, Default, Serialize, Deserialize)]
+json_struct!(KeyMeta { dir, record_shape, records, bytes, chunks });
+
+#[derive(Debug, Default)]
 struct Manifest {
     keys: BTreeMap<String, KeyMeta>,
 }
+
+json_struct!(Manifest { keys });
 
 /// An on-disk store of per-record tensors grouped by key.
 #[derive(Debug)]
@@ -107,7 +113,7 @@ impl TensorStore {
         let manifest_path = root.join("manifest.json");
         let manifest = if manifest_path.exists() {
             let data = std::fs::read(&manifest_path)?;
-            serde_json::from_slice(&data).map_err(|e| StoreError::BadManifest(e.to_string()))?
+            json::from_slice(&data).map_err(|e| StoreError::BadManifest(e.to_string()))?
         } else {
             Manifest::default()
         };
@@ -120,8 +126,7 @@ impl TensorStore {
     }
 
     fn persist_manifest(&self) -> Result<(), StoreError> {
-        let data = serde_json::to_vec_pretty(&self.manifest)
-            .map_err(|e| StoreError::BadManifest(e.to_string()))?;
+        let data = json::to_string_pretty(&self.manifest);
         std::fs::write(self.root.join("manifest.json"), data)?;
         Ok(())
     }
@@ -174,8 +179,7 @@ impl TensorStore {
         for c in &meta.chunks {
             let data = std::fs::read(dir.join(&c.file))?;
             total += data.len() as u64;
-            let t = ser::decode(bytes::Bytes::from(data))
-                .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+            let t = ser::decode(&data).map_err(|e| StoreError::BadChunk(e.to_string()))?;
             parts.push(t);
         }
         self.io.record_disk_read(total);
@@ -221,8 +225,7 @@ impl TensorStore {
             }
             let data = std::fs::read(dir.join(&c.file))?;
             bytes += data.len() as u64;
-            let t = ser::decode(bytes::Bytes::from(data))
-                .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+            let t = ser::decode(&data).map_err(|e| StoreError::BadChunk(e.to_string()))?;
             let lo = start.saturating_sub(chunk_range.start);
             let hi = (end - chunk_range.start).min(c.records);
             let idx: Vec<usize> = (lo..hi).collect();

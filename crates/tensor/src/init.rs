@@ -6,8 +6,7 @@
 //! layers are identical (Def 4.3 in the paper).
 
 use crate::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nautilus_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Creates the standard seeded RNG used across the workspace.
 pub fn seeded_rng(seed: u64) -> StdRng {

@@ -52,14 +52,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
         matmul_rows(ad, bd, &mut out, k, n);
     } else {
         let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (achunk, ochunk) in
                 ad.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n))
             {
-                scope.spawn(move |_| matmul_rows(achunk, bd, ochunk, k, n));
+                scope.spawn(move || matmul_rows(achunk, bd, ochunk, k, n));
             }
-        })
-        .expect("matmul worker panicked");
+        });
     }
     Tensor::from_vec(a.shape().with_last_dim(n), out)
 }
@@ -125,14 +124,13 @@ pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
         matmul_tb_rows(ad, bd, &mut out, n, k);
     } else {
         let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (achunk, ochunk) in
                 ad.chunks(rows_per * n).zip(out.chunks_mut(rows_per * k))
             {
-                scope.spawn(move |_| matmul_tb_rows(achunk, bd, ochunk, n, k));
+                scope.spawn(move || matmul_tb_rows(achunk, bd, ochunk, n, k));
             }
-        })
-        .expect("matmul_tb worker panicked");
+        });
     }
     Tensor::from_vec(a.shape().with_last_dim(k), out)
 }

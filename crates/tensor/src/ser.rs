@@ -8,7 +8,7 @@
 //! back without consulting its manifest.
 
 use crate::{Shape, Tensor, TensorError};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nautilus_util::bytesio::{PutBytes, TakeBytes};
 
 const MAGIC: &[u8; 4] = b"NTSR";
 const VERSION: u32 = 1;
@@ -49,7 +49,7 @@ pub fn encoded_len(shape: &Shape) -> usize {
 }
 
 /// Appends the tensor's serialized form to `buf`.
-pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
+pub fn encode_into(t: &Tensor, buf: &mut Vec<u8>) {
     buf.reserve(encoded_len(t.shape()));
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
@@ -63,34 +63,27 @@ pub fn encode_into(t: &Tensor, buf: &mut BytesMut) {
 }
 
 /// Serializes one tensor into a fresh buffer.
-pub fn encode(t: &Tensor) -> Bytes {
-    let mut buf = BytesMut::with_capacity(encoded_len(t.shape()));
+pub fn encode(t: &Tensor) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(encoded_len(t.shape()));
     encode_into(t, &mut buf);
-    buf.freeze()
+    buf
 }
 
 /// Decodes one tensor from the front of `buf`, advancing it past the payload.
-pub fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
-    if buf.remaining() < 12 {
-        return Err(DecodeError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn decode_from(buf: &mut &[u8]) -> Result<Tensor, DecodeError> {
+    let magic = buf.take_slice(4).ok_or(DecodeError::Truncated)?;
+    if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = buf.take_u32_le().ok_or(DecodeError::Truncated)?;
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let rank = buf.get_u32_le() as usize;
-    if buf.remaining() < rank * 8 {
-        return Err(DecodeError::Truncated);
-    }
+    let rank = buf.take_u32_le().ok_or(DecodeError::Truncated)? as usize;
     let mut dims = Vec::with_capacity(rank);
     let mut elems: u64 = 1;
     for _ in 0..rank {
-        let d = buf.get_u64_le();
+        let d = buf.take_u64_le().ok_or(DecodeError::Truncated)?;
         elems = elems.saturating_mul(d);
         dims.push(d as usize);
     }
@@ -103,31 +96,33 @@ pub fn decode_from(buf: &mut impl Buf) -> Result<Tensor, DecodeError> {
     }
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
-        data.push(buf.get_f32_le());
+        data.push(buf.take_f32_le().ok_or(DecodeError::Truncated)?);
     }
     Tensor::from_vec(dims, data).map_err(|_| DecodeError::Truncated)
 }
 
 /// Decodes a single tensor that occupies the whole buffer.
-pub fn decode(mut bytes: Bytes) -> Result<Tensor, DecodeError> {
-    decode_from(&mut bytes)
+pub fn decode(bytes: &[u8]) -> Result<Tensor, DecodeError> {
+    let mut cur = bytes;
+    decode_from(&mut cur)
 }
 
 /// Serializes a sequence of tensors back-to-back.
-pub fn encode_many(tensors: &[Tensor]) -> Bytes {
+pub fn encode_many(tensors: &[Tensor]) -> Vec<u8> {
     let total: usize = tensors.iter().map(|t| encoded_len(t.shape())).sum();
-    let mut buf = BytesMut::with_capacity(total);
+    let mut buf = Vec::with_capacity(total);
     for t in tensors {
         encode_into(t, &mut buf);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes back-to-back tensors until the buffer is exhausted.
-pub fn decode_many(mut bytes: Bytes) -> Result<Vec<Tensor>, DecodeError> {
+pub fn decode_many(bytes: &[u8]) -> Result<Vec<Tensor>, DecodeError> {
+    let mut cur = bytes;
     let mut out = Vec::new();
-    while bytes.has_remaining() {
-        out.push(decode_from(&mut bytes)?);
+    while cur.remaining() > 0 {
+        out.push(decode_from(&mut cur)?);
     }
     Ok(out)
 }
@@ -148,15 +143,15 @@ mod tests {
         let t = randn([3, 4, 5], 1.0, &mut seeded_rng(1));
         let b = encode(&t);
         assert_eq!(b.len(), encoded_len(t.shape()));
-        assert_eq!(decode(b).unwrap(), t);
+        assert_eq!(decode(&b).unwrap(), t);
     }
 
     #[test]
     fn round_trip_scalar_and_empty() {
         let s = Tensor::scalar(3.5);
-        assert_eq!(decode(encode(&s)).unwrap(), s);
+        assert_eq!(decode(&encode(&s)).unwrap(), s);
         let e = Tensor::zeros([0]);
-        assert_eq!(decode(encode(&e)).unwrap(), e);
+        assert_eq!(decode(&encode(&e)).unwrap(), e);
     }
 
     #[test]
@@ -164,34 +159,33 @@ mod tests {
         let ts: Vec<Tensor> =
             (0..5).map(|i| randn([2, i + 1], 1.0, &mut seeded_rng(i as u64))).collect();
         let b = encode_many(&ts);
-        assert_eq!(decode_many(b).unwrap(), ts);
+        assert_eq!(decode_many(&b).unwrap(), ts);
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut b = BytesMut::new();
+        let mut b = Vec::new();
         b.put_slice(b"XXXX");
         b.put_u32_le(1);
         b.put_u32_le(0);
-        assert_eq!(decode(b.freeze()), Err(DecodeError::BadMagic));
+        assert_eq!(decode(&b), Err(DecodeError::BadMagic));
     }
 
     #[test]
     fn rejects_truncation() {
         let t = randn([4, 4], 1.0, &mut seeded_rng(2));
         let b = encode(&t);
-        let cut = b.slice(0..b.len() - 3);
-        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+        assert_eq!(decode(&b[..b.len() - 3]), Err(DecodeError::Truncated));
     }
 
     #[test]
     fn rejects_oversized_header() {
-        let mut b = BytesMut::new();
+        let mut b = Vec::new();
         b.put_slice(MAGIC);
         b.put_u32_le(VERSION);
         b.put_u32_le(2);
         b.put_u64_le(1 << 40);
         b.put_u64_le(1 << 40);
-        assert!(matches!(decode(b.freeze()), Err(DecodeError::TooLarge(_))));
+        assert!(matches!(decode(&b), Err(DecodeError::TooLarge(_))));
     }
 }

@@ -1,6 +1,6 @@
 //! Tensor shapes and shape arithmetic.
 
-use serde::{Deserialize, Serialize};
+use nautilus_util::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Errors produced by shape construction and compatibility checks.
@@ -38,8 +38,20 @@ impl std::error::Error for ShapeError {}
 /// Shapes are cheap to clone (a single small `Vec`) and are used pervasively
 /// for size/FLOP estimation in the profiler, so the helper methods here return
 /// plain integers rather than iterators.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(pub Vec<usize>);
+
+impl ToJson for Shape {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Shape {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Vec::<usize>::from_json(j).map(Shape)
+    }
+}
 
 impl Shape {
     /// Creates a shape from axis extents.

@@ -1,28 +1,89 @@
-//! Property-based tests for tensor algebra invariants.
+//! Property-based tests for tensor algebra invariants, run under the
+//! in-tree shrinking harness with fixed seeds for determinism.
 
-use nautilus_tensor::ops::{add, hadamard, matmul, matmul_ta, matmul_tb, scale, softmax_last, sum_axis0};
+use nautilus_tensor::ops::{
+    add, hadamard, matmul, matmul_ta, matmul_tb, scale, softmax_last, sum_axis0,
+};
 use nautilus_tensor::ser;
 use nautilus_tensor::Tensor;
-use proptest::prelude::*;
+use nautilus_util::prop::{prop_check, Gen};
+use nautilus_util::rng::{Rng, StdRng};
+use nautilus_util::{prop_assert, prop_assert_eq};
 
-fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    (1..=3usize)
-        .prop_flat_map(move |rank| proptest::collection::vec(1..=max_dim, rank))
-        .prop_flat_map(|dims| {
-            let n: usize = dims.iter().product();
-            proptest::collection::vec(-10.0f32..10.0, n)
-                .prop_map(move |data| Tensor::from_vec(dims.clone(), data).unwrap())
-        })
+const CASES: u32 = 64;
+
+/// Random tensors of rank 1..=3 with per-axis extents in `1..=max_dim`.
+struct TensorGen {
+    max_dim: usize,
 }
 
-fn matrix_pair(max: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
-    (1..=max, 1..=max, 1..=max).prop_flat_map(|(m, k, n)| {
-        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
-            .prop_map(move |d| Tensor::from_vec([m, k], d).unwrap());
-        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
-            .prop_map(move |d| Tensor::from_vec([k, n], d).unwrap());
-        (a, b)
-    })
+fn random_tensor(rng: &mut StdRng, max_dim: usize, span: f32) -> Tensor {
+    let rank = rng.gen_range(1usize..4);
+    let dims: Vec<usize> = (0..rank).map(|_| rng.gen_range(1..=max_dim)).collect();
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-span..span)).collect();
+    Tensor::from_vec(dims, data).unwrap()
+}
+
+/// Zero out the first nonzero element — enough to make counterexamples
+/// readable; structural (shape) shrinking is not needed for these
+/// invariants.
+fn shrink_tensor_data(t: &Tensor) -> Vec<Tensor> {
+    match t.data().iter().position(|&x| x != 0.0) {
+        Some(i) => {
+            let mut copy = t.clone();
+            copy.data_mut()[i] = 0.0;
+            vec![copy]
+        }
+        None => Vec::new(),
+    }
+}
+
+impl Gen for TensorGen {
+    type Value = Tensor;
+    fn generate(&self, rng: &mut StdRng) -> Tensor {
+        random_tensor(rng, self.max_dim, 10.0)
+    }
+    fn shrink(&self, t: &Tensor) -> Vec<Tensor> {
+        shrink_tensor_data(t)
+    }
+}
+
+fn tensors(max_dim: usize) -> TensorGen {
+    TensorGen { max_dim }
+}
+
+/// Multiplication-compatible matrix pairs `(m×k, k×n)` with extents in
+/// `1..=max`.
+struct MatrixPairGen {
+    max: usize,
+}
+
+impl Gen for MatrixPairGen {
+    type Value = (Tensor, Tensor);
+    fn generate(&self, rng: &mut StdRng) -> (Tensor, Tensor) {
+        let (m, k, n) = (
+            rng.gen_range(1..=self.max),
+            rng.gen_range(1..=self.max),
+            rng.gen_range(1..=self.max),
+        );
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        (
+            Tensor::from_vec([m, k], a).unwrap(),
+            Tensor::from_vec([k, n], b).unwrap(),
+        )
+    }
+    fn shrink(&self, (a, b): &(Tensor, Tensor)) -> Vec<(Tensor, Tensor)> {
+        let mut out: Vec<(Tensor, Tensor)> =
+            shrink_tensor_data(a).into_iter().map(|sa| (sa, b.clone())).collect();
+        out.extend(shrink_tensor_data(b).into_iter().map(|sb| (a.clone(), sb)));
+        out
+    }
+}
+
+fn matrix_pairs(max: usize) -> MatrixPairGen {
+    MatrixPairGen { max }
 }
 
 fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
@@ -32,65 +93,81 @@ fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn serialization_round_trips() {
+    prop_check(0x7E50_0001, CASES, &tensors(6), |t| {
+        let back = ser::decode(&ser::encode(t)).unwrap();
+        prop_assert_eq!(back, t.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn serialization_round_trips(t in tensor_strategy(6)) {
-        let back = ser::decode(ser::encode(&t)).unwrap();
-        prop_assert_eq!(back, t);
-    }
+#[test]
+fn add_is_commutative() {
+    prop_check(0x7E50_0002, CASES, &tensors(5), |t| {
+        let u = scale(t, 0.5);
+        prop_assert_eq!(add(t, &u).unwrap(), add(&u, t).unwrap());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn add_is_commutative(t in tensor_strategy(5)) {
-        let u = scale(&t, 0.5);
-        prop_assert_eq!(add(&t, &u).unwrap(), add(&u, &t).unwrap());
-    }
-
-    #[test]
-    fn hadamard_with_ones_is_identity(t in tensor_strategy(5)) {
+#[test]
+fn hadamard_with_ones_is_identity() {
+    prop_check(0x7E50_0003, CASES, &tensors(5), |t| {
         let ones = Tensor::ones(t.shape().clone());
-        prop_assert_eq!(hadamard(&t, &ones).unwrap(), t);
-    }
+        prop_assert_eq!(hadamard(t, &ones).unwrap(), t.clone());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scale_distributes_over_add(t in tensor_strategy(4)) {
-        let u = scale(&t, -0.3);
-        let lhs = scale(&add(&t, &u).unwrap(), 2.0);
-        let rhs = add(&scale(&t, 2.0), &scale(&u, 2.0)).unwrap();
+#[test]
+fn scale_distributes_over_add() {
+    prop_check(0x7E50_0004, CASES, &tensors(4), |t| {
+        let u = scale(t, -0.3);
+        let lhs = scale(&add(t, &u).unwrap(), 2.0);
+        let rhs = add(&scale(t, 2.0), &scale(&u, 2.0)).unwrap();
         assert_close(&lhs, &rhs, 1e-5);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_identity((a, _) in matrix_pair(5)) {
+#[test]
+fn matmul_identity() {
+    prop_check(0x7E50_0005, CASES, &matrix_pairs(5), |(a, _)| {
         let k = a.shape().dim(1);
         let mut eye = Tensor::zeros([k, k]);
         for i in 0..k {
             eye.data_mut()[i * k + i] = 1.0;
         }
-        assert_close(&matmul(&a, &eye).unwrap(), &a, 1e-5);
-    }
+        assert_close(&matmul(a, &eye).unwrap(), a, 1e-5);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transposed_matmuls_consistent((a, b) in matrix_pair(5)) {
+#[test]
+fn transposed_matmuls_consistent() {
+    prop_check(0x7E50_0006, CASES, &matrix_pairs(5), |(a, b)| {
         // (A·B)ᵀ column check via matmul_ta/matmul_tb round trip:
         // matmul_ta(A, A·B) = Aᵀ·A·B and matmul(AᵀA, B) must agree.
-        let ab = matmul(&a, &b).unwrap();
-        let lhs = matmul_ta(&a, &ab).unwrap();
-        let ata = matmul_ta(&a, &a).unwrap();
-        let rhs = matmul(&ata, &b).unwrap();
+        let ab = matmul(a, b).unwrap();
+        let lhs = matmul_ta(a, &ab).unwrap();
+        let ata = matmul_ta(a, a).unwrap();
+        let rhs = matmul(&ata, b).unwrap();
         assert_close(&lhs, &rhs, 1e-3);
 
         // matmul_tb(A·B, B) = A·B·Bᵀ and matmul(A, B·Bᵀ) must agree.
-        let lhs2 = matmul_tb(&ab, &b).unwrap();
-        let bbt = matmul_tb(&b, &b).unwrap();
-        let rhs2 = matmul(&a, &bbt).unwrap();
+        let lhs2 = matmul_tb(&ab, b).unwrap();
+        let bbt = matmul_tb(b, b).unwrap();
+        let rhs2 = matmul(a, &bbt).unwrap();
         assert_close(&lhs2, &rhs2, 1e-3);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(t in tensor_strategy(6)) {
-        let y = softmax_last(&t);
+#[test]
+fn softmax_rows_are_distributions() {
+    prop_check(0x7E50_0007, CASES, &tensors(6), |t| {
+        let y = softmax_last(t);
         let (rows, cols, data) = y.as_matrix();
         for r in 0..rows {
             let row = &data[r * cols..(r + 1) * cols];
@@ -98,26 +175,33 @@ proptest! {
             prop_assert!((sum - 1.0).abs() < 1e-4);
             prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sum_axis0_matches_manual(t in tensor_strategy(5)) {
+#[test]
+fn sum_axis0_matches_manual() {
+    prop_check(0x7E50_0008, CASES, &tensors(5), |t| {
         if t.shape().rank() >= 1 {
-            let s = sum_axis0(&t).unwrap();
+            let s = sum_axis0(t).unwrap();
             let n = t.shape().dim(0);
             let manual = (0..n).fold(Tensor::zeros(t.shape().without_batch()), |acc, i| {
                 add(&acc, &t.outer_slice(i)).unwrap()
             });
             assert_close(&s, &manual, 1e-4);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stack_then_slice_round_trips(t in tensor_strategy(4)) {
-        let parts: Vec<Tensor> = vec![t.clone(), scale(&t, 2.0), scale(&t, -1.0)];
+#[test]
+fn stack_then_slice_round_trips() {
+    prop_check(0x7E50_0009, CASES, &tensors(4), |t| {
+        let parts: Vec<Tensor> = vec![t.clone(), scale(t, 2.0), scale(t, -1.0)];
         let stacked = Tensor::stack(&parts).unwrap();
         for (i, p) in parts.iter().enumerate() {
             prop_assert_eq!(&stacked.outer_slice(i), p);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,357 @@
+//! Criterion-free benchmark harness: warmup + median-of-N timing with a
+//! JSON result emit.
+//!
+//! The API deliberately mirrors the slice of `criterion` the bench targets
+//! in `crates/bench/benches/` were written against — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], `Bencher::iter` / `iter_batched`, and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — so porting a bench
+//! file is an import swap.
+//!
+//! Each benchmark takes `sample_size` timed samples after a calibration
+//! warmup; fast routines are auto-batched so one sample spans enough
+//! iterations to be measurable. The median per-iteration time is reported
+//! on stdout and collected into `<results-dir>/bench-<suite>.json`
+//! (results dir from `NAUTILUS_RESULTS`, default `results`). Set
+//! `NAUTILUS_BENCH_SAMPLES` to override sample counts globally (e.g. `3`
+//! for a smoke run).
+
+use crate::json::Json;
+use std::hint::black_box as hint_black_box;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// A benchmark identifier, `function_name/parameter` style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{param}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How batched inputs are consumed; kept for API compatibility (the
+/// harness always times one routine call per setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. whole sessions).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/function/param`.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: u64,
+    /// All per-iteration samples (ns), sorted.
+    pub samples_ns: Vec<u64>,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("median_ns", Json::Num(self.median_ns as f64)),
+            ("iters_per_sample", Json::Num(self.iters_per_sample as f64)),
+            (
+                "samples_ns",
+                Json::Arr(self.samples_ns.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ),
+        ])
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("NAUTILUS_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
+/// Collects per-iteration timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<u64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, samples_ns: Vec::new(), iters_per_sample: 1 }
+    }
+
+    /// Times `f`, auto-batching fast routines so each sample is long
+    /// enough to measure (~2 ms), and records per-iteration times.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: one untimed-ish call decides the batch size.
+        let start = Instant::now();
+        black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1);
+        const TARGET_SAMPLE_NS: u128 = 2_000_000;
+        let iters = ((TARGET_SAMPLE_NS / once_ns).max(1)).min(1_000_000) as u64;
+        // Warmup one full sample to settle caches/allocator.
+        for _ in 0..iters {
+            black_box(f());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = (start.elapsed().as_nanos() as u64 / iters).max(1);
+            self.samples_ns.push(per_iter);
+        }
+        self.iters_per_sample = iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded. One routine call per sample (inputs are assumed
+    /// expensive, so no auto-batching).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warmup run.
+        let input = setup();
+        black_box(routine(input));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_nanos().max(1) as u64);
+        }
+        self.iters_per_sample = 1;
+    }
+}
+
+/// Top-level benchmark driver; collects results across groups.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: env_samples().unwrap_or(20), results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(None, id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: Option<&str>, id: BenchmarkId, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = match group {
+            Some(g) => format!("{g}/{}", id.id),
+            None => id.id,
+        };
+        let mut b = Bencher::new(sample_size);
+        f(&mut b);
+        b.samples_ns.sort_unstable();
+        let median_ns = b.samples_ns.get(b.samples_ns.len() / 2).copied().unwrap_or(0);
+        println!(
+            "bench {full_id:<48} median {:>12}  (n={}, iters/sample={})",
+            format_ns(median_ns),
+            b.samples_ns.len(),
+            b.iters_per_sample
+        );
+        self.results.push(BenchResult {
+            id: full_id,
+            median_ns,
+            samples_ns: b.samples_ns,
+            iters_per_sample: b.iters_per_sample,
+        });
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes collected results to `<results-dir>/bench-<suite>.json` and
+    /// prints a closing line. Called by [`criterion_main!`](crate::criterion_main).
+    pub fn finish(&self, suite: &str) {
+        let dir = std::env::var("NAUTILUS_RESULTS").unwrap_or_else(|_| "results".to_string());
+        let dir = std::path::PathBuf::from(dir);
+        let json = Json::Arr(self.results.iter().map(BenchResult::to_json).collect());
+        let path = dir.join(format!("bench-{suite}.json"));
+        match std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::write(&path, json.to_string_pretty()))
+        {
+            Ok(()) => println!("wrote {} results to {}", self.results.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Env override wins so CI can force quick smoke runs.
+        self.sample_size = env_samples().unwrap_or(n.max(1));
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = self.name.clone();
+        self.criterion.run_one(Some(&name), id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark with a shared input reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = self.name.clone();
+        self.criterion.run_one(Some(&name), id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (results were recorded as they ran).
+    pub fn finish(self) {}
+}
+
+/// Defines a runner function that executes each listed benchmark function
+/// against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $( $bench_fn(c); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target: runs each group
+/// and writes `bench-<target>.json` into the results directory.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $group(&mut c); )+
+            c.finish(env!("CARGO_CRATE_NAME"));
+        }
+    };
+}
+
+// Let bench targets import the macros alongside the types:
+// `use nautilus_util::bench::{criterion_group, criterion_main, Criterion};`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records_median() {
+        std::env::remove_var("NAUTILUS_BENCH_SAMPLES");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+        c.bench_function(BenchmarkId::new("f", 3), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "g/spin");
+        assert_eq!(results[1].id, "f/3");
+        assert!(results.iter().all(|r| r.median_ns > 0));
+        assert_eq!(results[0].samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("matmul", 64).id, "matmul/64");
+        assert_eq!(BenchmarkId::from_parameter("naive").id, "naive");
+    }
+}

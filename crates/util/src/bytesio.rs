@@ -1,0 +1,134 @@
+//! Little-endian byte buffer helpers — the slice of the `bytes` crate the
+//! serialization paths use, rebuilt on `Vec<u8>` / `&[u8]`.
+//!
+//! Writing appends to a `Vec<u8>` through [`PutBytes`]; reading consumes
+//! from the front of a `&mut &[u8]` cursor through [`TakeBytes`], so a
+//! decoder can thread one mutable slice reference through nested calls
+//! exactly like `bytes::Buf`:
+//!
+//! ```ignore
+//! let mut buf = Vec::new();
+//! buf.put_u32_le(7);
+//! let mut cur: &[u8] = &buf;
+//! assert_eq!(cur.take_u32_le(), Some(7));
+//! assert!(cur.is_empty());
+//! ```
+
+/// Appends fixed-width little-endian values to a growable buffer.
+pub trait PutBytes {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends an `f32`, little-endian.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Consumes fixed-width little-endian values from the front of a slice
+/// cursor. All reads are checked: `None` means the buffer was too short,
+/// and the cursor is left unchanged on failure.
+pub trait TakeBytes<'a> {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Takes one byte.
+    fn take_u8(&mut self) -> Option<u8>;
+    /// Takes a `u32`, little-endian.
+    fn take_u32_le(&mut self) -> Option<u32>;
+    /// Takes a `u64`, little-endian.
+    fn take_u64_le(&mut self) -> Option<u64>;
+    /// Takes an `f32`, little-endian.
+    fn take_f32_le(&mut self) -> Option<f32>;
+    /// Takes `n` raw bytes.
+    fn take_slice(&mut self, n: usize) -> Option<&'a [u8]>;
+}
+
+impl<'a> TakeBytes<'a> for &'a [u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        let (&first, rest) = self.split_first()?;
+        *self = rest;
+        Some(first)
+    }
+
+    fn take_u32_le(&mut self) -> Option<u32> {
+        let bytes = self.take_slice(4)?;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn take_u64_le(&mut self) -> Option<u64> {
+        let bytes = self.take_slice(8)?;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn take_f32_le(&mut self) -> Option<f32> {
+        let bytes = self.take_slice(4)?;
+        Some(f32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn take_slice(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.len() < n {
+            return None;
+        }
+        let (head, rest) = self.split_at(n);
+        *self = rest;
+        Some(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_f32_le(-3.5);
+        buf.put_slice(b"tail");
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.take_u8(), Some(0xAB));
+        assert_eq!(cur.take_u32_le(), Some(0xDEAD_BEEF));
+        assert_eq!(cur.take_u64_le(), Some(u64::MAX - 1));
+        assert_eq!(cur.take_f32_le(), Some(-3.5));
+        assert_eq!(cur.take_slice(4), Some(&b"tail"[..]));
+        assert_eq!(cur.remaining(), 0);
+        assert_eq!(cur.take_u8(), None);
+    }
+
+    #[test]
+    fn short_reads_leave_cursor_unchanged() {
+        let data = [1u8, 2, 3];
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.take_u32_le(), None);
+        assert_eq!(cur.remaining(), 3);
+        assert_eq!(cur.take_slice(5), None);
+        assert_eq!(cur.take_slice(3), Some(&[1u8, 2, 3][..]));
+    }
+}

@@ -1,0 +1,28 @@
+//! Zero-dependency utility substrates for the Nautilus reproduction.
+//!
+//! The workspace builds fully offline: every capability that would
+//! normally come from a registry crate is provided here, in-tree, with
+//! exactly the surface the rest of the codebase uses.
+//!
+//! - [`rng`] — seeded xoshiro256++ PRNG with a `rand`-style trait surface
+//!   (`Rng::gen_range`, `SeedableRng::seed_from_u64`, `SliceRandom`).
+//! - [`json`] — JSON value type, serializer, parser, and derive-free
+//!   [`json::ToJson`]/[`json::FromJson`] traits plus the
+//!   [`json_struct!`]/[`json_enum!`] impl macros.
+//! - [`prop`] — seeded, shrinking property-test harness
+//!   ([`prop::prop_check`]) with [`prop_assert!`]/[`prop_assert_eq!`].
+//! - [`bench`] — warmup + median-of-N timing harness with a
+//!   criterion-shaped API ([`criterion_group!`]/[`criterion_main!`]).
+//! - [`bytesio`] — checked little-endian buffer reads/writes over
+//!   `Vec<u8>` / `&[u8]`.
+//!
+//! Policy: no crate in this workspace may depend on anything outside the
+//! workspace (`scripts/verify.sh` enforces this). See DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod bytesio;
+pub mod json;
+pub mod prop;
+pub mod rng;

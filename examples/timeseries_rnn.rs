@@ -28,7 +28,7 @@ fn sensor_pool(n: usize) -> Dataset {
     let mut rng = seeded_rng(51);
     let mut inputs = randn([n, STEPS, FEATURES], 0.5, &mut rng);
     let mut labels = vec![0.0f32; n];
-    use rand::Rng;
+    use nautilus_util::rng::Rng;
     #[allow(clippy::needless_range_loop)]
     for r in 0..n {
         if rng.gen_bool(0.5) {

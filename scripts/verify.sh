@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build and test fully offline,
+# and no crate may declare a registry (non-path) dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Guard: any of the former external dependencies reappearing in a manifest
+# fails fast, before the (slower) build does.
+banned='^(rand|serde|serde_json|proptest|criterion|crossbeam|parking_lot|bytes)[[:space:]]*='
+if grep -rEn "$banned" --include=Cargo.toml .; then
+    echo "error: banned external dependency declared above" >&2
+    exit 1
+fi
+
+# Guard: every dependency in every manifest must be a path dependency
+# (version-only or registry deps would require network access).
+bad=0
+while IFS= read -r manifest; do
+    if python3 - "$manifest" <<'EOF'
+import re, sys
+
+path = sys.argv[1]
+section = None
+offenders = []
+for line in open(path):
+    stripped = line.strip()
+    m = re.match(r'^\[(.+)\]$', stripped)
+    if m:
+        section = m.group(1)
+        continue
+    if section is None or not (
+        section.endswith('dependencies') or section == 'workspace.dependencies'
+    ):
+        continue
+    m = re.match(r'^([A-Za-z0-9_-]+)\s*=\s*(.+)$', stripped)
+    if not m:
+        continue
+    name, spec = m.groups()
+    if 'path' not in spec and 'workspace' not in spec:
+        offenders.append(f'{path}: [{section}] {name} = {spec}')
+if offenders:
+    print('\n'.join(offenders))
+    sys.exit(1)
+EOF
+    then :; else bad=1; fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$bad" -ne 0 ]; then
+    echo "error: non-path dependencies declared above" >&2
+    exit 1
+fi
+
+cargo build --release --offline
+cargo test -q --offline
+echo "verify: OK"

@@ -10,8 +10,12 @@ use nautilus_repro::core::SystemConfig;
 use nautilus_repro::dnn::{OptimizerSpec, TaskKind};
 use nautilus_repro::models::bert::{feature_transfer_model, BertConfig, FeatureStrategy};
 use nautilus_repro::models::BuildScale;
-use proptest::prelude::*;
+use nautilus_util::prop::{prop_check, u64s, vec_of, Gen};
+use nautilus_util::rng::{Rng, StdRng};
+use nautilus_util::prop_assert;
 use std::collections::BTreeSet;
+
+const CASES: u32 = 12;
 
 fn candidate(strategy_idx: usize, lr: f32, batch: usize, epochs: usize, id: usize) -> CandidateModel {
     let cfg = BertConfig::tiny(8, 40);
@@ -24,30 +28,56 @@ fn candidate(strategy_idx: usize, lr: f32, batch: usize, epochs: usize, id: usiz
     }
 }
 
-fn workload_strategy() -> impl Strategy<Value = Vec<CandidateModel>> {
-    proptest::collection::vec(
-        (0..6usize, 1..5u32, prop_oneof![Just(4usize), Just(8)], 1..3usize),
-        1..5,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (s, lr, b, e))| candidate(s, lr as f32 * 1e-3, b, e, i))
-            .collect()
-    })
+/// One candidate spec: `(strategy_idx, lr_milli, batch, epochs)`.
+struct SpecGen;
+
+impl Gen for SpecGen {
+    type Value = (usize, u32, usize, usize);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            rng.gen_range(0usize..6),
+            rng.gen_range(1u32..5),
+            if rng.gen_bool(0.5) { 4 } else { 8 },
+            rng.gen_range(1usize..3),
+        )
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let &(s, lr, b, e) = v;
+        if s > 0 {
+            out.push((0, lr, b, e));
+        }
+        if lr > 1 {
+            out.push((s, 1, b, e));
+        }
+        if e > 1 {
+            out.push((s, lr, b, 1));
+        }
+        out
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn workload_gen() -> impl Gen<Value = Vec<(usize, u32, usize, usize)>> {
+    vec_of(SpecGen, 1..5)
+}
 
-    /// The MILP's chosen V always fits the budget, and the resulting plans
-    /// are valid (Def 4.5) and never costlier than the no-reuse plan.
-    #[test]
-    fn mat_opt_plans_are_valid_and_never_worse(
-        cands in workload_strategy(),
-        budget_kb in 0u64..2048,
-    ) {
+fn build_candidates(specs: &[(usize, u32, usize, usize)]) -> Vec<CandidateModel> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, lr, b, e))| candidate(s, lr as f32 * 1e-3, b, e, i))
+        .collect()
+}
+
+/// The MILP's chosen V always fits the budget, and the resulting plans
+/// are valid (Def 4.5) and never costlier than the no-reuse plan.
+#[test]
+fn mat_opt_plans_are_valid_and_never_worse() {
+    let gen = (workload_gen(), u64s(0..2048));
+    prop_check(0x2007_0001, CASES, &gen, |(specs, budget_kb)| {
+        let cands = build_candidates(specs);
         let mut cfg = SystemConfig::tiny();
         cfg.disk_budget_bytes = budget_kb << 10;
         cfg.planner.flops_per_sec = 2e9;
@@ -63,33 +93,51 @@ proptest! {
         for i in 0..cands.len() {
             let plan = plan_given_v(&multi, &[i], &res.materialized, &cfg);
             validate_plan(&multi, &[i], &res.materialized, &plan.actions)
-                .map_err(TestCaseError::fail)?;
+                .map_err(|e| format!("invalid plan for model {i}: {e}"))?;
             let base = no_reuse_plan(&multi, &[i], &cfg);
-            prop_assert!(plan.cost_flops <= base.cost_flops + 1.0,
+            prop_assert!(
+                plan.cost_flops <= base.cost_flops + 1.0,
                 "reuse plan ({}) worse than no-reuse ({})",
-                plan.cost_flops, base.cost_flops);
+                plan.cost_flops,
+                base.cost_flops
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Fusion covers every model exactly once, only fuses compatible
-    /// hyperparameters, and never increases total planned cost.
-    #[test]
-    fn fusion_partitions_and_improves(cands in workload_strategy()) {
+/// Fusion covers every model exactly once, only fuses compatible
+/// hyperparameters, and never increases total planned cost.
+#[test]
+fn fusion_partitions_and_improves() {
+    prop_check(0x2007_0002, CASES, &workload_gen(), |specs| {
+        let cands = build_candidates(specs);
         let cfg = SystemConfig::tiny();
         let multi = MultiModelGraph::build(&cands);
         let v = BTreeSet::new();
         let units = fuse_models(&multi, &cands, &v, &cfg, true);
-        let mut covered: Vec<usize> =
-            units.iter().flat_map(|u| u.members.clone()).collect();
+        let mut covered: Vec<usize> = units.iter().flat_map(|u| u.members.clone()).collect();
         covered.sort_unstable();
-        prop_assert_eq!(covered, (0..cands.len()).collect::<Vec<_>>());
+        prop_assert!(
+            covered == (0..cands.len()).collect::<Vec<_>>(),
+            "fusion does not partition the models: {covered:?}"
+        );
         let mut fused_total = 0.0;
         for u in &units {
             for (k, &m) in u.members.iter().enumerate() {
-                prop_assert_eq!(cands[m].hyper.batch_size, u.batch_size);
-                prop_assert_eq!(cands[m].hyper.epochs, u.member_epochs[k]);
+                prop_assert!(
+                    cands[m].hyper.batch_size == u.batch_size,
+                    "fused unit mixes batch sizes"
+                );
+                prop_assert!(
+                    cands[m].hyper.epochs == u.member_epochs[k],
+                    "fused unit mislabels member epochs"
+                );
             }
-            prop_assert_eq!(u.epochs, u.member_epochs.iter().copied().max().unwrap());
+            prop_assert!(
+                u.epochs == u.member_epochs.iter().copied().max().unwrap(),
+                "unit epochs is not the member max"
+            );
             fused_total += u.weighted_cost_flops;
         }
         let solo_total: f64 = (0..cands.len())
@@ -100,7 +148,10 @@ proptest! {
                 )
             })
             .sum();
-        prop_assert!(fused_total <= solo_total + 1.0,
-            "fusion increased planned cost: {fused_total} > {solo_total}");
-    }
+        prop_assert!(
+            fused_total <= solo_total + 1.0,
+            "fusion increased planned cost: {fused_total} > {solo_total}"
+        );
+        Ok(())
+    });
 }
