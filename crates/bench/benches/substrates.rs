@@ -34,6 +34,37 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pool(c: &mut Criterion) {
+    // Sequential-vs-pooled baseline for the shared work-stealing pool, at
+    // sizes past the parallel-dispatch threshold. `with_parallelism_limit(1)`
+    // forces inline execution of the identical kernel, so the pair isolates
+    // pool dispatch + parallel speedup; outputs are bit-identical by the
+    // pool's determinism contract.
+    use nautilus_tensor::ops::{matmul_ex, MatmulSpec};
+    use nautilus_util::pool;
+    let mut rng = seeded_rng(7);
+    let mut group = c.benchmark_group("pool");
+    let a = randn([128, 256], 1.0, &mut rng);
+    let b = randn([256, 256], 1.0, &mut rng);
+    group.bench_function("matmul_seq/128x256x256", |bch| {
+        bch.iter(|| pool::with_parallelism_limit(1, || matmul_ex(&a, &b, MatmulSpec::plain()).unwrap()))
+    });
+    group.bench_function("matmul_pooled/128x256x256", |bch| {
+        bch.iter(|| matmul_ex(&a, &b, MatmulSpec::plain()).unwrap())
+    });
+    // A MiniResNet-scale convolution: 8-image batch, 16->32 channels, 32x32.
+    let img = randn([8, 16, 32, 32], 1.0, &mut rng);
+    let w = randn([32, 16, 3, 3], 0.1, &mut rng);
+    let bias = Tensor::zeros([32]);
+    group.bench_function("conv2d_seq/8x16x32x32", |bch| {
+        bch.iter(|| pool::with_parallelism_limit(1, || conv2d(&img, &w, &bias, 1, 1).unwrap()))
+    });
+    group.bench_function("conv2d_pooled/8x16x32x32", |bch| {
+        bch.iter(|| conv2d(&img, &w, &bias, 1, 1).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("store");
     group.sample_size(20);
@@ -108,6 +139,7 @@ fn bench_training_step(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tensor_kernels,
+    bench_pool,
     bench_store,
     bench_pagecache_ablation,
     bench_training_step

@@ -79,6 +79,16 @@ impl Backend {
         self.flops
     }
 
+    /// Folds compute accounted by a worker backend into this one. Used when
+    /// independent training units run concurrently on the real backend: each
+    /// worker tracks its own busy time and FLOPs (IO stats are already shared
+    /// through [`SharedIoStats`]), and the session backend absorbs them so
+    /// aggregate metrics match the serial accounting.
+    pub fn absorb_compute(&mut self, busy_secs: f64, flops: f64) {
+        self.busy_secs += busy_secs;
+        self.flops += flops;
+    }
+
     /// Charges `flops` of training/inference compute.
     ///
     /// Simulated: advances the clock. Real: records the measured duration

@@ -107,6 +107,10 @@ pub struct SystemConfig {
     pub milp_max_nodes: u64,
     /// MILP wall-clock budget per solve, seconds.
     pub milp_time_limit_secs: u64,
+    /// Worker threads for the shared compute pool (`0` = decide from the
+    /// host's available parallelism). `NAUTILUS_THREADS` overrides this,
+    /// and the value only takes effect if set before the pool's first use.
+    pub threads: usize,
 }
 
 json_struct!(SystemConfig {
@@ -118,7 +122,8 @@ json_struct!(SystemConfig {
     workspace_bytes,
     shuffle_each_epoch,
     milp_max_nodes,
-    milp_time_limit_secs
+    milp_time_limit_secs,
+    threads
 });
 
 impl Default for SystemConfig {
@@ -133,32 +138,131 @@ impl Default for SystemConfig {
             shuffle_each_epoch: true,
             milp_max_nodes: 50_000,
             milp_time_limit_secs: 30,
+            threads: 0,
         }
     }
 }
 
 impl SystemConfig {
+    /// Starts a fluent builder seeded with the paper-scale defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: SystemConfig::default() }
+    }
+
     /// A configuration scaled down for tiny real-backend runs: megabyte
-    /// budgets, small `r`, negligible fixed overheads.
+    /// budgets, small `r`, negligible fixed overheads. A builder preset —
+    /// refine it further with [`SystemConfig::into_builder`].
     pub fn tiny() -> Self {
-        SystemConfig {
-            disk_budget_bytes: 64 << 20,
-            memory_budget_bytes: 256 << 20,
-            max_records: 256,
-            planner: PlannerCosts { disk_bytes_per_sec: 500e6, flops_per_sec: 5e9 },
-            hardware: HardwareProfile {
+        SystemConfig::builder()
+            .disk_budget_bytes(64 << 20)
+            .memory_budget_bytes(256 << 20)
+            .max_records(256)
+            .planner(PlannerCosts { disk_bytes_per_sec: 500e6, flops_per_sec: 5e9 })
+            .hardware(HardwareProfile {
                 achieved_flops_per_sec: 2e9,
                 page_cache_bytes: 64 << 20,
                 session_overhead_secs: 0.01,
                 epoch_overhead_secs: 0.001,
                 batch_overhead_secs: 0.0,
                 ..HardwareProfile::default()
-            },
-            workspace_bytes: 8 << 20,
-            shuffle_each_epoch: true,
-            milp_max_nodes: 20_000,
-            milp_time_limit_secs: 10,
-        }
+            })
+            .workspace_bytes(8 << 20)
+            .milp_max_nodes(20_000)
+            .milp_time_limit_secs(10)
+            .build()
+    }
+
+    /// Reopens this configuration as a builder for further overrides.
+    pub fn into_builder(self) -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: self }
+    }
+}
+
+/// Fluent builder for [`SystemConfig`]; obtained from
+/// [`SystemConfig::builder`] (paper-scale defaults) or
+/// [`SystemConfig::into_builder`] (refine a preset such as
+/// [`SystemConfig::tiny`]).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Disk storage budget `Bdisk` for materialized layers, bytes.
+    pub fn disk_budget_bytes(mut self, v: u64) -> Self {
+        self.cfg.disk_budget_bytes = v;
+        self
+    }
+
+    /// Runtime memory budget `Bmem` for fused training, bytes.
+    pub fn memory_budget_bytes(mut self, v: u64) -> Self {
+        self.cfg.memory_budget_bytes = v;
+        self
+    }
+
+    /// Expected maximum number of training records `r`.
+    pub fn max_records(mut self, v: usize) -> Self {
+        self.cfg.max_records = v;
+        self
+    }
+
+    /// Planner cost constants (optimizer's view of the hardware).
+    pub fn planner(mut self, v: PlannerCosts) -> Self {
+        self.cfg.planner = v;
+        self
+    }
+
+    /// Overrides only the planner's compute-throughput assumption.
+    pub fn planner_flops_per_sec(mut self, v: f64) -> Self {
+        self.cfg.planner.flops_per_sec = v;
+        self
+    }
+
+    /// Overrides only the planner's disk-throughput assumption.
+    pub fn planner_disk_bytes_per_sec(mut self, v: f64) -> Self {
+        self.cfg.planner.disk_bytes_per_sec = v;
+        self
+    }
+
+    /// Simulated hardware profile.
+    pub fn hardware(mut self, v: HardwareProfile) -> Self {
+        self.cfg.hardware = v;
+        self
+    }
+
+    /// Workspace memory reserved for kernel scratch, bytes.
+    pub fn workspace_bytes(mut self, v: u64) -> Self {
+        self.cfg.workspace_bytes = v;
+        self
+    }
+
+    /// Shuffle the training set each epoch.
+    pub fn shuffle_each_epoch(mut self, v: bool) -> Self {
+        self.cfg.shuffle_each_epoch = v;
+        self
+    }
+
+    /// MILP node budget per solve.
+    pub fn milp_max_nodes(mut self, v: u64) -> Self {
+        self.cfg.milp_max_nodes = v;
+        self
+    }
+
+    /// MILP wall-clock budget per solve, seconds.
+    pub fn milp_time_limit_secs(mut self, v: u64) -> Self {
+        self.cfg.milp_time_limit_secs = v;
+        self
+    }
+
+    /// Worker threads for the shared compute pool (`0` = auto).
+    pub fn threads(mut self, v: usize) -> Self {
+        self.cfg.threads = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
     }
 }
 
@@ -180,6 +284,50 @@ mod tests {
         assert_eq!(c.disk_budget_bytes, 25 * 1024 * 1024 * 1024);
         assert_eq!(c.memory_budget_bytes, 10 * 1024 * 1024 * 1024);
         assert_eq!(c.max_records, 10_000);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = SystemConfig::builder().build();
+        let def = SystemConfig::default();
+        assert_eq!(built.disk_budget_bytes, def.disk_budget_bytes);
+        assert_eq!(built.memory_budget_bytes, def.memory_budget_bytes);
+        assert_eq!(built.max_records, def.max_records);
+        assert_eq!(built.threads, def.threads);
+    }
+
+    #[test]
+    fn builder_setters_override_each_knob() {
+        let cfg = SystemConfig::builder()
+            .disk_budget_bytes(123)
+            .memory_budget_bytes(456)
+            .max_records(7)
+            .planner(PlannerCosts { disk_bytes_per_sec: 1.0, flops_per_sec: 2.0 })
+            .hardware(HardwareProfile { page_cache_bytes: 99, ..HardwareProfile::default() })
+            .workspace_bytes(8)
+            .shuffle_each_epoch(false)
+            .milp_max_nodes(9)
+            .milp_time_limit_secs(10)
+            .threads(4)
+            .build();
+        assert_eq!(cfg.disk_budget_bytes, 123);
+        assert_eq!(cfg.memory_budget_bytes, 456);
+        assert_eq!(cfg.max_records, 7);
+        assert_eq!(cfg.planner.flops_per_sec, 2.0);
+        assert_eq!(cfg.hardware.page_cache_bytes, 99);
+        assert_eq!(cfg.workspace_bytes, 8);
+        assert!(!cfg.shuffle_each_epoch);
+        assert_eq!(cfg.milp_max_nodes, 9);
+        assert_eq!(cfg.milp_time_limit_secs, 10);
+        assert_eq!(cfg.threads, 4);
+    }
+
+    #[test]
+    fn tiny_preset_reopens_as_builder() {
+        let cfg = SystemConfig::tiny().into_builder().threads(2).build();
+        assert_eq!(cfg.disk_budget_bytes, 64 << 20);
+        assert_eq!(cfg.max_records, 256);
+        assert_eq!(cfg.threads, 2);
     }
 
     #[test]

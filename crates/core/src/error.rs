@@ -1,0 +1,124 @@
+//! Top-level error type for user-facing entry points.
+//!
+//! Library crates keep their precise error enums ([`TensorError`],
+//! [`SessionError`], [`GraphError`], ...), but application code — the
+//! examples, quickstarts, and any binary driving [`crate::ModelSelection`] —
+//! wants a single type so `?` works across every layer. [`NautilusError`]
+//! is that type: it implements [`std::error::Error`] and converts from each
+//! layer's error, so `fn main() -> Result<(), NautilusError>` needs no
+//! `map_err` boilerplate.
+
+use crate::session::SessionError;
+use nautilus_dnn::graph::GraphError;
+use nautilus_store::StoreError;
+use nautilus_tensor::TensorError;
+use std::fmt;
+
+/// Unified error for application code built on the nautilus crates.
+#[derive(Debug)]
+pub enum NautilusError {
+    /// Tensor construction or kernel failure.
+    Tensor(TensorError),
+    /// Model-selection session failure (planning, materialization, training).
+    Session(SessionError),
+    /// Model graph construction failure.
+    Graph(GraphError),
+    /// Feature/checkpoint store failure.
+    Store(StoreError),
+    /// Anything stringly-typed (workload spec expansion, ad-hoc validation).
+    Other(String),
+}
+
+impl fmt::Display for NautilusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NautilusError::Tensor(e) => write!(f, "tensor: {e}"),
+            NautilusError::Session(e) => write!(f, "session: {e}"),
+            NautilusError::Graph(e) => write!(f, "graph: {e}"),
+            NautilusError::Store(e) => write!(f, "store: {e}"),
+            NautilusError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for NautilusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NautilusError::Tensor(e) => Some(e),
+            NautilusError::Session(e) => Some(e),
+            NautilusError::Graph(e) => Some(e),
+            NautilusError::Store(e) => Some(e),
+            NautilusError::Other(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for NautilusError {
+    fn from(e: TensorError) -> Self {
+        NautilusError::Tensor(e)
+    }
+}
+
+impl From<SessionError> for NautilusError {
+    fn from(e: SessionError) -> Self {
+        NautilusError::Session(e)
+    }
+}
+
+impl From<GraphError> for NautilusError {
+    fn from(e: GraphError) -> Self {
+        NautilusError::Graph(e)
+    }
+}
+
+impl From<StoreError> for NautilusError {
+    fn from(e: StoreError) -> Self {
+        NautilusError::Store(e)
+    }
+}
+
+impl From<String> for NautilusError {
+    fn from(m: String) -> Self {
+        NautilusError::Other(m)
+    }
+}
+
+impl From<&str> for NautilusError {
+    fn from(m: &str) -> Self {
+        NautilusError::Other(m.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn converts_from_layer_errors() {
+        let t: NautilusError = TensorError::Incompatible("bad".into()).into();
+        assert!(matches!(t, NautilusError::Tensor(_)));
+        let s: NautilusError = SessionError::Invalid("empty".into()).into();
+        assert!(matches!(s, NautilusError::Session(_)));
+        let o: NautilusError = "oops".into();
+        assert!(matches!(o, NautilusError::Other(_)));
+    }
+
+    #[test]
+    fn display_and_source_reflect_the_layer() {
+        let e: NautilusError = SessionError::Invalid("empty candidate set".into()).into();
+        assert!(e.to_string().contains("empty candidate set"));
+        assert!(e.source().is_some());
+        let o = NautilusError::Other("plain".into());
+        assert!(o.source().is_none());
+    }
+
+    #[test]
+    fn question_mark_composes_across_layers() {
+        fn inner() -> Result<(), NautilusError> {
+            Err(TensorError::Incompatible("shape".into()))?;
+            Ok(())
+        }
+        assert!(inner().is_err());
+    }
+}

@@ -336,10 +336,7 @@ mod tests {
 
         // A budget just above a single unit's need blocks all fusion.
         let solo_mem = generous_solo_mem(&multi, &cands);
-        let tight = SystemConfig {
-            memory_budget_bytes: solo_mem + 1024,
-            ..tiny_cfg()
-        };
+        let tight = tiny_cfg().into_builder().memory_budget_bytes(solo_mem + 1024).build();
         let units = fuse_models(&multi, &cands, &BTreeSet::new(), &tight, true);
         assert_eq!(units.len(), 4, "no pair fits in the tight budget");
         for u in &units {

@@ -33,6 +33,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod error;
 pub mod fusion;
 pub mod mat_opt;
 pub mod materializer;
@@ -48,7 +49,8 @@ pub mod trainer;
 pub mod workloads;
 
 pub use backend::BackendKind;
-pub use config::{HardwareProfile, PlannerCosts, SystemConfig};
+pub use config::{HardwareProfile, PlannerCosts, SystemConfig, SystemConfigBuilder};
+pub use error::NautilusError;
 pub use metrics::{CycleReport, RunStats};
 pub use session::{ModelSelection, Strategy};
 pub use spec::{CandidateModel, Hyper, ParamValue, SearchGrid};

@@ -471,7 +471,7 @@ mod tests {
     }
 
     fn cfg_with_budget(bytes: u64) -> SystemConfig {
-        SystemConfig { disk_budget_bytes: bytes, ..SystemConfig::tiny() }
+        SystemConfig::tiny().into_builder().disk_budget_bytes(bytes).build()
     }
 
     #[test]

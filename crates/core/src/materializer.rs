@@ -15,6 +15,7 @@ use nautilus_data::Dataset;
 use nautilus_dnn::exec::{forward, BatchInputs};
 use nautilus_dnn::graph::{GraphError, ModelGraph, NodeId, ParamInit};
 use nautilus_store::{DiskBudget, StoreError, TensorStore};
+use nautilus_tensor::Tensor;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -244,9 +245,14 @@ impl Materializer {
                 mg.fwd_flops_per_record * n_records as f64,
                 Some(start.elapsed().as_secs_f64()),
             );
-            for (_, plan_node, key) in &mg.outputs {
-                let out = fwd.output(*plan_node).clone();
-                let bytes = self.store.append(&format!("{key}:{split}"), &out)?;
+            let items: Vec<(String, Tensor)> = mg
+                .outputs
+                .iter()
+                .map(|(_, plan_node, key)| {
+                    (format!("{key}:{split}"), fwd.output(*plan_node).clone())
+                })
+                .collect();
+            for bytes in self.store.append_many(&items)? {
                 self.budget.charge(bytes).map_err(MatError::Budget)?;
             }
         } else {
@@ -290,9 +296,14 @@ impl Materializer {
                 mg.fwd_flops_per_record * n_records as f64,
                 Some(start.elapsed().as_secs_f64()),
             );
-            for (_, plan_node, key) in &mg.outputs {
-                let out = fwd.output(*plan_node).clone();
-                let bytes = self.store.append(&format!("{key}:{split}"), &out)?;
+            let items: Vec<(String, Tensor)> = mg
+                .outputs
+                .iter()
+                .map(|(_, plan_node, key)| {
+                    (format!("{key}:{split}"), fwd.output(*plan_node).clone())
+                })
+                .collect();
+            for bytes in self.store.append_many(&items)? {
                 self.budget.charge(bytes).map_err(MatError::Budget)?;
             }
         } else {

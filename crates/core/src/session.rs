@@ -22,7 +22,7 @@ use crate::plan::ExecutablePlan;
 use crate::profiler::profile_graph;
 use crate::spec::CandidateModel;
 use crate::speedup::theoretical_speedup;
-use crate::trainer::{CycleDataView, TrainError};
+use crate::trainer::{CycleDataView, MemberResult, TrainError};
 use nautilus_data::Dataset;
 use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::graph::GraphError;
@@ -174,6 +174,11 @@ impl ModelSelection {
     ) -> Result<Self, SessionError> {
         if candidates.is_empty() {
             return Err(SessionError::Invalid("empty candidate set".into()));
+        }
+        if config.threads > 0 {
+            // Best-effort: ignored if NAUTILUS_THREADS is set or the shared
+            // pool has already been started by an earlier session.
+            let _ = nautilus_util::pool::request_threads(config.threads);
         }
         let workdir = workdir.into();
         std::fs::create_dir_all(&workdir)
@@ -524,27 +529,76 @@ impl ModelSelection {
         }
         let materialize_secs = self.backend.elapsed_secs() - t_cycle;
 
-        // 4. Train every unit on the full snapshot.
+        // 4. Train every unit on the full snapshot. On the real backend,
+        // independent fused units run concurrently on the shared pool (each
+        // worker gets its own accounting backend whose compute is absorbed
+        // afterwards, and results are folded in unit order so the best-model
+        // tie-break matches the serial loop bit for bit). The simulated
+        // backend stays serial: its virtual clock is a single timeline, and
+        // Fig 6/8-style numbers must not change.
         let t_train = self.backend.elapsed_secs();
         let mut accuracies: Vec<(String, Option<f32>)> = Vec::new();
         let mut best: Option<(usize, String, f32)> = None;
-        for (unit, plan) in &self.units {
-            let data = if self.backend.is_real() {
-                CycleDataView::Real { train: &self.train_all, valid: &self.valid_all }
-            } else {
-                CycleDataView::Virtual { n_train: self.n_train, n_valid: self.n_valid }
-            };
-            let results = crate::trainer::train_unit_with(
-                &self.multi,
-                plan,
-                unit,
-                &self.candidates,
-                &data,
-                &self.materializer.store,
-                &mut self.backend,
-                self.strategy.full_checkpoints(),
-                self.config.shuffle_each_epoch,
-            )?;
+        let parallel_units = self.backend.is_real()
+            && self.units.len() > 1
+            && nautilus_util::pool::num_threads() > 1;
+        let unit_results: Vec<Vec<MemberResult>> = if parallel_units {
+            type UnitOut = Result<(Vec<MemberResult>, f64, f64), TrainError>;
+            let multi = &self.multi;
+            let candidates = &self.candidates[..];
+            let store = &self.materializer.store;
+            let train = &self.train_all;
+            let valid = &self.valid_all;
+            let hw = self.config.hardware;
+            let io = self.backend.io.clone();
+            let full_ckpt = self.strategy.full_checkpoints();
+            let shuffle = self.config.shuffle_each_epoch;
+            let tasks: Vec<Box<dyn FnOnce() -> UnitOut + Send>> = self
+                .units
+                .iter()
+                .map(|(unit, plan)| {
+                    let io = io.clone();
+                    Box::new(move || {
+                        let mut worker = Backend::new(BackendKind::Real, hw, io);
+                        let data = CycleDataView::Real { train, valid };
+                        let results = crate::trainer::train_unit_with(
+                            multi, plan, unit, candidates, &data, store, &mut worker,
+                            full_ckpt, shuffle,
+                        )?;
+                        Ok((results, worker.busy_secs(), worker.total_flops()))
+                    }) as Box<dyn FnOnce() -> UnitOut + Send>
+                })
+                .collect();
+            let mut folded = Vec::with_capacity(self.units.len());
+            for out in nautilus_util::pool::join_all(tasks) {
+                let (results, busy, flops) = out?;
+                self.backend.absorb_compute(busy, flops);
+                folded.push(results);
+            }
+            folded
+        } else {
+            let mut folded = Vec::with_capacity(self.units.len());
+            for (unit, plan) in &self.units {
+                let data = if self.backend.is_real() {
+                    CycleDataView::Real { train: &self.train_all, valid: &self.valid_all }
+                } else {
+                    CycleDataView::Virtual { n_train: self.n_train, n_valid: self.n_valid }
+                };
+                folded.push(crate::trainer::train_unit_with(
+                    &self.multi,
+                    plan,
+                    unit,
+                    &self.candidates,
+                    &data,
+                    &self.materializer.store,
+                    &mut self.backend,
+                    self.strategy.full_checkpoints(),
+                    self.config.shuffle_each_epoch,
+                )?);
+            }
+            folded
+        };
+        for results in unit_results {
             for r in results {
                 if let Some(acc) = r.accuracy {
                     if best.as_ref().is_none_or(|(_, _, b)| acc > *b) {

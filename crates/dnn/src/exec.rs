@@ -18,6 +18,7 @@ use nautilus_tensor::ops::{
     sum_rows, tanh_act, tanh_backward,
 };
 use nautilus_tensor::{Shape, Tensor, TensorError};
+use nautilus_util::pool;
 use std::collections::HashMap;
 
 /// Batched tensors for a graph's input placeholders.
@@ -569,9 +570,13 @@ fn transformer_forward(
     let mut v = matmul(x, wv)?;
     add_assign(&mut v, bv)?;
 
-    let mut ctx = Tensor::zeros(x.shape().clone());
-    let mut attn_mats = Vec::with_capacity(if keep_cache { b * heads } else { 0 });
-    for bi in 0..b {
+    // Attention cores are independent per record; fan records out over the
+    // pool. Each record's ctx block and attention matrices come back in
+    // record order, so assembly (and results) are identical to the
+    // sequential loop at any thread count.
+    let record_attn = |bi: usize| -> Result<(Tensor, Vec<Tensor>), TensorError> {
+        let mut ctx_rec = Tensor::zeros([1, s, dim]);
+        let mut attn_rec = Vec::with_capacity(if keep_cache { heads } else { 0 });
         for h in 0..heads {
             let qh = slice_head(&q, bi, s, dim, h, dh);
             let kh = slice_head(&k, bi, s, dim, h, dh);
@@ -579,11 +584,28 @@ fn transformer_forward(
             let scores = scale(&matmul_tb(&qh, &kh)?, scale_f);
             let attn = softmax_last(&scores);
             let ctx_h = matmul(&attn, &vh)?;
-            add_head(&mut ctx, &ctx_h, bi, s, dim, h, dh);
+            add_head(&mut ctx_rec, &ctx_h, 0, s, dim, h, dh);
             if keep_cache {
-                attn_mats.push(attn);
+                attn_rec.push(attn);
             }
         }
+        Ok((ctx_rec, attn_rec))
+    };
+    let per_record: Vec<Result<(Tensor, Vec<Tensor>), TensorError>> = pool::join_all(
+        (0..b)
+            .map(|bi| {
+                let f = &record_attn;
+                Box::new(move || f(bi))
+                    as Box<dyn FnOnce() -> Result<(Tensor, Vec<Tensor>), TensorError> + Send + '_>
+            })
+            .collect(),
+    );
+    let mut ctx = Tensor::zeros(x.shape().clone());
+    let mut attn_mats = Vec::with_capacity(if keep_cache { b * heads } else { 0 });
+    for (bi, result) in per_record.into_iter().enumerate() {
+        let (ctx_rec, attn_rec) = result?;
+        ctx.data_mut()[bi * s * dim..(bi + 1) * s * dim].copy_from_slice(ctx_rec.data());
+        attn_mats.extend(attn_rec);
     }
     let mut ao = matmul(&ctx, wo)?;
     add_assign(&mut ao, bo)?;
@@ -655,10 +677,14 @@ fn transformer_backward(
     let dbo = sum_rows(dao)?;
     let dctx = matmul_tb_weight(dao, wo)?;
     // Attention cores, per record and head.
-    let mut dq = Tensor::zeros(tc.q.shape().clone());
-    let mut dk = Tensor::zeros(tc.k.shape().clone());
-    let mut dv = Tensor::zeros(tc.v.shape().clone());
-    for bi in 0..b {
+    // Per-record attention gradients fan out over the pool; each record's
+    // dq/dk/dv blocks are assembled back in record order, bit-identical to
+    // the sequential loop.
+    type RecGrads = (Tensor, Tensor, Tensor);
+    let record_grads = |bi: usize| -> Result<RecGrads, TensorError> {
+        let mut dq_rec = Tensor::zeros([1, s, dim]);
+        let mut dk_rec = Tensor::zeros([1, s, dim]);
+        let mut dv_rec = Tensor::zeros([1, s, dim]);
         for h in 0..heads {
             let attn = &tc.attn[bi * heads + h];
             let dctx_h = slice_head(&dctx, bi, s, dim, h, dh);
@@ -670,10 +696,30 @@ fn transformer_backward(
             let dscores = softmax_last_backward(attn, &dattn)?;
             let dqh = scale(&matmul(&dscores, &kh)?, scale_f);
             let dkh = scale(&matmul_ta(&dscores, &qh)?, scale_f);
-            add_head(&mut dq, &dqh, bi, s, dim, h, dh);
-            add_head(&mut dk, &dkh, bi, s, dim, h, dh);
-            add_head(&mut dv, &dvh, bi, s, dim, h, dh);
+            add_head(&mut dq_rec, &dqh, 0, s, dim, h, dh);
+            add_head(&mut dk_rec, &dkh, 0, s, dim, h, dh);
+            add_head(&mut dv_rec, &dvh, 0, s, dim, h, dh);
         }
+        Ok((dq_rec, dk_rec, dv_rec))
+    };
+    let per_record: Vec<Result<RecGrads, TensorError>> = pool::join_all(
+        (0..b)
+            .map(|bi| {
+                let f = &record_grads;
+                Box::new(move || f(bi))
+                    as Box<dyn FnOnce() -> Result<RecGrads, TensorError> + Send + '_>
+            })
+            .collect(),
+    );
+    let mut dq = Tensor::zeros(tc.q.shape().clone());
+    let mut dk = Tensor::zeros(tc.k.shape().clone());
+    let mut dv = Tensor::zeros(tc.v.shape().clone());
+    for (bi, result) in per_record.into_iter().enumerate() {
+        let (dq_rec, dk_rec, dv_rec) = result?;
+        let range = bi * s * dim..(bi + 1) * s * dim;
+        dq.data_mut()[range.clone()].copy_from_slice(dq_rec.data());
+        dk.data_mut()[range.clone()].copy_from_slice(dk_rec.data());
+        dv.data_mut()[range].copy_from_slice(dv_rec.data());
     }
     // Input projections.
     let param_grads = if trainable {

@@ -9,9 +9,9 @@
 
 use crate::io::SharedIoStats;
 use nautilus_tensor::{ser, Shape, Tensor};
-use nautilus_util::{json, json_struct};
-use std::collections::BTreeMap;
+use nautilus_util::{json, json_struct, pool};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 
@@ -165,6 +165,77 @@ impl TensorStore {
         Ok(n)
     }
 
+    /// Appends several batches at once, encoding and writing the chunks on
+    /// the thread pool and persisting the manifest a single time.
+    ///
+    /// Returns the bytes written per item, in input order. Equivalent to
+    /// calling [`TensorStore::append`] for each item in order (including
+    /// repeated keys), just faster: the materializer uses this to flush all
+    /// of a cycle's feature outputs in one fan-out.
+    pub fn append_many(&mut self, items: &[(String, Tensor)]) -> Result<Vec<u64>, StoreError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Phase 1 (sequential): validate shapes, create key entries and
+        // directories, and assign each item its chunk file path.
+        let mut pending: HashMap<&str, usize> = HashMap::new();
+        let mut paths = Vec::with_capacity(items.len());
+        for (key, batch) in items {
+            let record_shape = batch.shape().without_batch();
+            let entry = self.manifest.keys.entry(key.clone()).or_insert_with(|| KeyMeta {
+                dir: dir_for(key),
+                record_shape: record_shape.0.clone(),
+                records: 0,
+                bytes: 0,
+                chunks: Vec::new(),
+            });
+            if entry.record_shape != record_shape.0 {
+                return Err(StoreError::ShapeMismatch {
+                    key: key.clone(),
+                    expected: entry.record_shape.clone(),
+                    actual: record_shape.0,
+                });
+            }
+            let seen = pending.entry(key.as_str()).or_insert(0);
+            let file = format!("chunk-{:06}.bin", entry.chunks.len() + *seen);
+            *seen += 1;
+            let dir = self.root.join(&entry.dir);
+            std::fs::create_dir_all(&dir)?;
+            paths.push((dir.join(&file), file));
+        }
+        // Phase 2 (parallel): encode and write each chunk.
+        let written: Vec<Result<u64, StoreError>> = pool::join_all(
+            items
+                .iter()
+                .zip(paths.iter())
+                .map(|((_, batch), (path, _))| {
+                    Box::new(move || {
+                        let bytes = ser::encode(batch);
+                        std::fs::write(path, &bytes)?;
+                        Ok(bytes.len() as u64)
+                    })
+                        as Box<dyn FnOnce() -> Result<u64, StoreError> + Send + '_>
+                })
+                .collect(),
+        );
+        // Phase 3 (sequential): fold the chunk metadata into the manifest
+        // in input order and persist it once.
+        let mut sizes = Vec::with_capacity(items.len());
+        for (((key, batch), (_, file)), result) in
+            items.iter().zip(paths.into_iter()).zip(written)
+        {
+            let n = result?;
+            let entry = self.manifest.keys.get_mut(key).expect("entry created in phase 1");
+            entry.chunks.push(ChunkMeta { file, records: batch.shape().dim(0), bytes: n });
+            entry.records += batch.shape().dim(0);
+            entry.bytes += n;
+            self.io.record_write(n);
+            sizes.push(n);
+        }
+        self.persist_manifest()?;
+        Ok(sizes)
+    }
+
     /// Reads every record under `key` as one batched tensor, in append
     /// order. Returns the tensor and the number of bytes read.
     pub fn read_all(&self, key: &str) -> Result<(Tensor, u64), StoreError> {
@@ -174,12 +245,28 @@ impl TensorStore {
             .get(key)
             .ok_or_else(|| StoreError::MissingKey(key.to_string()))?;
         let dir = self.root.join(&meta.dir);
+        // Chunk read + decode fans out over the pool; join_all returns
+        // chunks in append order, so the concatenation is unchanged.
+        let loaded: Vec<Result<(Tensor, u64), StoreError>> = pool::join_all(
+            meta.chunks
+                .iter()
+                .map(|c| {
+                    let path = dir.join(&c.file);
+                    Box::new(move || {
+                        let data = std::fs::read(path)?;
+                        let t = ser::decode(&data)
+                            .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+                        Ok((t, data.len() as u64))
+                    })
+                        as Box<dyn FnOnce() -> Result<(Tensor, u64), StoreError> + Send + '_>
+                })
+                .collect(),
+        );
         let mut parts = Vec::with_capacity(meta.chunks.len());
         let mut total = 0u64;
-        for c in &meta.chunks {
-            let data = std::fs::read(dir.join(&c.file))?;
-            total += data.len() as u64;
-            let t = ser::decode(&data).map_err(|e| StoreError::BadChunk(e.to_string()))?;
+        for r in loaded {
+            let (t, n) = r?;
+            total += n;
             parts.push(t);
         }
         self.io.record_disk_read(total);
@@ -214,25 +301,43 @@ impl TensorStore {
             return Ok((Tensor::zeros(record.with_batch(0)), 0));
         }
         let dir = self.root.join(&meta.dir);
-        let mut parts = Vec::new();
-        let mut bytes = 0u64;
+        // Collect the overlapping chunks, then read + decode + slice them
+        // on the pool; results come back in chunk order.
         let mut offset = 0usize;
+        let mut wanted: Vec<(PathBuf, usize, usize)> = Vec::new();
         for c in &meta.chunks {
             let chunk_range = offset..offset + c.records;
             offset += c.records;
             if chunk_range.end <= start || chunk_range.start >= end {
                 continue;
             }
-            let data = std::fs::read(dir.join(&c.file))?;
-            bytes += data.len() as u64;
-            let t = ser::decode(&data).map_err(|e| StoreError::BadChunk(e.to_string()))?;
             let lo = start.saturating_sub(chunk_range.start);
             let hi = (end - chunk_range.start).min(c.records);
-            let idx: Vec<usize> = (lo..hi).collect();
-            let slices: Vec<Tensor> = idx.iter().map(|&i| t.outer_slice(i)).collect();
-            parts.push(
-                Tensor::stack(&slices).map_err(|e| StoreError::BadChunk(e.to_string()))?,
-            );
+            wanted.push((dir.join(&c.file), lo, hi));
+        }
+        let loaded: Vec<Result<(Tensor, u64), StoreError>> = pool::join_all(
+            wanted
+                .into_iter()
+                .map(|(path, lo, hi)| {
+                    Box::new(move || {
+                        let data = std::fs::read(path)?;
+                        let t = ser::decode(&data)
+                            .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+                        let slices: Vec<Tensor> = (lo..hi).map(|i| t.outer_slice(i)).collect();
+                        let part = Tensor::stack(&slices)
+                            .map_err(|e| StoreError::BadChunk(e.to_string()))?;
+                        Ok((part, data.len() as u64))
+                    })
+                        as Box<dyn FnOnce() -> Result<(Tensor, u64), StoreError> + Send>
+                })
+                .collect(),
+        );
+        let mut parts = Vec::new();
+        let mut bytes = 0u64;
+        for r in loaded {
+            let (part, n) = r?;
+            bytes += n;
+            parts.push(part);
         }
         self.io.record_disk_read(bytes);
         let out =
@@ -360,6 +465,39 @@ mod tests {
         let (all, _) = s.read_all("k").unwrap();
         assert_eq!(ranged, all);
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn append_many_matches_sequential_appends() {
+        let mut rng = seeded_rng(9);
+        let batches: Vec<(String, Tensor)> = vec![
+            ("a".to_string(), randn([3, 4], 1.0, &mut rng)),
+            ("b".to_string(), randn([2, 4], 1.0, &mut rng)),
+            ("a".to_string(), randn([1, 4], 1.0, &mut rng)),
+            ("c".to_string(), randn([5, 2], 1.0, &mut rng)),
+        ];
+        let root_seq = temp_root("many-seq");
+        let mut seq = TensorStore::open(&root_seq, SharedIoStats::new()).unwrap();
+        let seq_bytes: Vec<u64> =
+            batches.iter().map(|(k, t)| seq.append(k, t).unwrap()).collect();
+        let root_par = temp_root("many-par");
+        let io = SharedIoStats::new();
+        let mut par = TensorStore::open(&root_par, io.clone()).unwrap();
+        let par_bytes = par.append_many(&batches).unwrap();
+        assert_eq!(par_bytes, seq_bytes);
+        assert_eq!(io.snapshot().write_ops, 4);
+        for key in ["a", "b", "c"] {
+            assert_eq!(par.num_records(key), seq.num_records(key), "records for {key}");
+            let (pt, _) = par.read_all(key).unwrap();
+            let (st, _) = seq.read_all(key).unwrap();
+            assert_eq!(pt, st, "data for {key}");
+        }
+        // Reopen to prove the single manifest persist captured everything.
+        drop(par);
+        let reopened = TensorStore::open(&root_par, SharedIoStats::new()).unwrap();
+        assert_eq!(reopened.num_records("a"), 4);
+        std::fs::remove_dir_all(&root_seq).unwrap();
+        std::fs::remove_dir_all(&root_par).unwrap();
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! real-execution scale they are fast enough and trivially auditable.
 
 use crate::{Tensor, TensorError};
+use nautilus_util::pool;
+
+/// Above this many multiply-adds, conv kernels fan out over the shared
+/// thread pool (same rationale as the matmul threshold).
+const PAR_THRESHOLD: usize = 1 << 22;
 
 fn dims4(t: &Tensor, what: &str) -> Result<(usize, usize, usize, usize), TensorError> {
     let s = &t.shape().0;
@@ -52,9 +57,21 @@ pub fn conv2d(
     let wt = weight.data();
     let bs = bias.data();
     let mut out = vec![0.0f32; b * c_out * oh * ow];
-    for n in 0..b {
-        for co in 0..c_out {
-            let obase = ((n * c_out) + co) * oh * ow;
+
+    // Each (n, co) output plane is an independent, exclusively-owned region,
+    // so plane-partitioned parallel execution is bit-identical to the
+    // sequential loop. `planes` are chunked so the pool gets roughly one
+    // task per thread.
+    let plane = oh * ow;
+    let total_planes = b * c_out;
+    let work = total_planes * plane * c_in * kh * kw * 2;
+    let tasks = if work < PAR_THRESHOLD { 1 } else { pool::num_threads().min(total_planes.max(1)) };
+    let planes_per = total_planes.div_ceil(tasks);
+    let compute_planes = |plane0: usize, ochunk: &mut [f32]| {
+        for (pi, oplane) in ochunk.chunks_exact_mut(plane).enumerate() {
+            let gi = plane0 + pi;
+            let n = gi / c_out;
+            let co = gi % c_out;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = bs[co];
@@ -76,10 +93,17 @@ pub fn conv2d(
                             }
                         }
                     }
-                    out[obase + oy * ow + ox] = acc;
+                    oplane[oy * ow + ox] = acc;
                 }
             }
         }
+    };
+    if tasks <= 1 {
+        compute_planes(0, &mut out);
+    } else {
+        pool::scope_chunks(&mut out, planes_per * plane, |ci, ochunk| {
+            compute_planes(ci * planes_per, ochunk);
+        });
     }
     Tensor::from_vec([b, c_out, oh, ow], out)
 }
@@ -111,7 +135,14 @@ pub fn conv2d_backward(
     let mut dx = vec![0.0f32; x.len()];
     let mut dw = vec![0.0f32; wt.len()];
     let mut db = vec![0.0f32; c_out];
-    for n in 0..b {
+
+    // Per-image partials: image `n` owns its dx slice exclusively and
+    // accumulates local dw/db copies, merged afterwards in image order.
+    // Sequential and pooled execution share this structure, so they are
+    // bit-identical at any thread count.
+    let image_grads = |n: usize, dx_img: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+        let mut dw_n = vec![0.0f32; wt.len()];
+        let mut db_n = vec![0.0f32; c_out];
         for co in 0..c_out {
             let obase = ((n * c_out) + co) * oh * ow;
             for oy in 0..oh {
@@ -120,9 +151,10 @@ pub fn conv2d_backward(
                     if gv == 0.0 {
                         continue;
                     }
-                    db[co] += gv;
+                    db_n[co] += gv;
                     for ci in 0..c_in {
                         let ibase = ((n * c_in) + ci) * h * w;
+                        let xbase = ci * h * w;
                         let wbase = ((co * c_in) + ci) * kh * kw;
                         for ky in 0..kh {
                             let iy = (oy * stride + ky) as isize - pad as isize;
@@ -134,15 +166,45 @@ pub fn conv2d_backward(
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let ii = ibase + iy as usize * w + ix as usize;
+                                let off = iy as usize * w + ix as usize;
                                 let wi = wbase + ky * kw + kx;
-                                dx[ii] += gv * wt[wi];
-                                dw[wi] += gv * x[ii];
+                                dx_img[xbase + off] += gv * wt[wi];
+                                dw_n[wi] += gv * x[ibase + off];
                             }
                         }
                     }
                 }
             }
+        }
+        (dw_n, db_n)
+    };
+
+    let image_len = c_in * h * w;
+    let work = b * c_out * oh * ow * c_in * kh * kw * 2;
+    let partials: Vec<(Vec<f32>, Vec<f32>)> =
+        if work < PAR_THRESHOLD || pool::num_threads() <= 1 || b <= 1 {
+            dx.chunks_mut(image_len.max(1))
+                .enumerate()
+                .map(|(n, dx_img)| image_grads(n, dx_img))
+                .collect()
+        } else {
+            let tasks: Vec<Box<dyn FnOnce() -> (Vec<f32>, Vec<f32>) + Send + '_>> = dx
+                .chunks_mut(image_len)
+                .enumerate()
+                .map(|(n, dx_img)| {
+                    let f = &image_grads;
+                    Box::new(move || f(n, dx_img))
+                        as Box<dyn FnOnce() -> (Vec<f32>, Vec<f32>) + Send + '_>
+                })
+                .collect();
+            pool::join_all(tasks)
+        };
+    for (dw_n, db_n) in &partials {
+        for (acc, v) in dw.iter_mut().zip(dw_n.iter()) {
+            *acc += v;
+        }
+        for (acc, v) in db.iter_mut().zip(db_n.iter()) {
+            *acc += v;
         }
     }
     Ok((
@@ -301,6 +363,27 @@ mod tests {
         }
         // Bias gradient: each output position contributes 1.
         assert!(db.data().iter().all(|&v| (v - 16.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn pooled_conv_identical_across_thread_limits() {
+        use nautilus_util::pool::with_parallelism_limit;
+        // Big enough to cross PAR_THRESHOLD: 8*16*16*16*8*3*3*2 ≈ 4.7M.
+        let x = randn([8, 8, 16, 16], 1.0, &mut seeded_rng(11));
+        let w = randn([16, 8, 3, 3], 0.2, &mut seeded_rng(12));
+        let b = Tensor::zeros([16]);
+        let fwd_ref = with_parallelism_limit(1, || conv2d(&x, &w, &b, 1, 1).unwrap());
+        let g = randn(fwd_ref.shape().clone(), 1.0, &mut seeded_rng(13));
+        let bwd_ref = with_parallelism_limit(1, || conv2d_backward(&x, &w, &g, 1, 1).unwrap());
+        for limit in [2usize, 8] {
+            let fwd = with_parallelism_limit(limit, || conv2d(&x, &w, &b, 1, 1).unwrap());
+            assert_eq!(fwd, fwd_ref, "forward diverged at limit {limit}");
+            let (dx, dw, db) =
+                with_parallelism_limit(limit, || conv2d_backward(&x, &w, &g, 1, 1).unwrap());
+            assert_eq!(dx, bwd_ref.0, "dx diverged at limit {limit}");
+            assert_eq!(dw, bwd_ref.1, "dw diverged at limit {limit}");
+            assert_eq!(db, bwd_ref.2, "db diverged at limit {limit}");
+        }
     }
 
     #[test]

@@ -4,19 +4,53 @@
 //! [`Tensor::as_matrix`]: every axis but the innermost is flattened into the
 //! row dimension. This matches how dense layers apply to `[batch, seq, dim]`
 //! activations. Kernels use the cache-friendly `i-k-j` loop order.
+//!
+//! [`matmul_ex`] is the single entry point owning transpose dispatch, pool
+//! parallelization, and FLOP accounting; [`matmul`]/[`matmul_ta`]/
+//! [`matmul_tb`] are thin wrappers over it. Parallel execution runs on the
+//! shared [`nautilus_util::pool`] and partitions only *disjoint output
+//! regions*, so results are bit-identical to the sequential kernels at any
+//! thread count.
 
 use crate::{Tensor, TensorError};
+use nautilus_util::pool;
 
-/// Above this many multiply-adds, [`matmul`]/[`matmul_tb`] split their
-/// output rows across threads. Row partitioning keeps results bit-identical
+/// Above this many multiply-adds, [`matmul_ex`] splits its output across
+/// the shared thread pool. Output partitioning keeps results bit-identical
 /// to the sequential kernel regardless of thread count.
 const PAR_THRESHOLD: usize = 1 << 22;
 
-fn num_threads(work: usize) -> usize {
+fn num_tasks(work: usize, rows: usize) -> usize {
     if work < PAR_THRESHOLD {
         return 1;
     }
-    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    pool::num_threads().min(rows.max(1))
+}
+
+/// Which operands of [`matmul_ex`] are consumed transposed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatmulSpec {
+    /// Treat `a` (stored `(m, k)`) as `aᵀ` `(k, m)`.
+    pub transpose_a: bool,
+    /// Treat `b` (stored `(k, n)`) as `bᵀ` `(n, k)`.
+    pub transpose_b: bool,
+}
+
+impl MatmulSpec {
+    /// Plain `A · B`.
+    pub fn plain() -> Self {
+        MatmulSpec::default()
+    }
+
+    /// `Aᵀ · B` (parameter gradients: `dW = Xᵀ · dY`).
+    pub fn ta() -> Self {
+        MatmulSpec { transpose_a: true, transpose_b: false }
+    }
+
+    /// `A · Bᵀ` (input gradients: `dX = dY · Wᵀ`).
+    pub fn tb() -> Self {
+        MatmulSpec { transpose_a: false, transpose_b: true }
+    }
 }
 
 fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
@@ -33,63 +67,34 @@ fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// `C[m,n] = A[m,k] · B[k,n]`, with `A` flattened as `(outer, last)`.
+/// Computes output rows `[p0, p0 + out.len()/n)` of `C[k,n] = Aᵀ · B`.
 ///
-/// The result keeps `A`'s outer axes and replaces the innermost axis with
-/// `B`'s column count. Large products run on multiple threads.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, k, ad) = a.as_matrix();
-    let (bk, n, bd) = b.as_matrix();
-    if k != bk {
-        return Err(TensorError::Incompatible(format!(
-            "matmul inner dims: {} vs {}",
-            k, bk
-        )));
-    }
-    let mut out = vec![0.0f32; m * n];
-    let threads = num_threads(m * k * n).min(m.max(1));
-    if threads <= 1 {
-        matmul_rows(ad, bd, &mut out, k, n);
-    } else {
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (achunk, ochunk) in
-                ad.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n))
-            {
-                scope.spawn(move || matmul_rows(achunk, bd, ochunk, k, n));
-            }
-        });
-    }
-    Tensor::from_vec(a.shape().with_last_dim(n), out)
-}
-
-/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `(m, k)` — i.e. `A` transposed.
-///
-/// Used for parameter gradients: `dW = Xᵀ · dY`.
-pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, k, ad) = a.as_matrix();
-    let (bm, n, bd) = b.as_matrix();
-    if m != bm {
-        return Err(TensorError::Incompatible(format!(
-            "matmul_ta outer dims: {} vs {}",
-            m, bm
-        )));
-    }
-    let mut out = vec![0.0f32; k * n];
+/// Scans every input row `i` exactly like the sequential kernel, restricted
+/// to this task's `p` range, so per-element addition order (and therefore
+/// rounding) is identical to the full sequential pass.
+fn matmul_ta_rows(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    p0: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let p_len = out.len() / n;
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let brow = &bd[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
+        for (pi, orow) in out.chunks_exact_mut(n).take(p_len).enumerate() {
+            let av = arow[p0 + pi];
             if av == 0.0 {
                 continue;
             }
-            let orow = &mut out[p * n..(p + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
             }
         }
     }
-    Tensor::from_vec([k, n], out)
 }
 
 fn matmul_tb_rows(ad: &[f32], bd: &[f32], out: &mut [f32], n: usize, k: usize) {
@@ -105,34 +110,130 @@ fn matmul_tb_rows(ad: &[f32], bd: &[f32], out: &mut [f32], n: usize, k: usize) {
     }
 }
 
+/// General matrix multiplication: `C = op(A) · op(B)` where `op` optionally
+/// transposes per [`MatmulSpec`].
+///
+/// `a` is flattened as `(outer, last)` via [`Tensor::as_matrix`]. The
+/// result keeps `a`'s outer axes (plain / `transpose_b`) or is the 2-D
+/// `(k, n)` gradient shape (`transpose_a`). Large products fan out over the
+/// shared thread pool with bit-identical results.
+pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, TensorError> {
+    match (spec.transpose_a, spec.transpose_b) {
+        (false, false) => {
+            let (m, k, ad) = a.as_matrix();
+            let (bk, n, bd) = b.as_matrix();
+            if k != bk {
+                return Err(TensorError::Incompatible(format!(
+                    "matmul inner dims: {} vs {}",
+                    k, bk
+                )));
+            }
+            let mut out = vec![0.0f32; m * n];
+            let tasks = num_tasks(m * k * n, m);
+            if tasks <= 1 {
+                matmul_rows(ad, bd, &mut out, k, n);
+            } else {
+                let rows_per = m.div_ceil(tasks);
+                pool::scope_chunks(&mut out, rows_per * n, |ci, ochunk| {
+                    let a0 = ci * rows_per * k;
+                    let achunk = &ad[a0..(a0 + ochunk.len() / n * k)];
+                    matmul_rows(achunk, bd, ochunk, k, n);
+                });
+            }
+            Tensor::from_vec(a.shape().with_last_dim(n), out)
+        }
+        (true, false) => {
+            let (m, k, ad) = a.as_matrix();
+            let (bm, n, bd) = b.as_matrix();
+            if m != bm {
+                return Err(TensorError::Incompatible(format!(
+                    "matmul_ta outer dims: {} vs {}",
+                    m, bm
+                )));
+            }
+            let mut out = vec![0.0f32; k * n];
+            let tasks = num_tasks(m * k * n, k);
+            if tasks <= 1 {
+                matmul_ta_rows(ad, bd, &mut out, 0, m, k, n);
+            } else {
+                let rows_per = k.div_ceil(tasks);
+                pool::scope_chunks(&mut out, rows_per * n, |ci, ochunk| {
+                    matmul_ta_rows(ad, bd, ochunk, ci * rows_per, m, k, n);
+                });
+            }
+            Tensor::from_vec([k, n], out)
+        }
+        (false, true) => {
+            let (m, n, ad) = a.as_matrix();
+            let (k, bn, bd) = b.as_matrix();
+            if n != bn {
+                return Err(TensorError::Incompatible(format!(
+                    "matmul_tb inner dims: {} vs {}",
+                    n, bn
+                )));
+            }
+            let mut out = vec![0.0f32; m * k];
+            let tasks = num_tasks(m * k * n, m);
+            if tasks <= 1 {
+                matmul_tb_rows(ad, bd, &mut out, n, k);
+            } else {
+                let rows_per = m.div_ceil(tasks);
+                pool::scope_chunks(&mut out, rows_per * k, |ci, ochunk| {
+                    let a0 = ci * rows_per * n;
+                    let achunk = &ad[a0..(a0 + ochunk.len() / k * n)];
+                    matmul_tb_rows(achunk, bd, ochunk, n, k);
+                });
+            }
+            Tensor::from_vec(a.shape().with_last_dim(k), out)
+        }
+        (true, true) => {
+            // Cᵀ = B · A, so compute with the plain kernel and transpose.
+            // No hot path uses this combination; clarity over speed.
+            let c = matmul_ex(b, a, MatmulSpec::plain())?;
+            let (rows, cols, cd) = c.as_matrix();
+            let mut out = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                for cix in 0..cols {
+                    out[cix * rows + r] = cd[r * cols + cix];
+                }
+            }
+            Tensor::from_vec([cols, rows], out)
+        }
+    }
+}
+
+/// FLOPs performed by a [`matmul_ex`] call with these operands.
+pub fn matmul_ex_flops(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> u64 {
+    let (am, ak, _) = a.as_matrix();
+    let (bk, bn, _) = b.as_matrix();
+    let (m, k) = if spec.transpose_a { (ak, am) } else { (am, ak) };
+    let n = if spec.transpose_b { bk } else { bn };
+    matmul_flops(m, k, n)
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`, with `A` flattened as `(outer, last)`.
+///
+/// The result keeps `A`'s outer axes and replaces the innermost axis with
+/// `B`'s column count. Large products run on the shared thread pool.
+#[inline]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_ex(a, b, MatmulSpec::plain())
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `(m, k)` — i.e. `A` transposed.
+///
+/// Used for parameter gradients: `dW = Xᵀ · dY`.
+#[inline]
+pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_ex(a, b, MatmulSpec::ta())
+}
+
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `(k, n)` — i.e. `B` transposed.
 ///
-/// Used for input gradients: `dX = dY · Wᵀ`. Large products run on
-/// multiple threads.
+/// Used for input gradients: `dX = dY · Wᵀ`.
+#[inline]
 pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, n, ad) = a.as_matrix();
-    let (k, bn, bd) = b.as_matrix();
-    if n != bn {
-        return Err(TensorError::Incompatible(format!(
-            "matmul_tb inner dims: {} vs {}",
-            n, bn
-        )));
-    }
-    let mut out = vec![0.0f32; m * k];
-    let threads = num_threads(m * k * n).min(m.max(1));
-    if threads <= 1 {
-        matmul_tb_rows(ad, bd, &mut out, n, k);
-    } else {
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (achunk, ochunk) in
-                ad.chunks(rows_per * n).zip(out.chunks_mut(rows_per * k))
-            {
-                scope.spawn(move || matmul_tb_rows(achunk, bd, ochunk, n, k));
-            }
-        });
-    }
-    Tensor::from_vec(a.shape().with_last_dim(k), out)
+    matmul_ex(a, b, MatmulSpec::tb())
 }
 
 /// FLOPs for a mat-mul of `(m, k) · (k, n)`: one multiply and one add per
@@ -189,15 +290,42 @@ mod tests {
     }
 
     #[test]
+    fn matmul_ex_both_transposed() {
+        // (aT · bT) == (b · a)T, checked against explicit transposes.
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = t(&[3, 2], &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let b = t(&[4, 2], &[1.0, 0.0, 2.0, 1.0, 0.0, 1.0, 1.0, 3.0]);
+        let bt = t(&[2, 4], &[1.0, 2.0, 0.0, 1.0, 0.0, 1.0, 1.0, 3.0]);
+        let got = matmul_ex(&a, &b, MatmulSpec { transpose_a: true, transpose_b: true }).unwrap();
+        assert_eq!(got, matmul(&at, &bt).unwrap());
+    }
+
+    #[test]
     fn flops_formula() {
         assert_eq!(matmul_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn spec_flops_account_effective_dims() {
+        let a = Tensor::ones([8, 3]);
+        let b = Tensor::ones([8, 5]);
+        // aT(3,8) · b(8,5): m=3, k=8, n=5.
+        assert_eq!(matmul_ex_flops(&a, &b, MatmulSpec::ta()), matmul_flops(3, 8, 5));
+        let x = Tensor::ones([2, 3]);
+        let w = Tensor::ones([4, 3]);
+        // x(2,3) · wT(3,4): m=2, k=3, n=4.
+        assert_eq!(matmul_ex_flops(&x, &w, MatmulSpec::tb()), matmul_flops(2, 3, 4));
+        assert_eq!(
+            matmul_ex_flops(&Tensor::ones([2, 3]), &Tensor::ones([3, 4]), MatmulSpec::plain()),
+            matmul_flops(2, 3, 4)
+        );
     }
 
     #[test]
     fn parallel_path_matches_sequential() {
         use crate::init::{randn, seeded_rng};
         // 256*128*256 mult-adds = 8.4M > PAR_THRESHOLD: exercises the
-        // threaded path; row partitioning must be bit-identical.
+        // pooled path; output partitioning must be bit-identical.
         let mut rng = seeded_rng(77);
         let a = randn([256, 128], 1.0, &mut rng);
         let b = randn([128, 256], 1.0, &mut rng);
@@ -211,5 +339,27 @@ mod tests {
         let mut seq_tb = vec![0.0f32; 128 * 256];
         matmul_tb_rows(a.data(), bt.data(), &mut seq_tb, 256, 256);
         assert_eq!(par_tb.data(), &seq_tb[..]);
+
+        // matmul_ta: pooled p-range partitioning vs one full-range pass.
+        let big_a = randn([256, 128], 1.0, &mut rng);
+        let big_b = randn([256, 256], 1.0, &mut rng);
+        let par_ta = matmul_ta(&big_a, &big_b).unwrap();
+        let mut seq_ta = vec![0.0f32; 128 * 256];
+        matmul_ta_rows(big_a.data(), big_b.data(), &mut seq_ta, 0, 256, 128, 256);
+        assert_eq!(par_ta.data(), &seq_ta[..]);
+    }
+
+    #[test]
+    fn pooled_results_identical_across_thread_limits() {
+        use crate::init::{randn, seeded_rng};
+        use nautilus_util::pool::with_parallelism_limit;
+        let mut rng = seeded_rng(99);
+        let a = randn([256, 128], 1.0, &mut rng);
+        let b = randn([128, 256], 1.0, &mut rng);
+        let reference = with_parallelism_limit(1, || matmul(&a, &b).unwrap());
+        for limit in [2usize, 8] {
+            let got = with_parallelism_limit(limit, || matmul(&a, &b).unwrap());
+            assert_eq!(got, reference, "limit {limit} diverged");
+        }
     }
 }

@@ -13,7 +13,7 @@ pub mod reduce;
 
 pub use conv::{avg_pool2d_global, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward};
 pub use elementwise::{add, add_assign, axpy, hadamard, scale, sub};
-pub use matmul::{matmul, matmul_ta, matmul_tb};
+pub use matmul::{matmul, matmul_ex, matmul_ex_flops, matmul_ta, matmul_tb, MatmulSpec};
 pub use nn::{
     cross_entropy_logits, gelu, gelu_backward, layer_norm, layer_norm_backward, relu,
     relu_backward, softmax_last, softmax_last_backward, tanh_act, tanh_backward,

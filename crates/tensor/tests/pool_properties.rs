@@ -1,0 +1,173 @@
+//! Pooled kernel execution is bit-identical to sequential execution.
+//!
+//! The shared pool's determinism contract (work is partitioned into
+//! caller-chosen disjoint output regions, never thread-count-dependent
+//! placements) means `matmul_ex` and `conv2d` must produce the *exact* same
+//! bits at every parallelism level. This property test drives random shapes
+//! — including shapes large enough to cross the parallel-dispatch threshold
+//! — through thread limits 1, 2, and 8 and compares raw `f32` buffers.
+//!
+//! Everything lives in one `#[test]` so `NAUTILUS_THREADS` is set exactly
+//! once, before the pool's first use, in a binary no other test shares.
+
+use nautilus_tensor::ops::{conv2d, matmul_ex, MatmulSpec};
+use nautilus_tensor::Tensor;
+use nautilus_util::pool;
+use nautilus_util::prop::{prop_check, Gen};
+use nautilus_util::prop_assert;
+use nautilus_util::rng::{Rng, SeedableRng, StdRng};
+
+fn filled(rng: &mut StdRng, dims: &[usize]) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    Tensor::from_vec(dims.to_vec(), data).unwrap()
+}
+
+/// Random matmul shapes with transpose flags. Roughly a quarter of cases
+/// are sized past the parallel-dispatch threshold (`m*k*n >= 2^22`) so the
+/// pool path genuinely runs; the rest stay small for shape diversity.
+#[derive(Clone, Debug)]
+struct MmCase {
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+    seed: u64,
+}
+
+struct MmGen;
+
+impl Gen for MmGen {
+    type Value = MmCase;
+    fn generate(&self, rng: &mut StdRng) -> MmCase {
+        let large = rng.gen_range(0u32..4) == 0;
+        let (m, k, n) = if large {
+            (rng.gen_range(64usize..80), rng.gen_range(256usize..320), rng.gen_range(256usize..320))
+        } else {
+            (rng.gen_range(1usize..24), rng.gen_range(1usize..24), rng.gen_range(1usize..24))
+        };
+        MmCase { m, k, n, ta: rng.gen_bool(0.5), tb: rng.gen_bool(0.5), seed: rng.gen_range(0u64..1 << 32) }
+    }
+    fn shrink(&self, c: &MmCase) -> Vec<MmCase> {
+        // Halve one extent at a time; data is regenerated from the seed.
+        let mut out = Vec::new();
+        for f in [
+            |c: &mut MmCase| c.m /= 2,
+            |c: &mut MmCase| c.k /= 2,
+            |c: &mut MmCase| c.n /= 2,
+        ] {
+            let mut s = c.clone();
+            f(&mut s);
+            if s.m > 0 && s.k > 0 && s.n > 0 {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+/// Random conv shapes; roughly a quarter cross the conv parallel threshold.
+#[derive(Clone, Debug)]
+struct ConvCase {
+    b: usize,
+    c_in: usize,
+    c_out: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    seed: u64,
+}
+
+struct ConvGen;
+
+impl Gen for ConvGen {
+    type Value = ConvCase;
+    fn generate(&self, rng: &mut StdRng) -> ConvCase {
+        let large = rng.gen_range(0u32..4) == 0;
+        let (b, c_in, c_out, hw) = if large {
+            (8, 16, 16, rng.gen_range(16usize..20))
+        } else {
+            (
+                rng.gen_range(1usize..4),
+                rng.gen_range(1usize..6),
+                rng.gen_range(1usize..6),
+                rng.gen_range(4usize..12),
+            )
+        };
+        let k = *[1usize, 3, 5].get(rng.gen_range(0usize..3)).unwrap();
+        let k = k.min(hw);
+        ConvCase {
+            b,
+            c_in,
+            c_out,
+            h: hw,
+            w: hw,
+            kh: k,
+            kw: k,
+            stride: rng.gen_range(1usize..3),
+            pad: rng.gen_range(0usize..2),
+            seed: rng.gen_range(0u64..1 << 32),
+        }
+    }
+    fn shrink(&self, c: &ConvCase) -> Vec<ConvCase> {
+        let mut out = Vec::new();
+        if c.b > 1 {
+            out.push(ConvCase { b: c.b / 2, ..c.clone() });
+        }
+        if c.c_out > 1 {
+            out.push(ConvCase { c_out: c.c_out / 2, ..c.clone() });
+        }
+        out
+    }
+}
+
+fn check_matmul(c: &MmCase) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(c.seed);
+    let a_dims = if c.ta { [c.k, c.m] } else { [c.m, c.k] };
+    let b_dims = if c.tb { [c.n, c.k] } else { [c.k, c.n] };
+    let a = filled(&mut rng, &a_dims);
+    let b = filled(&mut rng, &b_dims);
+    let spec = MatmulSpec { transpose_a: c.ta, transpose_b: c.tb };
+    let reference = pool::with_parallelism_limit(1, || matmul_ex(&a, &b, spec))
+        .map_err(|e| e.to_string())?;
+    for limit in [2usize, 8] {
+        let got = pool::with_parallelism_limit(limit, || matmul_ex(&a, &b, spec))
+            .map_err(|e| e.to_string())?;
+        prop_assert!(
+            reference.data() == got.data(),
+            "matmul_ex bits diverged at limit {limit} for {c:?}"
+        );
+    }
+    Ok(())
+}
+
+fn check_conv(c: &ConvCase) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(c.seed);
+    let x = filled(&mut rng, &[c.b, c.c_in, c.h, c.w]);
+    let wt = filled(&mut rng, &[c.c_out, c.c_in, c.kh, c.kw]);
+    let bias = filled(&mut rng, &[c.c_out]);
+    let reference = pool::with_parallelism_limit(1, || conv2d(&x, &wt, &bias, c.stride, c.pad))
+        .map_err(|e| e.to_string())?;
+    for limit in [2usize, 8] {
+        let got = pool::with_parallelism_limit(limit, || conv2d(&x, &wt, &bias, c.stride, c.pad))
+            .map_err(|e| e.to_string())?;
+        prop_assert!(
+            reference.data() == got.data(),
+            "conv2d bits diverged at limit {limit} for {c:?}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn pooled_kernels_bit_identical_across_thread_limits() {
+    // Before the pool's first use; this binary holds no other test.
+    std::env::set_var("NAUTILUS_THREADS", "4");
+    assert_eq!(pool::num_threads(), 4, "env override must win");
+    prop_check(0x9001_0001, 16, &MmGen, check_matmul);
+    prop_check(0x9001_0002, 12, &ConvGen, check_conv);
+}

@@ -174,15 +174,36 @@ impl Bencher {
 pub struct Criterion {
     sample_size: usize,
     results: Vec<BenchResult>,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: env_samples().unwrap_or(20), results: Vec::new() }
+        Criterion { sample_size: env_samples().unwrap_or(20), results: Vec::new(), filters: Vec::new() }
     }
 }
 
 impl Criterion {
+    /// Installs criterion-style id filters from the process arguments:
+    /// `cargo bench -- <substr>...` runs only benchmarks whose full id
+    /// contains one of the substrings. Flag-like arguments (leading `-`)
+    /// are ignored. Called by [`criterion_main!`](crate::criterion_main).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        self
+    }
+
+    /// Installs explicit id filters (empty = run everything).
+    pub fn with_filters(mut self, filters: Vec<String>) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    fn matches_filter(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f))
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
@@ -207,6 +228,9 @@ impl Criterion {
             Some(g) => format!("{g}/{}", id.id),
             None => id.id,
         };
+        if !self.matches_filter(&full_id) {
+            return;
+        }
         let mut b = Bencher::new(sample_size);
         f(&mut b);
         b.samples_ns.sort_unstable();
@@ -307,7 +331,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            let mut c = $crate::bench::Criterion::default();
+            let mut c = $crate::bench::Criterion::default().configure_from_args();
             $( $group(&mut c); )+
             c.finish(env!("CARGO_CRATE_NAME"));
         }
@@ -347,6 +371,22 @@ mod tests {
         assert_eq!(results[1].id, "f/3");
         assert!(results.iter().all(|r| r.median_ns > 0));
         assert_eq!(results[0].samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        std::env::remove_var("NAUTILUS_BENCH_SAMPLES");
+        let mut c = Criterion::default().with_filters(vec!["pool".to_string()]);
+        let mut group = c.benchmark_group("pool");
+        group.sample_size(2);
+        group.bench_function("hit", |b| b.iter(|| black_box(1u64 + 1)));
+        group.finish();
+        let mut group = c.benchmark_group("other");
+        group.sample_size(2);
+        group.bench_function("miss", |b| b.iter(|| black_box(2u64 + 2)));
+        group.finish();
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["pool/hit"]);
     }
 
     #[test]

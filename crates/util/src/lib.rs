@@ -15,6 +15,10 @@
 //!   criterion-shaped API ([`criterion_group!`]/[`criterion_main!`]).
 //! - [`bytesio`] — checked little-endian buffer reads/writes over
 //!   `Vec<u8>` / `&[u8]`.
+//! - [`pool`] — persistent work-stealing thread pool with deterministic
+//!   result ordering ([`pool::scope_chunks`]/[`pool::join_all`]); the
+//!   worker count follows `available_parallelism`, overridable via
+//!   `NAUTILUS_THREADS`.
 //!
 //! Policy: no crate in this workspace may depend on anything outside the
 //! workspace (`scripts/verify.sh` enforces this). See DESIGN.md.
@@ -24,5 +28,6 @@
 pub mod bench;
 pub mod bytesio;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,97 @@
+//! Exercises the pool with real OS worker threads regardless of host core
+//! count, by pinning `NAUTILUS_THREADS` before the pool's first use.
+//!
+//! Everything lives in ONE test function: integration-test binaries are
+//! separate processes, but #[test] fns within a binary run concurrently,
+//! and the env var must be set before anything touches the pool.
+
+use nautilus_util::pool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn pool_with_four_workers() {
+    std::env::set_var("NAUTILUS_THREADS", "4");
+    assert_eq!(pool::num_threads(), 4);
+
+    // scope_chunks: disjoint writes land correctly with real workers.
+    let mut out = vec![0u64; 10_000];
+    pool::scope_chunks(&mut out, 97, |ci, chunk| {
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (ci * 97 + j) as u64 * 3;
+        }
+    });
+    assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+
+    // join_all: results come back in input order under true concurrency.
+    let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+        .map(|i| {
+            Box::new(move || {
+                let mut acc = 0usize;
+                for k in 0..(64 - i) * 500 {
+                    acc = std::hint::black_box(acc.wrapping_add(k));
+                }
+                std::hint::black_box(acc);
+                i * i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    assert_eq!(pool::join_all(tasks), (0..64).map(|i| i * i).collect::<Vec<_>>());
+
+    // Nested scopes: jobs that themselves fan out must not deadlock.
+    let total = AtomicU64::new(0);
+    let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+        .map(|_| {
+            Box::new(|| {
+                let inner: Vec<Box<dyn FnOnce() -> u64 + Send>> =
+                    (0..16u64).map(|j| Box::new(move || j) as Box<_>).collect();
+                let s: u64 = pool::join_all(inner).into_iter().sum();
+                total.fetch_add(s, Ordering::Relaxed);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_scope(outer);
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 120);
+
+    // A worker-side panic resurfaces on the submitting thread, and the
+    // pool keeps working afterwards.
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool::run_scope(tasks);
+    }));
+    assert!(r.is_err());
+    let after: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+        (0..8u32).map(|i| Box::new(move || i + 1) as Box<_>).collect();
+    assert_eq!(pool::join_all(after).into_iter().sum::<u32>(), 36);
+
+    // The limit clamp keeps results identical while shrinking splits.
+    let reference = {
+        let mut v = vec![0.0f32; 4096];
+        pool::scope_chunks(&mut v, 128, |ci, c| {
+            for (j, x) in c.iter_mut().enumerate() {
+                *x = ((ci * 128 + j) as f32).sin();
+            }
+        });
+        v
+    };
+    for limit in [1usize, 2, 8] {
+        let got = pool::with_parallelism_limit(limit, || {
+            let mut v = vec![0.0f32; 4096];
+            pool::scope_chunks(&mut v, 128, |ci, c| {
+                for (j, x) in c.iter_mut().enumerate() {
+                    *x = ((ci * 128 + j) as f32).sin();
+                }
+            });
+            v
+        });
+        assert_eq!(got, reference, "limit {limit} diverged");
+    }
+}

@@ -11,13 +11,13 @@
 
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
-use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::data::{LabelingSession, Sampler};
 
 const CYCLES: usize = 4;
 const LABELS_PER_CYCLE: usize = 40;
 
-fn run(sampler_name: &str, pick: impl Fn(usize) -> Sampler) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+fn run(sampler_name: &str, pick: impl Fn(usize) -> Sampler) -> Result<Vec<f32>, NautilusError> {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr3, scale: Scale::Tiny };
     let mut candidates = spec.candidates()?;
     candidates.truncate(4);
@@ -65,7 +65,7 @@ fn run(sampler_name: &str, pick: impl Fn(usize) -> Sampler) -> Result<Vec<f32>, 
     Ok(best_curve)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NautilusError> {
     println!("active-learning NER with Nautilus-accelerated model selection\n");
     let random = run("random", |c| Sampler::Random { seed: c as u64 })?;
     let uncertainty = run("uncertainty", |_| Sampler::LeastConfidence)?;

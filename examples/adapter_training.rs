@@ -14,12 +14,12 @@ use nautilus_repro::core::mat_opt::NodeAction;
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::spec::{CandidateModel, Hyper};
 use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
-use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::dnn::{OptimizerSpec, TaskKind};
 use nautilus_repro::models::bert::{adapter_model, BertConfig};
 use nautilus_repro::models::BuildScale;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NautilusError> {
     let spec = WorkloadSpec { kind: WorkloadKind::Atr, scale: Scale::Tiny };
     let ner = spec.ner_config();
     let bcfg = BertConfig::tiny(ner.seq_len, ner.vocab);
@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for &lr in &[5e-3f32, 2e-3] {
             candidates.push(CandidateModel {
                 name: format!("adapters-last-{adapted}-lr{lr}"),
-                graph: adapter_model(&bcfg, adapted, 8, ner.num_tags(), BuildScale::Real)
-                    .map_err(|e| e.to_string())?,
+                graph: adapter_model(&bcfg, adapted, 8, ner.num_tags(), BuildScale::Real)?,
                 hyper: Hyper { batch_size: 8, epochs: 2, optimizer: OptimizerSpec::adam(lr) },
                 task: TaskKind::TokenTagging,
             });
@@ -41,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&workdir);
     // A planner profile under which loading features beats recomputing the
     // tiny backbone, so the optimizer has something to decide.
-    let mut config = SystemConfig::tiny();
-    config.planner.flops_per_sec = 1e9;
+    let config = SystemConfig::tiny().into_builder().planner_flops_per_sec(1e9).build();
     let mut session = ModelSelection::new(
         candidates,
         config,

@@ -12,20 +12,19 @@
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::spec::{CandidateModel, Hyper};
 use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
-use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::dnn::{OptimizerSpec, TaskKind};
 use nautilus_repro::models::resnet::{fine_tune_model, ResNetConfig};
 use nautilus_repro::models::BuildScale;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NautilusError> {
     let rcfg = ResNetConfig::tiny(16);
     let mut candidates = Vec::new();
     for &unfrozen in &[3usize, 6, 9, 12] {
         for &lr in &[5e-3f32, 2e-3] {
             candidates.push(CandidateModel {
                 name: format!("tune-last-{unfrozen}-lr{lr}"),
-                graph: fine_tune_model(&rcfg, unfrozen, 2, BuildScale::Real)
-                    .map_err(|e| e.to_string())?,
+                graph: fine_tune_model(&rcfg, unfrozen, 2, BuildScale::Real)?,
                 hyper: Hyper { batch_size: 8, epochs: 2, optimizer: OptimizerSpec::adam(lr) },
                 task: TaskKind::Classification,
             });

@@ -8,10 +8,10 @@
 
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
-use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::data::{LabelingSession, Sampler};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NautilusError> {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
     let (per_cycle_train, per_cycle_valid) = spec.records_per_cycle();
     let cycles = spec.cycles();

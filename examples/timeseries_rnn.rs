@@ -11,7 +11,7 @@
 
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::spec::{CandidateModel, Hyper};
-use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::data::Dataset;
 use nautilus_repro::dnn::{OptimizerSpec, TaskKind};
 use nautilus_repro::models::rnn::{sequence_classifier, RnnEncoderConfig};
@@ -44,15 +44,14 @@ fn sensor_pool(n: usize) -> Dataset {
     Dataset::new(inputs, Tensor::from_vec([n], labels).unwrap()).unwrap()
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), NautilusError> {
     let encoder = RnnEncoderConfig { input_dim: FEATURES, hidden: 16, steps: STEPS, seed: 3000 };
     let candidates: Vec<CandidateModel> = [0.05f32, 0.02, 0.01, 0.005]
         .iter()
         .map(|&lr| {
-            Ok::<_, String>(CandidateModel {
+            Ok::<_, NautilusError>(CandidateModel {
                 name: format!("rnn-head-lr{lr}"),
-                graph: sequence_classifier(&encoder, 2, BuildScale::Real)
-                    .map_err(|e| e.to_string())?,
+                graph: sequence_classifier(&encoder, 2, BuildScale::Real)?,
                 hyper: Hyper { batch_size: 8, epochs: 3, optimizer: OptimizerSpec::adam(lr) },
                 task: TaskKind::Classification,
             })
@@ -70,8 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&workdir);
     // Planner profile where loading the hidden state beats re-running the
     // recurrence.
-    let mut config = SystemConfig::tiny();
-    config.planner.flops_per_sec = 5e7;
+    let config = SystemConfig::tiny().into_builder().planner_flops_per_sec(5e7).build();
     let mut session = ModelSelection::new(
         candidates,
         config,

@@ -44,3 +44,4 @@ pub use nautilus_milp as milp;
 pub use nautilus_models as models;
 pub use nautilus_store as store;
 pub use nautilus_tensor as tensor;
+pub use nautilus_util as util;

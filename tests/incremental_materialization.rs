@@ -87,11 +87,11 @@ fn fused_plans_respect_memory_budget() {
         .collect();
     let multi = MultiModelGraph::build(&cands);
     for budget_mb in [1u64, 4, 16, 64, 256] {
-        let cfg = SystemConfig {
-            memory_budget_bytes: budget_mb << 20,
-            workspace_bytes: 0,
-            ..SystemConfig::tiny()
-        };
+        let cfg = SystemConfig::tiny()
+            .into_builder()
+            .memory_budget_bytes(budget_mb << 20)
+            .workspace_bytes(0)
+            .build();
         let units = fuse_models(&multi, &cands, &BTreeSet::new(), &cfg, true);
         let covered: usize = units.iter().map(|u| u.members.len()).sum();
         assert_eq!(covered, 4, "all models trained at budget {budget_mb} MiB");

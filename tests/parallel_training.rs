@@ -1,0 +1,61 @@
+//! Concurrent unit training reproduces the serial SGD trajectory exactly.
+//!
+//! On the real backend, independent training units run concurrently on the
+//! shared pool (session step 4). Correctness demands this changes *nothing*
+//! observable: every unit trains its own parameters against an immutable
+//! feature store, so validation accuracies — and the best-model selection —
+//! must be bit-identical to the serial loop.
+//!
+//! One `#[test]` in its own binary so `NAUTILUS_THREADS` is set exactly once
+//! before the pool's first use.
+
+use nautilus_repro::core::session::{CycleInput, ModelSelection};
+use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_util::pool;
+
+type CycleAccuracies = Vec<Vec<(String, Option<f32>)>>;
+
+fn run_cycles(limit: usize, tag: &str) -> CycleAccuracies {
+    pool::with_parallelism_limit(limit, || {
+        let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+        let mut candidates = spec.candidates().expect("workload builds");
+        candidates.truncate(3);
+        let workdir = std::env::temp_dir().join(format!(
+            "nautilus-it-par-train-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&workdir);
+        // Current Practice trains one unit per candidate: three units, so
+        // the pooled path genuinely runs more than one unit concurrently.
+        let mut session = ModelSelection::new(
+            candidates,
+            SystemConfig::tiny(),
+            Strategy::CurrentPractice,
+            BackendKind::Real,
+            workdir,
+        )
+        .expect("session initializes");
+        let data = spec.ner_config().generate(60);
+        let mut acc = Vec::new();
+        for cycle in 0..2 {
+            let batch = data.range(cycle * 30, (cycle + 1) * 30);
+            let (train, valid) = batch.split_at(24);
+            let report = session.fit(CycleInput::Real { train, valid }).expect("cycle runs");
+            acc.push(report.accuracies);
+        }
+        acc
+    })
+}
+
+#[test]
+fn concurrent_unit_training_matches_serial_trajectory() {
+    // Before the pool's first use; this binary holds no other test.
+    std::env::set_var("NAUTILUS_THREADS", "4");
+    assert_eq!(pool::num_threads(), 4, "env override must win");
+    let serial = run_cycles(1, "serial");
+    let pooled = run_cycles(8, "pooled");
+    // Unit order is preserved by the parallel fold, so the full report —
+    // names, order, and accuracy bits — must match without sorting.
+    assert_eq!(serial, pooled, "pooled trajectory diverged from serial");
+}

@@ -78,9 +78,11 @@ fn mat_opt_plans_are_valid_and_never_worse() {
     let gen = (workload_gen(), u64s(0..2048));
     prop_check(0x2007_0001, CASES, &gen, |(specs, budget_kb)| {
         let cands = build_candidates(specs);
-        let mut cfg = SystemConfig::tiny();
-        cfg.disk_budget_bytes = budget_kb << 10;
-        cfg.planner.flops_per_sec = 2e9;
+        let cfg = SystemConfig::tiny()
+            .into_builder()
+            .disk_budget_bytes(budget_kb << 10)
+            .planner_flops_per_sec(2e9)
+            .build();
         let r = 64usize;
         let multi = MultiModelGraph::build(&cands);
         let res = choose_materialization(&multi, &cands, &cfg, r);
