@@ -65,6 +65,36 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // Disabled-path overhead gate: a span around a small kernel must cost
+    // no more than the untraced kernel (one relaxed atomic load), and the
+    // enabled path is measured for the record. scripts/verify.sh compares
+    // untraced vs span_disabled minima.
+    use nautilus_util::telemetry;
+    let mut rng = seeded_rng(11);
+    let a = randn([32, 32], 1.0, &mut rng);
+    let b = randn([32, 32], 1.0, &mut rng);
+    let mut group = c.benchmark_group("telemetry");
+    telemetry::disable();
+    group.bench_function("untraced/matmul32", |bch| bch.iter(|| matmul(&a, &b).unwrap()));
+    group.bench_function("span_disabled/matmul32", |bch| {
+        bch.iter(|| {
+            let _sp = telemetry::span("bench", "bench.work");
+            matmul(&a, &b).unwrap()
+        })
+    });
+    telemetry::enable();
+    group.bench_function("span_enabled/matmul32", |bch| {
+        bch.iter(|| {
+            let _sp = telemetry::span("bench", "bench.work");
+            matmul(&a, &b).unwrap()
+        })
+    });
+    telemetry::disable();
+    telemetry::reset();
+    group.finish();
+}
+
 fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("store");
     group.sample_size(20);
@@ -140,6 +170,7 @@ criterion_group!(
     benches,
     bench_tensor_kernels,
     bench_pool,
+    bench_telemetry,
     bench_store,
     bench_pagecache_ablation,
     bench_training_step

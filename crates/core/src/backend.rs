@@ -16,6 +16,7 @@
 
 use crate::config::HardwareProfile;
 use nautilus_store::{PageCacheModel, SharedIoStats};
+use nautilus_util::telemetry;
 use std::time::Instant;
 
 /// Which backend a session runs on.
@@ -95,6 +96,7 @@ impl Backend {
     /// the caller observed (`measured_secs`), attributing it to busy time.
     pub fn charge_compute(&mut self, flops: f64, measured_secs: Option<f64>) {
         self.flops += flops;
+        telemetry::FLOPS.add(flops as u64);
         match self.kind {
             BackendKind::Simulated => {
                 let secs = flops / self.hw.achieved_flops_per_sec;

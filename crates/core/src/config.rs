@@ -95,7 +95,9 @@ pub struct SystemConfig {
     pub max_records: usize,
     /// Planner cost constants.
     pub planner: PlannerCosts,
-    /// Simulated hardware (ignored by the real backend).
+    /// Simulated hardware. The real backend ignores the throughput knobs
+    /// but sizes the feature store's page-cache model from
+    /// `page_cache_bytes`.
     pub hardware: HardwareProfile,
     /// Workspace memory reserved for kernel scratch, bytes (§4.3.3 type 2).
     pub workspace_bytes: u64,
@@ -111,6 +113,10 @@ pub struct SystemConfig {
     /// host's available parallelism). `NAUTILUS_THREADS` overrides this,
     /// and the value only takes effect if set before the pool's first use.
     pub threads: usize,
+    /// Chrome-trace output path. `Some(path)` enables the telemetry layer
+    /// for the whole process and exports the trace there when the session
+    /// drops. `NAUTILUS_TRACE` offers the same knob environmentally.
+    pub trace: Option<String>,
 }
 
 json_struct!(SystemConfig {
@@ -123,7 +129,8 @@ json_struct!(SystemConfig {
     shuffle_each_epoch,
     milp_max_nodes,
     milp_time_limit_secs,
-    threads
+    threads,
+    trace
 });
 
 impl Default for SystemConfig {
@@ -139,6 +146,7 @@ impl Default for SystemConfig {
             milp_max_nodes: 50_000,
             milp_time_limit_secs: 30,
             threads: 0,
+            trace: None,
         }
     }
 }
@@ -260,6 +268,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables telemetry and writes the Chrome trace to `path` when the
+    /// session drops (equivalent to setting `NAUTILUS_TRACE=path`).
+    pub fn trace(mut self, path: impl Into<String>) -> Self {
+        self.cfg.trace = Some(path.into());
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SystemConfig {
         self.cfg
@@ -309,6 +324,7 @@ mod tests {
             .milp_max_nodes(9)
             .milp_time_limit_secs(10)
             .threads(4)
+            .trace("/tmp/trace.json")
             .build();
         assert_eq!(cfg.disk_budget_bytes, 123);
         assert_eq!(cfg.memory_budget_bytes, 456);
@@ -320,6 +336,7 @@ mod tests {
         assert_eq!(cfg.milp_max_nodes, 9);
         assert_eq!(cfg.milp_time_limit_secs, 10);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.trace.as_deref(), Some("/tmp/trace.json"));
     }
 
     #[test]

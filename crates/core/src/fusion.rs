@@ -22,6 +22,7 @@ use crate::memory::{estimate_peak_memory, MemoryEstimate};
 use crate::multimodel::{MNodeId, MultiModelGraph};
 use crate::spec::CandidateModel;
 use nautilus_dnn::OptimizerSpec;
+use nautilus_util::telemetry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A training unit: one or more fused candidate models and their shared
@@ -154,6 +155,7 @@ pub fn fuse_models(
     cfg: &SystemConfig,
     enabled: bool,
 ) -> Vec<TrainUnit> {
+    let _sp = telemetry::span("planner", "planner.fuse");
     // Q' := singleton units with their optimal reuse plans.
     let mut next_id = 0u64;
     let mut units: Vec<(u64, TrainUnit)> = (0..candidates.len())

@@ -22,6 +22,7 @@ use crate::config::SystemConfig;
 use crate::multimodel::{MNodeId, MultiModelGraph};
 use crate::spec::CandidateModel;
 use nautilus_milp::{solve, BbOptions, LinExpr, MilpStatus, Problem, VarId};
+use nautilus_util::telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
@@ -105,6 +106,7 @@ pub fn choose_materialization_grouped(
     max_records: usize,
     grouped: bool,
 ) -> MatOptResult {
+    let _sp = telemetry::span("planner", "planner.choose_materialization");
     let groups = if grouped {
         multi.interchangeable_groups()
     } else {

@@ -16,6 +16,7 @@ use nautilus_dnn::exec::{forward, BatchInputs};
 use nautilus_dnn::graph::{GraphError, ModelGraph, NodeId, ParamInit};
 use nautilus_store::{DiskBudget, StoreError, TensorStore};
 use nautilus_tensor::Tensor;
+use nautilus_util::telemetry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -184,6 +185,7 @@ impl Materializer {
         v: BTreeSet<MNodeId>,
         backend: &mut Backend,
     ) -> Result<BTreeSet<MNodeId>, MatError> {
+        let _sp = telemetry::span("mat", "mat.install_v");
         if v == self.v && self.graph.is_some() {
             return Ok(BTreeSet::new());
         }
@@ -231,6 +233,7 @@ impl Materializer {
         if subset.is_empty() || n_records == 0 {
             return Ok(());
         }
+        let _sp = telemetry::span("mat", "mat.subset");
         debug_assert!(subset.is_subset(&self.v));
         let mg = build_materialization_graph(multi, candidates, subset)?;
         if backend.is_real() {
@@ -283,6 +286,7 @@ impl Materializer {
         if n_records == 0 {
             return Ok(());
         }
+        let _sp = telemetry::span("mat", "mat.batch");
         if backend.is_real() {
             let ds = data.ok_or_else(|| {
                 MatError::Exec("real backend requires record data".into())

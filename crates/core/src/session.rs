@@ -27,6 +27,7 @@ use nautilus_data::Dataset;
 use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::graph::GraphError;
 use nautilus_store::{SharedIoStats, StoreError, TensorStore};
+use nautilus_util::telemetry;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -183,11 +184,17 @@ impl ModelSelection {
         let workdir = workdir.into();
         std::fs::create_dir_all(&workdir)
             .map_err(|e| SessionError::Invalid(format!("workdir: {e}")))?;
+        telemetry::init_from_env();
+        if let Some(path) = &config.trace {
+            telemetry::enable_to(path.clone());
+        }
+        let _sp_init = telemetry::span("core", "session.init");
         let io = SharedIoStats::new();
         let mut backend = Backend::new(backend_kind, config.hardware, io.clone());
         let t_init = Instant::now();
 
         // Phase 1: original model checkpoints (all strategies).
+        let sp = telemetry::span("core", "init.original_checkpoints");
         let t0 = Instant::now();
         let c0 = backend.elapsed_secs();
         for (i, c) in candidates.iter().enumerate() {
@@ -201,8 +208,10 @@ impl ModelSelection {
             }
         }
         let original_checkpoints_secs = end_phase(&mut backend, t0, c0);
+        drop(sp);
 
         // Phase 2: profiling (optimizer strategies only).
+        let sp = telemetry::span("core", "init.profiling");
         let t0 = Instant::now();
         let c0 = backend.elapsed_secs();
         let multi = MultiModelGraph::build(&candidates);
@@ -215,16 +224,20 @@ impl ModelSelection {
             }
         }
         let profiling_secs = end_phase(&mut backend, t0, c0);
+        drop(sp);
 
         // Phase 3: the optimizer (MILP + fusion).
+        let sp = telemetry::span("core", "init.optimize");
         let t0 = Instant::now();
         let c0 = backend.elapsed_secs();
         let max_records = config.max_records;
         let (v, milp) = Self::choose_v(&multi, &candidates, &config, strategy, max_records);
         let units = Self::build_units(&multi, &candidates, &config, strategy, &v)?;
         let optimize_secs = end_phase(&mut backend, t0, c0);
+        drop(sp);
 
         // Phase 4: checkpoints for the optimized plans.
+        let sp = telemetry::span("core", "init.plan_checkpoints");
         let t0 = Instant::now();
         let c0 = backend.elapsed_secs();
         if strategy.runs_optimizer() {
@@ -240,8 +253,12 @@ impl ModelSelection {
             }
         }
         let plan_checkpoints_secs = end_phase(&mut backend, t0, c0);
+        drop(sp);
 
-        let store = TensorStore::open(workdir.join("features"), io.clone())?;
+        let mut store = TensorStore::open(workdir.join("features"), io.clone())?;
+        // The real store models the OS page cache at the size the hardware
+        // profile declares (the simulated backend has its own model).
+        store.set_page_cache_bytes(config.hardware.page_cache_bytes);
         // MAT-ALL is the paper's unbounded baseline: it materializes every
         // materializable layer "irrespective of whether it is efficient"
         // (§5.1), so it is exempt from the Bdisk enforcement that guards
@@ -261,6 +278,7 @@ impl ModelSelection {
             profiling_secs,
             optimize_secs,
             plan_checkpoints_secs,
+            milp_secs: milp.as_ref().map_or(0.0, |m| m.elapsed.as_secs_f64()),
             total_secs: match backend_kind {
                 BackendKind::Real => t_init.elapsed().as_secs_f64(),
                 BackendKind::Simulated => backend.elapsed_secs(),
@@ -419,6 +437,8 @@ impl ModelSelection {
     /// Runs one model-selection cycle on a newly labeled batch.
     pub fn fit(&mut self, input: CycleInput) -> Result<CycleReport, SessionError> {
         self.cycle += 1;
+        let sp_cycle = telemetry::timed_span("core", "cycle.fit");
+        let sp_mat = telemetry::timed_span("core", "cycle.materialize");
         let t_cycle = self.backend.elapsed_secs();
 
         // 1. Ingest the new batch.
@@ -527,7 +547,14 @@ impl ModelSelection {
                 &mut self.backend,
             )?;
         }
-        let materialize_secs = self.backend.elapsed_secs() - t_cycle;
+        // On the real backend the span's wall clock is the ground truth;
+        // the simulated backend reports its virtual clock.
+        let materialize_secs = if self.backend.is_real() {
+            sp_mat.finish()
+        } else {
+            drop(sp_mat);
+            self.backend.elapsed_secs() - t_cycle
+        };
 
         // 4. Train every unit on the full snapshot. On the real backend,
         // independent fused units run concurrently on the shared pool (each
@@ -536,6 +563,7 @@ impl ModelSelection {
         // tie-break matches the serial loop bit for bit). The simulated
         // backend stays serial: its virtual clock is a single timeline, and
         // Fig 6/8-style numbers must not change.
+        let sp_train = telemetry::timed_span("core", "cycle.train");
         let t_train = self.backend.elapsed_secs();
         let mut accuracies: Vec<(String, Option<f32>)> = Vec::new();
         let mut best: Option<(usize, String, f32)> = None;
@@ -612,14 +640,17 @@ impl ModelSelection {
             self.best_so_far = Some((*ci, *acc));
         }
         let now = self.backend.elapsed_secs();
+        let real = self.backend.is_real();
+        let train_secs = if real { sp_train.finish() } else { drop(sp_train); now - t_train };
+        let cycle_secs = if real { sp_cycle.finish() } else { drop(sp_cycle); now - t_cycle };
 
         Ok(CycleReport {
             cycle: self.cycle,
             train_records: self.n_train,
             valid_records: self.n_valid,
             materialize_secs,
-            train_secs: now - t_train,
-            cycle_secs: now - t_cycle,
+            train_secs,
+            cycle_secs,
             accuracies,
             best: best.map(|(_, n, a)| (n, a)),
             stats: self.stats(),
@@ -660,6 +691,8 @@ impl ModelSelection {
         let c_start = self.backend.elapsed_secs();
 
         // Re-profile.
+        let _sp_upd = telemetry::span("core", "session.update_workload");
+        let sp = telemetry::span("core", "init.profiling");
         let t0 = Instant::now();
         let c0 = self.backend.elapsed_secs();
         let multi = MultiModelGraph::build(&candidates);
@@ -672,16 +705,20 @@ impl ModelSelection {
             }
         }
         let profiling_secs = end_phase(&mut self.backend, t0, c0);
+        drop(sp);
 
         // Re-optimize.
+        let sp = telemetry::span("core", "init.optimize");
         let t0 = Instant::now();
         let c0 = self.backend.elapsed_secs();
         let (v, milp) =
             Self::choose_v(&multi, &candidates, &self.config, self.strategy, self.max_records);
         let units = Self::build_units(&multi, &candidates, &self.config, self.strategy, &v)?;
         let optimize_secs = end_phase(&mut self.backend, t0, c0);
+        drop(sp);
 
         // Re-checkpoint plans.
+        let sp = telemetry::span("core", "init.plan_checkpoints");
         let t0 = Instant::now();
         let c0 = self.backend.elapsed_secs();
         if self.strategy.runs_optimizer() {
@@ -691,7 +728,9 @@ impl ModelSelection {
             }
         }
         let plan_checkpoints_secs = end_phase(&mut self.backend, t0, c0);
+        drop(sp);
 
+        let milp_secs = milp.as_ref().map_or(0.0, |m| m.elapsed.as_secs_f64());
         self.candidates = candidates;
         self.multi = multi;
         self.units = units;
@@ -711,6 +750,7 @@ impl ModelSelection {
             profiling_secs,
             optimize_secs,
             plan_checkpoints_secs,
+            milp_secs,
             total_secs: match self.backend.kind() {
                 BackendKind::Real => t_start.elapsed().as_secs_f64(),
                 BackendKind::Simulated => self.backend.elapsed_secs() - c_start,
@@ -938,6 +978,15 @@ impl ModelSelection {
         let g = &self.candidates[0].graph;
         let inp = g.input_ids()[0];
         g.shape(inp).num_bytes() as u64
+    }
+}
+
+impl Drop for ModelSelection {
+    fn drop(&mut self) {
+        // Best-effort trace flush: a no-op unless a sink was configured
+        // (NAUTILUS_TRACE or SystemConfig::trace). Sequential sessions
+        // re-export cumulatively, so the file always holds the full run.
+        let _ = telemetry::export();
     }
 }
 

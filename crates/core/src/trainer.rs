@@ -24,6 +24,7 @@ use nautilus_dnn::exec::{backward, forward, BatchInputs};
 use nautilus_dnn::{NodeId, Optimizer};
 use nautilus_store::{StoreError, TensorStore};
 use nautilus_tensor::Tensor;
+use nautilus_util::telemetry;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -138,6 +139,7 @@ pub fn train_unit_with(
     full_checkpoints: bool,
     shuffle: bool,
 ) -> Result<Vec<MemberResult>, TrainError> {
+    let _sp = telemetry::span("train", "train.unit");
     backend.charge_session_overhead();
 
     // Initial checkpoint read: the whole plan (frozen shared parameters are
@@ -243,6 +245,7 @@ pub fn train_unit_with(
 
             let mut last_epoch_loss = vec![0.0f32; unit.members.len()];
             for epoch in 0..unit.epochs {
+                let _sp_epoch = telemetry::span("train", "train.epoch");
                 backend.charge_epoch_overhead();
                 let feeds = read_feeds(plan, "train", train, store)?;
                 let mut epoch_loss = vec![0.0f32; unit.members.len()];
@@ -262,6 +265,7 @@ pub fn train_unit_with(
                     .sum();
                 let order = epoch_order(epoch);
                 for b in 0..batches_per_epoch {
+                    let _sp_step = telemetry::span("train", "train.step");
                     let (s, e) = (b * batch, ((b + 1) * batch).min(n_train));
                     let idx = &order[s..e];
                     backend.charge_batch_overhead();

@@ -18,6 +18,7 @@ use nautilus_tensor::ops::{
     sum_rows, tanh_act, tanh_backward,
 };
 use nautilus_tensor::{Shape, Tensor, TensorError};
+use nautilus_util::telemetry;
 use nautilus_util::pool;
 use std::collections::HashMap;
 
@@ -205,6 +206,7 @@ pub fn forward(
     inputs: &BatchInputs,
     training: bool,
 ) -> Result<ForwardResult, ExecError> {
+    let _sp = telemetry::span("dnn", "dnn.forward");
     let n = graph.len();
     let mut outputs: Vec<Option<Tensor>> = vec![None; n];
     let mut caches: Vec<Cache> = Vec::with_capacity(n);
@@ -237,6 +239,7 @@ pub fn backward(
     fwd: &ForwardResult,
     out_grads: HashMap<NodeId, Tensor>,
 ) -> Result<Gradients, ExecError> {
+    let _sp = telemetry::span("dnn", "dnn.backward");
     let n = graph.len();
     let requires_grad = graph.requires_grad();
     let mut grads: Vec<Option<Tensor>> = vec![None; n];

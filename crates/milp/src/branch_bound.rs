@@ -2,6 +2,7 @@
 
 use crate::problem::{Problem, VarKind};
 use crate::simplex::{solve_lp, LpStatus};
+use nautilus_util::telemetry;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -132,6 +133,13 @@ fn try_round(problem: &Problem, x: &[f64]) -> Option<(Vec<f64>, f64)> {
 /// Solves the problem with branch-and-bound. Always returns the best
 /// incumbent found; see [`MilpStatus`] for how to interpret it.
 pub fn solve(problem: &Problem, options: &BbOptions) -> MilpSolution {
+    let _sp = telemetry::span("milp", "milp.solve");
+    let solution = solve_inner(problem, options);
+    telemetry::BB_NODES.add(solution.nodes);
+    solution
+}
+
+fn solve_inner(problem: &Problem, options: &BbOptions) -> MilpSolution {
     let start = Instant::now();
     let root_bounds: Vec<(f64, f64)> = problem.vars.iter().map(|v| (v.lb, v.ub)).collect();
 

@@ -13,6 +13,7 @@
 //! as a final backstop.
 
 use crate::problem::{Problem, Sense};
+use nautilus_util::telemetry;
 
 const EPS: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-9;
@@ -104,6 +105,7 @@ impl Tableau {
         let mut stall = 0u64;
         loop {
             self.iterations += 1;
+            telemetry::SIMPLEX_ITERATIONS.add(1);
             if self.iterations > max_iters {
                 return LpStatus::IterLimit;
             }

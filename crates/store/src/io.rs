@@ -2,16 +2,23 @@
 //!
 //! Every read/write done by a store (or *accounted* by the simulated
 //! backend) increments these counters; the Fig 11 experiment compares them
-//! across execution strategies.
+//! across execution strategies. The counters also mirror into the
+//! [`nautilus_util::telemetry`] byte counters so traces carry them.
+//!
+//! Both backends split reads into disk vs cache: the simulated backend
+//! through [`crate::PageCacheModel`] charges, the real backend through the
+//! same model tracking the chunk files [`crate::TensorStore`] actually
+//! touches (a stand-in for the OS page cache the paper relies on).
 
+use nautilus_util::telemetry;
 use std::sync::{Arc, Mutex};
 
 /// Cumulative IO statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
-    /// Bytes read from disk (page-cache *misses* under the simulated model).
+    /// Bytes read from disk (page-cache *misses*).
     pub disk_read_bytes: u64,
-    /// Bytes served from the page cache (simulated model only).
+    /// Bytes served from the page cache.
     pub cached_read_bytes: u64,
     /// Bytes written.
     pub disk_write_bytes: u64,
@@ -43,6 +50,7 @@ impl SharedIoStats {
         let mut s = self.0.lock().unwrap();
         s.disk_read_bytes += bytes;
         s.read_ops += 1;
+        telemetry::DISK_READ_BYTES.add(bytes);
     }
 
     /// Records a read served from cache.
@@ -50,6 +58,7 @@ impl SharedIoStats {
         let mut s = self.0.lock().unwrap();
         s.cached_read_bytes += bytes;
         s.read_ops += 1;
+        telemetry::CACHED_READ_BYTES.add(bytes);
     }
 
     /// Records a write.
@@ -57,6 +66,7 @@ impl SharedIoStats {
         let mut s = self.0.lock().unwrap();
         s.disk_write_bytes += bytes;
         s.write_ops += 1;
+        telemetry::DISK_WRITE_BYTES.add(bytes);
     }
 
     /// Snapshot of the counters.

@@ -19,6 +19,11 @@
 //!   result ordering ([`pool::scope_chunks`]/[`pool::join_all`]); the
 //!   worker count follows `available_parallelism`, overridable via
 //!   `NAUTILUS_THREADS`.
+//! - [`telemetry`] — tracing + metrics substrate: RAII spans with
+//!   thread-local parent stacks and per-thread ring buffers, named atomic
+//!   counters, Chrome trace-event JSON export and per-span summaries;
+//!   gated by `NAUTILUS_TRACE` with a single relaxed atomic load on the
+//!   disabled path.
 //!
 //! Policy: no crate in this workspace may depend on anything outside the
 //! workspace (`scripts/verify.sh` enforces this). See DESIGN.md.
@@ -31,3 +36,4 @@ pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod telemetry;

@@ -27,7 +27,14 @@
 //! Tests and benches can clamp the *effective* parallelism (the task-split
 //! width helpers use) with [`with_parallelism_limit`]; because of property
 //! (1) this only changes speed, never results.
+//!
+//! When [`crate::telemetry`] collection is on, the pool reports scope
+//! spans (`pool.scope`) plus task/steal/park counters, both aggregate
+//! (`pool.tasks`, `pool.steals`, `pool.parks`) and per worker
+//! (`pool.worker<i>.*`, including an injector queue-depth gauge sampled
+//! at each park). Disabled, each site costs one relaxed atomic load.
 
+use crate::telemetry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,6 +52,12 @@ static PARALLELISM_LIMIT: AtomicUsize = AtomicUsize::new(0);
 std::thread_local! {
     /// Index of the pool worker running on this thread, if any.
     static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Index of the pool worker running the current thread (`None` off-pool).
+/// Telemetry uses this to label trace threads `pool-worker-<i>`.
+pub fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
 }
 
 struct Pool {
@@ -77,6 +90,7 @@ fn configured_threads() -> usize {
 
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
+        telemetry::set_worker_index_fn(current_worker);
         let threads = configured_threads().max(1);
         // The submitting thread participates via help-first waiting, so we
         // spawn one fewer OS thread than the target parallelism.
@@ -111,8 +125,14 @@ fn ensure_workers() -> &'static Pool {
 
 fn worker_loop(p: &'static Pool, idx: usize) {
     WORKER_INDEX.with(|w| w.set(Some(idx)));
+    // Per-worker counters, interned once per thread so the hot loop only
+    // pays relaxed atomics.
+    let c_tasks = telemetry::counter(&format!("pool.worker{idx}.tasks"));
+    let c_parks = telemetry::counter(&format!("pool.worker{idx}.parks"));
+    let c_depth = telemetry::counter(&format!("pool.worker{idx}.queue_depth"));
     loop {
         if let Some(job) = p.try_pop(Some(idx)) {
+            c_tasks.add(1);
             job();
             continue;
         }
@@ -120,6 +140,9 @@ fn worker_loop(p: &'static Pool, idx: usize) {
         // race (a local push landing between our empty-check and the wait).
         let guard = p.injector.lock().unwrap();
         if guard.is_empty() {
+            telemetry::POOL_PARKS.add(1);
+            c_parks.add(1);
+            c_depth.set(guard.len() as u64);
             let _ = p.work_cvar.wait_timeout(guard, Duration::from_millis(10)).unwrap();
         }
     }
@@ -142,6 +165,12 @@ impl Pool {
                 continue;
             }
             if let Some(job) = local.lock().unwrap().pop_front() {
+                telemetry::POOL_STEALS.add(1);
+                if telemetry::enabled() {
+                    if let Some(i) = me {
+                        telemetry::counter(&format!("pool.worker{i}.steals")).add(1);
+                    }
+                }
                 return Some(job);
             }
         }
@@ -149,6 +178,7 @@ impl Pool {
     }
 
     fn push(&self, job: Job) {
+        telemetry::POOL_TASKS.add(1);
         let me = WORKER_INDEX.with(|w| w.get());
         match me {
             Some(i) => self.locals[i].lock().unwrap().push_back(job),
@@ -235,6 +265,7 @@ pub fn run_scope<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if tasks.is_empty() {
         return;
     }
+    let _sp = telemetry::span("pool", "pool.scope");
     if tasks.len() == 1 || num_threads() <= 1 {
         for task in tasks {
             task();

@@ -1,0 +1,685 @@
+//! In-tree tracing + metrics substrate (hermetic, no registry deps).
+//!
+//! Three pieces, mirroring what `tracing` + `metrics` + a Chrome exporter
+//! would otherwise provide:
+//!
+//! 1. **Spans** — [`span`] returns an RAII guard carrying a monotonic
+//!    [`Instant`]; guards maintain a thread-local parent stack (so every
+//!    event knows its depth and parent), and completed spans are buffered
+//!    in per-thread ring buffers that drain into a global collector when
+//!    full. Pool worker threads are labeled with their worker index.
+//! 2. **Counters** — [`Counter`] values registered by name: monotonic
+//!    adds ([`Counter::add`]) or gauge-style sets ([`Counter::set`]), all
+//!    relaxed atomics. The subsystem counters every crate shares (FLOPs,
+//!    disk/cache bytes, pool task/steal/park counts, pagecache hits and
+//!    misses, simplex iterations, branch-and-bound nodes) are predeclared
+//!    statics; ad-hoc names (e.g. per-worker) intern through [`counter`].
+//! 3. **Exporters** — [`export_to`] writes Chrome trace-event JSON
+//!    (loadable in Perfetto / `chrome://tracing`) via the in-tree
+//!    [`crate::json`] module; [`summary`] aggregates per-span-name
+//!    count/total/mean/max for terminal tables.
+//!
+//! Collection is **off by default** and gated by the `NAUTILUS_TRACE`
+//! environment variable (a path for the trace file — see
+//! [`init_from_env`]) or programmatic [`enable`]/[`enable_to`]. The
+//! disabled path of every instrumentation site is a single relaxed atomic
+//! load; no clocks are read and no allocation happens, so instrumented
+//! hot loops cost the same as untraced ones (the `telemetry` bench group
+//! gates this).
+//!
+//! Span naming convention: `<subsystem>.<operation>` with the crate-ish
+//! subsystem as the category — e.g. `("core", "cycle.train")`,
+//! `("store", "store.read_all")`, `("milp", "milp.solve")`.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread ring capacity (events) before draining into the collector.
+const RING_CAP: usize = 4096;
+
+/// Global collection switch. Every instrumentation site loads this once
+/// (relaxed) and bails when false — that load *is* the disabled-path cost.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when span/counter collection is active.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A finished span, in collector form.
+#[derive(Debug, Clone)]
+struct Event {
+    name: &'static str,
+    cat: &'static str,
+    tid: u64,
+    start_us: u64,
+    dur_us: u64,
+    depth: u32,
+    parent: Option<&'static str>,
+}
+
+/// One thread's shared ring of finished spans. The owning thread locks it
+/// briefly per event (uncontended); the exporter locks it to snapshot.
+/// Registered in the global state so events survive thread exit and are
+/// visible from live pool workers at export time.
+struct ThreadRing {
+    tid: u64,
+    label: Mutex<String>,
+    events: Mutex<Vec<Event>>,
+}
+
+struct Global {
+    epoch: Instant,
+    /// Events drained out of full thread rings.
+    drained: Mutex<Vec<Event>>,
+    /// Live (and retired) per-thread rings.
+    threads: Mutex<Vec<Arc<ThreadRing>>>,
+    /// Registered counters, in registration order.
+    counters: Mutex<Vec<&'static Counter>>,
+    /// Interned dynamically named counters (name → leaked static).
+    interned: Mutex<Vec<(&'static str, &'static Counter)>>,
+    next_tid: AtomicU64,
+    /// Trace-file destination configured via env/`enable_to`.
+    out_path: Mutex<Option<PathBuf>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        epoch: Instant::now(),
+        drained: Mutex::new(Vec::new()),
+        threads: Mutex::new(Vec::new()),
+        counters: Mutex::new(Vec::new()),
+        interned: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(1),
+        out_path: Mutex::new(None),
+    })
+}
+
+fn now_us() -> u64 {
+    global().epoch.elapsed().as_micros() as u64
+}
+
+/// Worker-index provider installed by `pool` so thread labels can say
+/// `pool-worker-N` without a dependency cycle.
+static WORKER_INDEX_FN: OnceLock<fn() -> Option<usize>> = OnceLock::new();
+
+/// Installs the pool's worker-index accessor (called once by the pool).
+pub fn set_worker_index_fn(f: fn() -> Option<usize>) {
+    let _ = WORKER_INDEX_FN.set(f);
+}
+
+struct LocalState {
+    ring: Arc<ThreadRing>,
+    /// Parent stack: names of the currently open spans on this thread.
+    stack: RefCell<Vec<&'static str>>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalState>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&LocalState) -> R) -> R {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            let g = global();
+            let tid = g.next_tid.fetch_add(1, Ordering::Relaxed);
+            let worker = WORKER_INDEX_FN.get().and_then(|f| f());
+            let label = match worker {
+                Some(i) => format!("pool-worker-{i}"),
+                None => std::thread::current()
+                    .name()
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| format!("thread-{tid}")),
+            };
+            let ring = Arc::new(ThreadRing {
+                tid,
+                label: Mutex::new(label),
+                events: Mutex::new(Vec::new()),
+            });
+            g.threads.lock().unwrap().push(ring.clone());
+            *slot = Some(LocalState { ring, stack: RefCell::new(Vec::new()) });
+        }
+        f(slot.as_ref().expect("local state initialized"))
+    })
+}
+
+fn record_event(name: &'static str, cat: &'static str, start_us: u64, end_us: u64) {
+    with_local(|local| {
+        let mut stack = local.stack.borrow_mut();
+        // This span's name sits on top (pushed at creation) — pop it; the
+        // remaining top is the parent.
+        if stack.last() == Some(&name) {
+            stack.pop();
+        }
+        let depth = stack.len() as u32;
+        let parent = stack.last().copied();
+        drop(stack);
+        let ev = Event {
+            name,
+            cat,
+            tid: local.ring.tid,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            depth,
+            parent,
+        };
+        let mut events = local.ring.events.lock().unwrap();
+        events.push(ev);
+        if events.len() >= RING_CAP {
+            let full = std::mem::take(&mut *events);
+            drop(events);
+            global().drained.lock().unwrap().extend(full);
+        }
+    });
+}
+
+/// RAII span guard returned by [`span`]. When collection is disabled the
+/// guard is inert (no clock read, no thread-local touch).
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    name: &'static str,
+    cat: &'static str,
+    start_us: u64,
+}
+
+/// Opens a span named `name` under category (subsystem) `cat`.
+///
+/// Cheap when disabled: one relaxed atomic load, then an inert guard.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !enabled() {
+        return Span { data: None };
+    }
+    let start_us = now_us();
+    with_local(|local| local.stack.borrow_mut().push(name));
+    Span { data: Some(SpanData { name, cat, start_us }) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(data) = self.data.take() {
+            record_event(data.name, data.cat, data.start_us, now_us());
+        }
+    }
+}
+
+/// A span that **always** measures wall time (one `Instant` read at open
+/// and close) and reports it to the caller, recording a trace event only
+/// when collection is enabled. For the handful of coarse per-cycle phases
+/// whose duration feeds reports ([`crate::bench`]-independent), not for
+/// hot loops — use [`span`] there.
+pub struct TimedSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    /// Participates in the trace (captured at open so a mid-span toggle
+    /// cannot unbalance the parent stack).
+    emit: bool,
+    start_us: u64,
+    finished: bool,
+}
+
+/// Opens a [`TimedSpan`].
+pub fn timed_span(cat: &'static str, name: &'static str) -> TimedSpan {
+    let emit = enabled();
+    let start_us = if emit {
+        let us = now_us();
+        with_local(|local| local.stack.borrow_mut().push(name));
+        us
+    } else {
+        0
+    };
+    TimedSpan { name, cat, start: Instant::now(), emit, start_us, finished: false }
+}
+
+impl TimedSpan {
+    /// Elapsed seconds so far, without closing the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Closes the span, recording it when collection is enabled, and
+    /// returns its wall-clock duration in seconds.
+    pub fn finish(mut self) -> f64 {
+        self.close();
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.emit {
+            record_event(self.name, self.cat, self.start_us, now_us());
+        }
+    }
+}
+
+impl Drop for TimedSpan {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A named metric: monotonic counter or gauge, relaxed atomics throughout.
+/// Declare as a `static` and bump with [`Counter::add`]; the first touch
+/// while collection is enabled registers it for export.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (no-op while collection is disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Gauge-style overwrite (no-op while collection is disabled).
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            global().counters.lock().unwrap().push(self);
+        }
+    }
+}
+
+macro_rules! declare_counters {
+    ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
+        $($(#[$doc])* pub static $ident: Counter = Counter::new($name);)*
+        /// Every predeclared counter, so exports list them (zeros
+        /// included) even when a subsystem never ran.
+        fn predeclared() -> Vec<&'static Counter> {
+            vec![$(&$ident),*]
+        }
+    };
+}
+
+declare_counters! {
+    /// FLOPs executed/charged by the backend.
+    FLOPS => "flops";
+    /// Bytes read from disk (page-cache misses).
+    DISK_READ_BYTES => "disk_read_bytes";
+    /// Bytes served from the page cache.
+    CACHED_READ_BYTES => "cached_read_bytes";
+    /// Bytes written to disk.
+    DISK_WRITE_BYTES => "disk_write_bytes";
+    /// Tasks submitted to the shared thread pool.
+    POOL_TASKS => "pool.tasks";
+    /// Successful steals from a peer worker's deque.
+    POOL_STEALS => "pool.steals";
+    /// Times a pool worker parked waiting for work.
+    POOL_PARKS => "pool.parks";
+    /// Page-cache read hits (object count).
+    PAGECACHE_HITS => "pagecache.hits";
+    /// Page-cache read misses (object count).
+    PAGECACHE_MISSES => "pagecache.misses";
+    /// Simplex pivot iterations across all LP solves.
+    SIMPLEX_ITERATIONS => "simplex.iterations";
+    /// Branch-and-bound nodes explored across all MILP solves.
+    BB_NODES => "bb.nodes";
+}
+
+/// Interns a dynamically named counter (e.g. `pool.worker3.steals`),
+/// returning a `'static` handle that can be cached and bumped cheaply.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut interned = global().interned.lock().unwrap();
+    if let Some(&(_, c)) = interned.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(leaked_name)));
+    interned.push((leaked_name, c));
+    c
+}
+
+/// Enables collection without configuring a trace-file destination
+/// (export manually via [`export_to`]).
+pub fn enable() {
+    let _ = global();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Enables collection and remembers `path` as the trace destination for
+/// [`export`].
+pub fn enable_to(path: impl Into<PathBuf>) {
+    *global().out_path.lock().unwrap() = Some(path.into());
+    enable();
+}
+
+/// Disables collection. Already-buffered events are kept.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// The configured trace destination, if any.
+pub fn trace_path() -> Option<PathBuf> {
+    global().out_path.lock().unwrap().clone()
+}
+
+/// Reads `NAUTILUS_TRACE`; when set (to the trace output path), enables
+/// collection toward it. Idempotent and cheap to call from every session
+/// constructor. Returns whether collection is enabled afterwards.
+pub fn init_from_env() -> bool {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if let Ok(path) = std::env::var("NAUTILUS_TRACE") {
+            if !path.trim().is_empty() {
+                enable_to(path.trim());
+            }
+        }
+    });
+    enabled()
+}
+
+/// Clears all buffered events and zeroes every registered counter
+/// (test/bench hygiene).
+pub fn reset() {
+    let g = global();
+    g.drained.lock().unwrap().clear();
+    for ring in g.threads.lock().unwrap().iter() {
+        ring.events.lock().unwrap().clear();
+    }
+    for c in g.counters.lock().unwrap().iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of everything collected so far (drained + live rings),
+/// ordered by start time.
+fn snapshot_events() -> Vec<Event> {
+    let g = global();
+    let mut events = g.drained.lock().unwrap().clone();
+    for ring in g.threads.lock().unwrap().iter() {
+        events.extend(ring.events.lock().unwrap().iter().cloned());
+    }
+    events.sort_by_key(|e| (e.tid, e.start_us, std::cmp::Reverse(e.dur_us)));
+    events
+}
+
+fn registered_counters() -> Vec<&'static Counter> {
+    let mut out = predeclared();
+    for c in global().counters.lock().unwrap().iter() {
+        if !out.iter().any(|p| std::ptr::eq(*p, *c)) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    /// Span name (`<subsystem>.<operation>`).
+    pub name: &'static str,
+    /// Category (subsystem).
+    pub cat: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of durations, seconds.
+    pub total_secs: f64,
+    /// Mean duration, seconds.
+    pub mean_secs: f64,
+    /// Maximum duration, seconds.
+    pub max_secs: f64,
+}
+
+/// Per-span-name aggregation (count/total/mean/max), sorted by total
+/// descending.
+pub fn summary() -> Vec<SpanSummary> {
+    let mut by_name: Vec<SpanSummary> = Vec::new();
+    for e in snapshot_events() {
+        let secs = e.dur_us as f64 / 1e6;
+        match by_name.iter_mut().find(|s| s.name == e.name) {
+            Some(s) => {
+                s.count += 1;
+                s.total_secs += secs;
+                s.max_secs = s.max_secs.max(secs);
+            }
+            None => by_name.push(SpanSummary {
+                name: e.name,
+                cat: e.cat,
+                count: 1,
+                total_secs: secs,
+                mean_secs: 0.0,
+                max_secs: secs,
+            }),
+        }
+    }
+    for s in &mut by_name {
+        s.mean_secs = s.total_secs / s.count as f64;
+    }
+    by_name.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
+    by_name
+}
+
+/// [`summary`] rendered as an aligned text table (plus the non-zero
+/// counters), ready to print.
+pub fn summary_table() -> String {
+    let rows = summary();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total_s", "mean_s", "max_s"
+    ));
+    for s in &rows {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12.6} {:>12.6} {:>12.6}\n",
+            s.name, s.count, s.total_secs, s.mean_secs, s.max_secs
+        ));
+    }
+    let counters: Vec<_> =
+        registered_counters().into_iter().filter(|c| c.get() > 0).collect();
+    if !counters.is_empty() {
+        out.push_str(&format!("{:<40} {:>20}\n", "counter", "value"));
+        for c in counters {
+            out.push_str(&format!("{:<40} {:>20}\n", c.name(), c.get()));
+        }
+    }
+    out
+}
+
+fn trace_json() -> Json {
+    let g = global();
+    let mut trace_events: Vec<Json> = Vec::new();
+    // Process + thread metadata so Perfetto shows friendly names.
+    trace_events.push(Json::obj([
+        ("name", Json::Str("process_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::Int(1)),
+        ("tid", Json::Int(0)),
+        ("args", Json::obj([("name", Json::Str("nautilus".into()))])),
+    ]));
+    for ring in g.threads.lock().unwrap().iter() {
+        trace_events.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(ring.tid as i128)),
+            (
+                "args",
+                Json::obj([("name", Json::Str(ring.label.lock().unwrap().clone()))]),
+            ),
+        ]));
+    }
+    let events = snapshot_events();
+    let last_ts = events.iter().map(|e| e.start_us + e.dur_us).max().unwrap_or(0);
+    for e in &events {
+        let mut args = vec![("depth".to_string(), Json::Int(e.depth as i128))];
+        if let Some(p) = e.parent {
+            args.push(("parent".to_string(), Json::Str(p.to_string())));
+        }
+        trace_events.push(Json::obj([
+            ("name", Json::Str(e.name.to_string())),
+            ("cat", Json::Str(e.cat.to_string())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::Int(e.start_us as i128)),
+            ("dur", Json::Int(e.dur_us as i128)),
+            ("pid", Json::Int(1)),
+            ("tid", Json::Int(e.tid as i128)),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+    for c in registered_counters() {
+        trace_events.push(Json::obj([
+            ("name", Json::Str(c.name().to_string())),
+            ("ph", Json::Str("C".into())),
+            ("ts", Json::Int(last_ts as i128)),
+            ("pid", Json::Int(1)),
+            ("args", Json::obj([("value", Json::Int(c.get() as i128))])),
+        ]));
+    }
+    Json::obj([("traceEvents", Json::Arr(trace_events))])
+}
+
+/// Writes the accumulated trace (spans + counters) as Chrome trace-event
+/// JSON to `path`. Events are not consumed; later exports rewrite the
+/// file with the fuller picture.
+pub fn export_to(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, trace_json().to_string_pretty())
+}
+
+/// Exports to the destination configured via `NAUTILUS_TRACE` /
+/// [`enable_to`]. Returns the path written, or `None` when no
+/// destination is configured.
+pub fn export() -> std::io::Result<Option<PathBuf>> {
+    match trace_path() {
+        Some(path) => {
+            export_to(&path)?;
+            Ok(Some(path))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Collection state is process-global, so everything that toggles it
+    // lives in this one test (Rust runs tests in one process); the
+    // fuller multi-thread/nesting validation runs in the dedicated
+    // `tests/telemetry_trace.rs` integration binary.
+    #[test]
+    fn spans_counters_summary_and_export_round_trip() {
+        assert!(!enabled(), "collection must start disabled");
+        {
+            // Disabled spans are inert.
+            let _s = span("test", "t.disabled");
+            FLOPS.add(5);
+        }
+        assert_eq!(FLOPS.get(), 0, "disabled counter must not count");
+
+        enable();
+        reset();
+        {
+            let _outer = span("test", "t.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test", "t.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            {
+                let _inner = span("test", "t.inner");
+            }
+        }
+        let timed = timed_span("test", "t.timed");
+        let secs = timed.finish();
+        assert!(secs >= 0.0);
+        FLOPS.add(7);
+        let c = counter("test.dynamic");
+        c.add(3);
+        assert!(std::ptr::eq(c, counter("test.dynamic")), "interning is stable");
+
+        let rows = summary();
+        let outer = rows.iter().find(|s| s.name == "t.outer").expect("outer present");
+        let inner = rows.iter().find(|s| s.name == "t.inner").expect("inner present");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert!(outer.total_secs >= inner.total_secs, "parent covers child");
+        assert!(inner.max_secs >= inner.mean_secs);
+        assert_eq!(FLOPS.get(), 7);
+        assert_eq!(counter("test.dynamic").get(), 3);
+
+        let path = std::env::temp_dir()
+            .join(format!("nautilus-telemetry-unit-{}.json", std::process::id()));
+        export_to(&path).expect("export");
+        let data = std::fs::read(&path).expect("read back");
+        let parsed: Json = crate::json::from_slice(&data).expect("valid json");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert!(xs.len() >= 4, "outer + 2 inner + timed events");
+        // The inner span's recorded parent is the outer span.
+        let inner_ev = xs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("t.inner"))
+            .expect("inner event");
+        assert_eq!(
+            inner_ev.get("args").and_then(|a| a.get("parent")).and_then(|p| p.as_str()),
+            Some("t.outer")
+        );
+        assert!(
+            events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name").and_then(|n| n.as_str()) == Some("flops")),
+            "counter events present"
+        );
+
+        let table = summary_table();
+        assert!(table.contains("t.outer") && table.contains("flops"));
+
+        disable();
+        reset();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -5,11 +5,15 @@
 //! compares the wall-clock against Current Practice on the same data.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `NAUTILUS_TRACE=trace.json` to also collect a Chrome trace and a
+//! per-span timing summary.
 
 use nautilus_repro::core::session::{CycleInput, ModelSelection};
 use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
 use nautilus_repro::core::{BackendKind, NautilusError, Strategy, SystemConfig};
 use nautilus_repro::data::{LabelingSession, Sampler};
+use nautilus_repro::util::telemetry;
 
 fn main() -> Result<(), NautilusError> {
     let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
@@ -63,6 +67,16 @@ fn main() -> Result<(), NautilusError> {
             );
         }
         println!("[{}] total wall time: {:.2}s\n", strategy.label(), t0.elapsed().as_secs_f64());
+    }
+
+    if telemetry::enabled() {
+        println!("telemetry summary (both strategies):");
+        print!("{}", telemetry::summary_table());
+        if let Some(path) = telemetry::export().map_err(|e| {
+            NautilusError::Other(format!("trace export: {e}"))
+        })? {
+            println!("\nChrome trace written to {}", path.display());
+        }
     }
     Ok(())
 }

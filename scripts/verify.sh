@@ -60,7 +60,7 @@ cargo test -q --offline
 # NAUTILUS_RESULTS must be absolute: cargo runs bench binaries from the
 # package directory, not the workspace root.
 NAUTILUS_BENCH_SAMPLES=9 NAUTILUS_RESULTS="$PWD/results" \
-    cargo bench --offline -p nautilus-bench --bench substrates -- pool
+    cargo bench --offline -p nautilus-bench --bench substrates -- pool telemetry
 python3 - results/bench-substrates.json results/BENCH_pool.json <<'EOF'
 import json, sys
 
@@ -96,6 +96,62 @@ for bench, seq_id, pool_id in [
 json.dump(out, open(dst, "w"), indent=2)
 print(f"pool gate: wrote {dst}")
 sys.exit(1 if failed else 0)
+EOF
+
+# Telemetry disabled-path gate: a span site that is off must cost one
+# relaxed atomic load — within noise of the identical untraced kernel.
+python3 - results/bench-substrates.json results/BENCH_telemetry.json <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+results = {r["id"]: r for r in json.load(open(src))}
+
+GRACE = 1.25
+untraced = results["telemetry/untraced/matmul32"]
+disabled = results["telemetry/span_disabled/matmul32"]
+enabled = results["telemetry/span_enabled/matmul32"]
+un_min, dis_min = min(untraced["samples_ns"]), min(disabled["samples_ns"])
+out = {
+    "untraced_ns": untraced["median_ns"],
+    "span_disabled_ns": disabled["median_ns"],
+    "span_enabled_ns": enabled["median_ns"],
+    "untraced_min_ns": un_min,
+    "span_disabled_min_ns": dis_min,
+    "disabled_overhead": round(dis_min / un_min if un_min else 0.0, 3),
+}
+failed = dis_min > un_min * GRACE
+status = "REGRESSION" if failed else "ok"
+print(f"telemetry gate: untraced {untraced['median_ns']} ns, disabled-span "
+      f"{disabled['median_ns']} ns, enabled-span {enabled['median_ns']} ns "
+      f"(min {un_min} vs {dis_min}) [{status}]")
+json.dump(out, open(dst, "w"), indent=2)
+print(f"telemetry gate: wrote {dst}")
+sys.exit(1 if failed else 0)
+EOF
+
+# End-to-end trace artifact: the quickstart example run under
+# NAUTILUS_TRACE must produce a valid Chrome trace covering every
+# instrumented subsystem.
+NAUTILUS_TRACE="$PWD/results/TRACE_quickstart.json" \
+    cargo run --release --offline --example quickstart
+python3 - results/TRACE_quickstart.json <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+trace = json.load(open(path))
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert spans, "trace has no spans"
+for e in spans:
+    assert e["ts"] >= 0 and e["dur"] >= 0, f"negative time in {e['name']}"
+cats = {e["cat"] for e in spans}
+for want in ("core", "store", "dnn", "milp", "pool"):
+    assert want in cats, f"no spans from subsystem {want!r}: {sorted(cats)}"
+for want in ("flops", "disk_read_bytes", "cached_read_bytes", "pool.steals"):
+    assert want in counters, f"missing counter {want!r}: {sorted(counters)}"
+print(f"trace gate: {len(spans)} spans across {sorted(cats)}, "
+      f"{len(counters)} counters [ok]")
 EOF
 
 echo "verify: OK"
