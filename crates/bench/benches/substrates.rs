@@ -65,6 +65,57 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    // Blocked-vs-naive kernel quality gate. Both sides run single-task
+    // (`gemm_serial` / `gemm_naive`) so the ratio measures the packed
+    // microkernel against the triple loop, not pool parallelism.
+    // scripts/verify.sh requires blocked >= 1.5x naive at n >= 256.
+    use nautilus_tensor::ops::gemm::{self, MatRef};
+    let mut rng = seeded_rng(13);
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(15);
+    for n in [64usize, 256, 512] {
+        let a = randn([n, n], 1.0, &mut rng).into_vec();
+        let b = randn([n, n], 1.0, &mut rng).into_vec();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm::gemm_naive(n, n, n, MatRef::row_major(&a, n), MatRef::row_major(&b, n), &mut out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm::gemm_serial(n, n, n, MatRef::row_major(&a, n), MatRef::row_major(&b, n), &mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // Direct scatter loops vs the im2col + packed-GEMM lowering, recorded
+    // for the verify report (informational; the hard gate lives on `gemm`).
+    use nautilus_tensor::ops::conv::{conv2d_direct, conv2d_im2col};
+    let mut rng = seeded_rng(17);
+    let mut group = c.benchmark_group("conv");
+    group.sample_size(15);
+    for (b, ci, co, hw) in [(4usize, 8usize, 16usize, 16usize), (8, 16, 32, 32)] {
+        let label = format!("{b}x{ci}x{hw}x{hw}");
+        let img = randn([b, ci, hw, hw], 1.0, &mut rng);
+        let w = randn([co, ci, 3, 3], 0.1, &mut rng);
+        let bias = Tensor::zeros([co]);
+        group.bench_function(format!("direct/{label}"), |bch| {
+            bch.iter(|| conv2d_direct(&img, &w, &bias, 1, 1).unwrap())
+        });
+        group.bench_function(format!("im2col/{label}"), |bch| {
+            bch.iter(|| conv2d_im2col(&img, &w, &bias, 1, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
 fn bench_telemetry(c: &mut Criterion) {
     // Disabled-path overhead gate: a span around a small kernel must cost
     // no more than the untraced kernel (one relaxed atomic load), and the
@@ -169,6 +220,8 @@ fn bench_training_step(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_tensor_kernels,
+    bench_gemm,
+    bench_conv,
     bench_pool,
     bench_telemetry,
     bench_store,

@@ -671,6 +671,27 @@ mod tests {
     }
 
     #[test]
+    fn flop_estimates_unchanged_by_kernel_lowering() {
+        // Literal pins: FLOP accounting is a function of shapes only, so the
+        // blocked-GEMM / im2col kernel lowering must never change these
+        // numbers (panel packing and column materialization are memory
+        // traffic, not FLOPs). If either assertion moves, the cost model —
+        // and every Nautilus planner decision built on it — silently shifts.
+        let conv =
+            LayerKind::Conv2d { in_ch: 8, out_ch: 16, k: 3, stride: 1, pad: 1, act: Activation::None };
+        // 2 * (3*3*8) * 16 * 16 * 16 mult-adds over a 16x16 output plane.
+        assert_eq!(conv.forward_flops(&[Shape::new([8, 16, 16])]), 589_824);
+
+        use nautilus_tensor::ops::{matmul_ex_flops, MatmulSpec};
+        let a = Tensor::zeros([64, 128]);
+        let b = Tensor::zeros([128, 32]);
+        // 2 * 64 * 128 * 32, regardless of which kernel strategy runs it.
+        assert_eq!(matmul_ex_flops(&a, &b, MatmulSpec::plain()), 524_288);
+        let bt = Tensor::zeros([32, 128]);
+        assert_eq!(matmul_ex_flops(&a, &bt, MatmulSpec::tb()), 524_288);
+    }
+
+    #[test]
     fn embedding_shape() {
         let k = LayerKind::Embedding { vocab: 100, dim: 16, max_len: 32 };
         assert_eq!(k.output_shape(&[Shape::new([20])]).unwrap(), Shape::new([20, 16]));

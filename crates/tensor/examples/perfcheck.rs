@@ -1,0 +1,31 @@
+use nautilus_tensor::ops::gemm;
+use std::time::Instant;
+
+fn main() {
+    for &n in &[64usize, 256, 512] {
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 % 97) as f32) * 0.013 - 0.5).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 61 % 89) as f32) * 0.011 - 0.4).collect();
+        let mut out = vec![0.0f32; n * n];
+        // warmup
+        gemm::gemm_serial(n, n, n, gemm::MatRef::row_major(&a, n), gemm::MatRef::row_major(&b, n), &mut out);
+        gemm::gemm_naive(n, n, n, gemm::MatRef::row_major(&a, n), gemm::MatRef::row_major(&b, n), &mut out);
+        let reps = if n <= 64 { 200 } else if n <= 256 { 20 } else { 5 };
+        let t = Instant::now();
+        for _ in 0..reps {
+            out.fill(0.0);
+            gemm::gemm_serial(n, n, n, gemm::MatRef::row_major(&a, n), gemm::MatRef::row_major(&b, n), &mut out);
+        }
+        let blocked = t.elapsed().as_secs_f64() / reps as f64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            out.fill(0.0);
+            gemm::gemm_naive(n, n, n, gemm::MatRef::row_major(&a, n), gemm::MatRef::row_major(&b, n), &mut out);
+        }
+        let naive = t.elapsed().as_secs_f64() / reps as f64;
+        let flops = 2.0 * (n as f64).powi(3);
+        println!(
+            "n={n}: naive {:.3} ms ({:.2} GFLOP/s)  blocked {:.3} ms ({:.2} GFLOP/s)  speedup {:.2}x",
+            naive * 1e3, flops / naive / 1e9, blocked * 1e3, flops / blocked / 1e9, naive / blocked
+        );
+    }
+}

@@ -12,9 +12,14 @@
 //! Design notes
 //! * Shapes are `Vec<usize>` wrapped in [`Shape`]; all data is contiguous
 //!   row-major, which keeps kernels simple and cache-friendly.
-//! * Kernels are written as straightforward loops with `ikj` ordering for
-//!   mat-mul; they are fast enough for the tiny real-execution scale and are
-//!   *not* used at all by the simulated backend (which only does cost math).
+//! * Large matmuls and convolutions run on the cache-blocked packed GEMM
+//!   engine in [`ops::gemm`] (convolutions lower via im2col); tiny shapes
+//!   keep straightforward naive loops. Kernels are *not* used at all by
+//!   the simulated backend (which only does cost math).
+//! * Tensor storage is recycled through the thread-local
+//!   `nautilus_util::scratch` arena: kernel outputs take recycled buffers
+//!   and dropped tensors return theirs, keeping the allocator off the
+//!   training loop's critical path.
 //! * Every fallible construction returns [`TensorError`] instead of panicking,
 //!   per the database-systems guideline of keeping errors recoverable; indexing
 //!   helpers used on hot paths debug-assert instead.

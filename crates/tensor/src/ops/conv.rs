@@ -1,15 +1,38 @@
 //! 2-D convolution and pooling kernels (NCHW layout).
 //!
 //! Inputs are `[batch, channels, height, width]`; convolution weights are
-//! `[out_c, in_c, kh, kw]`. Direct (non-im2col) loops are used: at the tiny
-//! real-execution scale they are fast enough and trivially auditable.
+//! `[out_c, in_c, kh, kw]`. Two physical execution strategies back
+//! [`conv2d`] / [`conv2d_backward`]:
+//!
+//! * **im2col + packed GEMM** at and above [`IM2COL_THRESHOLD`]
+//!   multiply-adds: each image's receptive fields are unrolled into a
+//!   `(c_in·kh·kw) × (oh·ow)` column matrix (scratch-arena backed, reused
+//!   across calls) and the convolution becomes one blocked GEMM per image
+//!   against the `(c_out) × (c_in·kh·kw)` weight view — forward multiplies
+//!   the weights into the columns, backward recovers `dW` via `dY · colᵀ`
+//!   and `dX` via col2im of `Wᵀ · dY`. Bias is added after the GEMM, so
+//!   rounding may differ from the direct loops (validated within tolerance
+//!   by `gemm_properties`); im2col copy traffic is *not* counted as FLOPs.
+//! * **Direct loops** below the threshold ([`conv2d_direct`]), where the
+//!   column-matrix build would dominate: tiny shapes keep the trivially
+//!   auditable nested loops.
+//!
+//! Both strategies partition work per `(image, out-channel)` plane or per
+//! image — caller-chosen boundaries on the shared pool — so results are
+//! bit-identical at any thread width within a strategy.
 
+use crate::ops::gemm::{self, MatRef};
 use crate::{Tensor, TensorError};
-use nautilus_util::pool;
+use nautilus_util::{pool, scratch};
 
 /// Above this many multiply-adds, conv kernels fan out over the shared
 /// thread pool (same rationale as the matmul threshold).
 const PAR_THRESHOLD: usize = 1 << 22;
+
+/// Multiply-add count at and above which convolutions lower to im2col +
+/// packed GEMM; below it the direct loops win (mirrors
+/// [`crate::ops::matmul::GEMM_THRESHOLD`]).
+pub const IM2COL_THRESHOLD: usize = 1 << 17;
 
 fn dims4(t: &Tensor, what: &str) -> Result<(usize, usize, usize, usize), TensorError> {
     let s = &t.shape().0;
@@ -27,11 +50,44 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
     (input + 2 * pad).saturating_sub(kernel) / stride + 1
 }
 
-/// Direct 2-D convolution with stride and symmetric zero padding.
+/// 2-D convolution with stride and symmetric zero padding.
 ///
-/// `weight` is `[out_c, in_c, kh, kw]`; `bias` is `[out_c]`.
-#[allow(clippy::needless_range_loop)]
+/// `weight` is `[out_c, in_c, kh, kw]`; `bias` is `[out_c]`. Dispatches to
+/// [`conv2d_im2col`] at and above [`IM2COL_THRESHOLD`] multiply-adds and to
+/// [`conv2d_direct`] below it.
 pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    if conv_work(input, weight, stride, pad)? >= IM2COL_THRESHOLD {
+        conv2d_im2col(input, weight, bias, stride, pad)
+    } else {
+        conv2d_direct(input, weight, bias, stride, pad)
+    }
+}
+
+/// Multiply-add count of a convolution: one multiply + add per (output
+/// element × weight tap). Used for kernel dispatch; matches the dnn-layer
+/// FLOP estimate of `2 * work` FLOPs.
+fn conv_work(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<usize, TensorError> {
+    let (b, c_in, h, w) = dims4(input, "conv input")?;
+    let (c_out, _, kh, kw) = dims4(weight, "conv weight")?;
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    Ok(b * c_out * oh * ow * c_in * kh * kw)
+}
+
+/// Direct (non-im2col) convolution: nested loops, used for tiny shapes.
+#[allow(clippy::needless_range_loop)]
+pub fn conv2d_direct(
     input: &Tensor,
     weight: &Tensor,
     bias: &Tensor,
@@ -108,17 +164,210 @@ pub fn conv2d(
     Tensor::from_vec([b, c_out, oh, ow], out)
 }
 
+/// Geometry of one image's im2col lowering.
+#[derive(Clone, Copy)]
+struct ColShape {
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl ColShape {
+    /// Rows of the column matrix: one per weight tap.
+    fn ckk(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Columns of the column matrix: one per output position.
+    fn len(&self) -> usize {
+        self.oh * self.ow
+    }
+}
+
+/// Unrolls one NCHW image into a `(c_in·kh·kw) × (oh·ow)` row-major column
+/// matrix: `col[(ci·kh+ky)·kw+kx][oy·ow+ox] = x[ci, oy·s+ky-pad, ox·s+kx-pad]`
+/// (zero where the tap falls in padding). Every element is written, so the
+/// scratch buffer needs no re-zeroing between images.
+fn im2col(x_img: &[f32], col: &mut [f32], cs: ColShape) {
+    let ColShape { c_in, h, w, kh, kw, oh, ow, stride, pad } = cs;
+    let l = cs.len();
+    for ci in 0..c_in {
+        let xc = &x_img[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let r = (ci * kh + ky) * kw + kx;
+                let row = &mut col[r * l..(r + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let xrow = &xc[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { xrow[ix as usize] };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a `(c_in·kh·kw) × (oh·ow)` gradient column matrix back into
+/// one image's input gradient (the adjoint of [`im2col`]). Accumulation
+/// order is a function of the geometry only, so results are thread-width
+/// independent.
+fn col2im_add(dcol: &[f32], dx_img: &mut [f32], cs: ColShape) {
+    let ColShape { c_in, h, w, kh, kw, oh, ow, stride, pad } = cs;
+    let l = cs.len();
+    for ci in 0..c_in {
+        let dxc = &mut dx_img[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let r = (ci * kh + ky) * kw + kx;
+                let row = &dcol[r * l..(r + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &row[oy * ow..(oy + 1) * ow];
+                    for (ox, &g) in src.iter().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dxc[iy as usize * w + ix as usize] += g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution lowered to im2col + packed GEMM: per image, the receptive
+/// fields become a column matrix and the output plane is one GEMM
+/// `W(c_out × c_in·kh·kw) · col(c_in·kh·kw × oh·ow)`, bias added after.
+///
+/// Images partition across the shared pool (single-image batches let the
+/// GEMM itself parallelize instead); column buffers come from the scratch
+/// arena. Results are bit-identical at any thread width.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    let (b, c_in, h, w) = dims4(input, "conv input")?;
+    let (c_out, wc_in, kh, kw) = dims4(weight, "conv weight")?;
+    if wc_in != c_in {
+        return Err(TensorError::Incompatible(format!(
+            "conv channels: input {c_in} vs weight {wc_in}"
+        )));
+    }
+    if bias.len() != c_out {
+        return Err(TensorError::Incompatible(format!(
+            "conv bias length {} vs out channels {c_out}",
+            bias.len()
+        )));
+    }
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    let cs = ColShape { c_in, h, w, kh, kw, oh, ow, stride, pad };
+    let (ckk, l) = (cs.ckk(), cs.len());
+    let x = input.data();
+    let wt = weight.data();
+    let bs = bias.data();
+    let image_in = c_in * h * w;
+    let image_out = c_out * l;
+    let mut out = scratch::take_vec(b * image_out);
+    let run_image = |n: usize, ochunk: &mut [f32], par_gemm: bool| {
+        let mut col = scratch::take(ckk * l);
+        im2col(&x[n * image_in..(n + 1) * image_in], &mut col, cs);
+        let wref = MatRef::row_major(wt, ckk);
+        let cref = MatRef::row_major(&col, l);
+        if par_gemm {
+            gemm::gemm(c_out, ckk, l, wref, cref, ochunk);
+        } else {
+            gemm::gemm_serial(c_out, ckk, l, wref, cref, ochunk);
+        }
+        for (co, oplane) in ochunk.chunks_exact_mut(l).enumerate() {
+            let bv = bs[co];
+            if bv != 0.0 {
+                for o in oplane.iter_mut() {
+                    *o += bv;
+                }
+            }
+        }
+    };
+    if b == 1 {
+        // One image: the blocked GEMM owns the parallelism.
+        run_image(0, &mut out, true);
+    } else {
+        pool::scope_chunks(&mut out, image_out, |n, ochunk| run_image(n, ochunk, false));
+    }
+    Tensor::from_vec([b, c_out, oh, ow], out)
+}
+
 /// Backward pass of [`conv2d`].
 ///
 /// Returns `(d_input, d_weight, d_bias)` for the upstream gradient `grad`
-/// shaped like the convolution output.
-#[allow(clippy::needless_range_loop)]
+/// shaped like the convolution output. Above [`IM2COL_THRESHOLD`]
+/// multiply-adds each image's gradients are computed with two packed GEMMs
+/// (`dW = dY · colᵀ`, `dX = col2im(Wᵀ · dY)`); below it the direct
+/// scatter loops run. Per-image partials merge in image order either way,
+/// so results are bit-identical at any thread width.
 pub fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
     grad: &Tensor,
     stride: usize,
     pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_impl(input, weight, grad, stride, pad, None)
+}
+
+/// [`conv2d_backward`] forced onto the direct scatter-loop strategy,
+/// regardless of problem size. Exposed for differential tests and benches.
+pub fn conv2d_backward_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    grad: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_impl(input, weight, grad, stride, pad, Some(false))
+}
+
+/// [`conv2d_backward`] forced onto the im2col + GEMM strategy, regardless
+/// of problem size. Exposed for differential tests and benches.
+pub fn conv2d_backward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    grad: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<(Tensor, Tensor, Tensor), TensorError> {
+    conv2d_backward_impl(input, weight, grad, stride, pad, Some(true))
+}
+
+#[allow(clippy::needless_range_loop)]
+fn conv2d_backward_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    grad: &Tensor,
+    stride: usize,
+    pad: usize,
+    force_im2col: Option<bool>,
 ) -> Result<(Tensor, Tensor, Tensor), TensorError> {
     let (b, c_in, h, w) = dims4(input, "conv input")?;
     let (c_out, _, kh, kw) = dims4(weight, "conv weight")?;
@@ -136,11 +385,43 @@ pub fn conv2d_backward(
     let mut dw = vec![0.0f32; wt.len()];
     let mut db = vec![0.0f32; c_out];
 
+    let oh_ow = oh * ow;
+    let cs = ColShape { c_in, h, w, kh, kw, oh, ow, stride, pad };
+    let (ckk, l) = (cs.ckk(), cs.len());
+    let use_im2col =
+        force_im2col.unwrap_or(b * c_out * oh_ow * c_in * kh * kw >= IM2COL_THRESHOLD);
+
+    // im2col strategy: rebuild the image's column matrix, then
+    // dW_n = dY_n · colᵀ and dX_n = col2im(Wᵀ · dY_n) as packed GEMMs.
+    // Single-image batches let the GEMMs parallelize (the per-image fan-out
+    // below degenerates to one task).
+    let image_grads_im2col = |n: usize, dx_img: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+        let mut col = scratch::take(ckk * l);
+        im2col(&x[n * c_in * h * w..(n + 1) * c_in * h * w], &mut col, cs);
+        let g_n = &g[n * c_out * l..(n + 1) * c_out * l];
+        let gref = MatRef::row_major(g_n, l);
+        let mut dw_n = vec![0.0f32; wt.len()];
+        let mut dcol = scratch::take(ckk * l);
+        if b == 1 {
+            gemm::gemm(c_out, l, ckk, gref, MatRef::transposed(&col, l), &mut dw_n);
+            gemm::gemm(ckk, c_out, l, MatRef::transposed(wt, ckk), gref, &mut dcol);
+        } else {
+            gemm::gemm_serial(c_out, l, ckk, gref, MatRef::transposed(&col, l), &mut dw_n);
+            gemm::gemm_serial(ckk, c_out, l, MatRef::transposed(wt, ckk), gref, &mut dcol);
+        }
+        col2im_add(&dcol, dx_img, cs);
+        let mut db_n = vec![0.0f32; c_out];
+        for (co, dbv) in db_n.iter_mut().enumerate() {
+            *dbv = g_n[co * l..(co + 1) * l].iter().sum();
+        }
+        (dw_n, db_n)
+    };
+
     // Per-image partials: image `n` owns its dx slice exclusively and
     // accumulates local dw/db copies, merged afterwards in image order.
     // Sequential and pooled execution share this structure, so they are
     // bit-identical at any thread count.
-    let image_grads = |n: usize, dx_img: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+    let image_grads_direct = |n: usize, dx_img: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
         let mut dw_n = vec![0.0f32; wt.len()];
         let mut db_n = vec![0.0f32; c_out];
         for co in 0..c_out {
@@ -177,6 +458,14 @@ pub fn conv2d_backward(
             }
         }
         (dw_n, db_n)
+    };
+
+    let image_grads = |n: usize, dx_img: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+        if use_im2col {
+            image_grads_im2col(n, dx_img)
+        } else {
+            image_grads_direct(n, dx_img)
+        }
     };
 
     let image_len = c_in * h * w;

@@ -1,0 +1,368 @@
+//! Cache-blocked packed GEMM engine.
+//!
+//! This is the physical operator under every large matmul and (via im2col)
+//! every large convolution in the workspace: a BLIS-style MC/KC/NC loop
+//! nest over *packed* operand panels with a fixed-size [`MR`]×[`NR`]
+//! register microkernel. The interesting properties:
+//!
+//! * **Strided inputs.** Operands are [`MatRef`]s — a data slice plus
+//!   row/column strides — so all four transpose combinations of
+//!   [`crate::ops::MatmulSpec`] are handled by *packing*, never by an
+//!   explicit transpose pass or a strided inner loop. The microkernel only
+//!   ever sees contiguous panels.
+//! * **Deterministic summation.** Each output element is accumulated over
+//!   `k` strictly ascending, in [`KC`]-sized register-resident partial
+//!   sums, by exactly one task. The order is a function of the (constant)
+//!   blocking parameters only — never of the worker count — so results are
+//!   bit-identical at any thread width. They may differ from the naive
+//!   reference kernels in rounding (validated within tolerance by the
+//!   `gemm_properties` suite).
+//! * **No per-call allocation.** Packing panels come from the thread-local
+//!   [`nautilus_util::scratch`] arena and are reused across calls.
+//! * **Auto-vectorized microkernel.** The inner loop is written as
+//!   fixed-trip-count array arithmetic over `[[f32; NR]; MR]` accumulators
+//!   so rustc vectorizes it; no `unsafe` SIMD intrinsics.
+//!
+//! Parallelism partitions output rows into [`MC`]-aligned macro-tile runs
+//! via [`pool::aligned_chunk_len`]; each task packs its own panels.
+//! Telemetry (PR 3 conventions): a `gemm` span with `gemm.pack` /
+//! `gemm.compute` children, plus `gemm.pack_bytes` and
+//! `gemm.microkernel_calls` counters.
+
+use nautilus_util::{pool, scratch, telemetry};
+
+/// Microkernel register-tile rows.
+pub const MR: usize = 8;
+/// Microkernel register-tile columns.
+pub const NR: usize = 8;
+/// Rows of A per packed panel (L2-resident; multiple of [`MR`]).
+pub const MC: usize = 64;
+/// Shared dimension per packed panel pair.
+pub const KC: usize = 256;
+/// Columns of B per packed panel (multiple of [`NR`]).
+pub const NC: usize = 256;
+
+/// Above this many multiply-adds a GEMM fans out over the shared pool
+/// (mirrors the matmul/conv thresholds).
+const PAR_THRESHOLD: usize = 1 << 22;
+
+/// A strided matrix view: element `(i, j)` lives at `data[i*rs + j*cs]`.
+///
+/// A plain row-major `(rows, cols)` matrix is `rs = cols, cs = 1`; its
+/// transpose is the same slice with `rs = 1, cs = cols`.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    /// Backing element slice.
+    pub data: &'a [f32],
+    /// Row stride.
+    pub rs: usize,
+    /// Column stride.
+    pub cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Row-major `(rows, cols)` view of `data`.
+    pub fn row_major(data: &'a [f32], cols: usize) -> Self {
+        MatRef { data, rs: cols, cs: 1 }
+    }
+
+    /// Transposed view of a row-major `(rows, cols)` buffer: the result
+    /// reads as the `(cols, rows)` transpose without moving data.
+    pub fn transposed(data: &'a [f32], cols: usize) -> Self {
+        MatRef { data, rs: 1, cs: cols }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Packs `A[row0 .. row0+mc, p0 .. p0+kc]` into MR-row strips:
+/// `apack[s*kc*MR + k*MR + r] == A[row0 + s*MR + r, p0 + k]`, rows past
+/// `mc` zero-padded so the microkernel never branches on the edge.
+fn pack_a(apack: &mut [f32], a: MatRef, row0: usize, mc: usize, p0: usize, kc: usize) {
+    let strips = mc.div_ceil(MR);
+    for s in 0..strips {
+        let strip = &mut apack[s * kc * MR..(s + 1) * kc * MR];
+        let r0 = s * MR;
+        let rows = MR.min(mc - r0);
+        for k in 0..kc {
+            let dst = &mut strip[k * MR..k * MR + MR];
+            for r in 0..rows {
+                dst[r] = a.at(row0 + r0 + r, p0 + k);
+            }
+            for d in dst[rows..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs `B[p0 .. p0+kc, col0 .. col0+nc]` into NR-column strips:
+/// `bpack[s*kc*NR + k*NR + c] == B[p0 + k, col0 + s*NR + c]`, columns past
+/// `nc` zero-padded.
+fn pack_b(bpack: &mut [f32], b: MatRef, p0: usize, kc: usize, col0: usize, nc: usize) {
+    let strips = nc.div_ceil(NR);
+    for s in 0..strips {
+        let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
+        let c0 = s * NR;
+        let cols = NR.min(nc - c0);
+        for k in 0..kc {
+            let dst = &mut strip[k * NR..k * NR + NR];
+            for c in 0..cols {
+                dst[c] = b.at(p0 + k, col0 + c0 + c);
+            }
+            for d in dst[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// The register microkernel: `acc[r][c] += sum_k ap[k*MR+r] * bp[k*NR+c]`.
+///
+/// `k` ascends sequentially with one scalar accumulator chain per output
+/// element; vectorization happens across the NR columns, so reordering
+/// never touches the per-element summation order.
+#[inline]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for k in 0..kc {
+        let a = &ap[k * MR..k * MR + MR];
+        let b = &bp[k * NR..k * NR + NR];
+        for r in 0..MR {
+            let ar = a[r];
+            for c in 0..NR {
+                acc[r][c] += ar * b[c];
+            }
+        }
+    }
+}
+
+/// One task's full blocked loop nest over `rows` output rows starting at
+/// global row `row0`, writing `out` (the task's exclusive `rows × n`
+/// slice). `out` must be zeroed; tiles accumulate across KC blocks.
+fn gemm_task(row0: usize, rows: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    let mut apack = scratch::take(MC.div_ceil(MR) * MR * KC);
+    let mut bpack = scratch::take(KC * NC.div_ceil(NR) * NR);
+    let mut pack_bytes = 0u64;
+    let mut mk_calls = 0u64;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            {
+                let _sp = telemetry::span("tensor", "gemm.pack");
+                pack_b(&mut bpack, b, pc, kc, jc, nc);
+                pack_bytes += (kc * nc * 4) as u64;
+            }
+            let mut ic = 0;
+            while ic < rows {
+                let mc = MC.min(rows - ic);
+                {
+                    let _sp = telemetry::span("tensor", "gemm.pack");
+                    pack_a(&mut apack, a, row0 + ic, mc, pc, kc);
+                    pack_bytes += (mc * kc * 4) as u64;
+                }
+                let _sp = telemetry::span("tensor", "gemm.compute");
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bstrip = &bpack[(jr / NR) * kc * NR..(jr / NR + 1) * kc * NR];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let astrip = &apack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel(kc, astrip, bstrip, &mut acc);
+                        mk_calls += 1;
+                        let base = (ic + ir) * n + jc + jr;
+                        for r in 0..mr {
+                            let crow = &mut out[base + r * n..base + r * n + nr];
+                            for (c, &v) in crow.iter_mut().zip(acc[r].iter()) {
+                                *c += v;
+                            }
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+    if telemetry::enabled() {
+        telemetry::GEMM_PACK_BYTES.add(pack_bytes);
+        telemetry::GEMM_MICROKERNEL_CALLS.add(mk_calls);
+    }
+}
+
+/// Blocked packed GEMM: `out[m × n] += A[m × k] · B[k × n]` with arbitrary
+/// operand strides. `out` is row-major and must be zero-initialized (the
+/// scratch arena's [`scratch::take_vec`] returns exactly that).
+///
+/// Large products partition output rows into MC-aligned runs on the shared
+/// pool; results are bit-identical at any thread width.
+pub fn gemm(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    let _sp = telemetry::span("tensor", "gemm");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let work = m * k * n;
+    if work < PAR_THRESHOLD || pool::num_threads() <= 1 {
+        gemm_task(0, m, k, n, a, b, out);
+        return;
+    }
+    let chunk_rows = pool::aligned_chunk_len(m, MC);
+    pool::scope_chunks(out, chunk_rows * n, |ci, ochunk| {
+        gemm_task(ci * chunk_rows, ochunk.len() / n, k, n, a, b, ochunk);
+    });
+}
+
+/// Single-task blocked GEMM, bypassing the pool. Used where the caller
+/// already owns the parallel partitioning (e.g. per-image im2col tasks)
+/// and by benches isolating single-core kernel quality. Bit-identical to
+/// [`gemm`] by the fixed-summation-order contract.
+pub fn gemm_serial(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    gemm_task(0, m, k, n, a, b, out);
+}
+
+/// Unblocked i-p-j reference kernel over the same strided views. This is
+/// the rounding reference the blocked kernel is validated against, and the
+/// "naive" side of the `gemm` bench group / `BENCH_gemm.json` gate.
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a.at(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            let bbase = p * b.rs;
+            if b.cs == 1 {
+                let brow = &b.data[bbase..bbase + n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            } else {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += av * b.data[bbase + j * b.cs];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, seeded_rng};
+    use nautilus_util::pool::with_parallelism_limit;
+
+    fn rel_close(x: f32, y: f32) -> bool {
+        (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs()))
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_awkward_sizes() {
+        // Sizes straddling every edge case: below MR/NR, non-multiples of
+        // the tile sizes, and spans crossing MC/KC/NC boundaries.
+        let mut rng = seeded_rng(41);
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 5, 7), (8, 8, 8), (13, 300, 17), (70, 70, 70), (65, 257, 259)]
+        {
+            let a = randn([m, k], 1.0, &mut rng);
+            let b = randn([k, n], 1.0, &mut rng);
+            let ar = MatRef::row_major(a.data(), k);
+            let br = MatRef::row_major(b.data(), n);
+            let mut blocked = vec![0.0f32; m * n];
+            gemm(m, k, n, ar, br, &mut blocked);
+            let mut naive = vec![0.0f32; m * n];
+            gemm_naive(m, k, n, ar, br, &mut naive);
+            for (i, (&x, &y)) in blocked.iter().zip(naive.iter()).enumerate() {
+                assert!(rel_close(x, y), "({m},{k},{n})[{i}]: blocked {x} vs naive {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_views_match_materialized_transpose() {
+        let mut rng = seeded_rng(42);
+        let (m, k, n) = (20usize, 33usize, 41usize);
+        let at = randn([k, m], 1.0, &mut rng); // A stored transposed
+        let bt = randn([n, k], 1.0, &mut rng); // B stored transposed
+        // Materialize the plain operands.
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                a[i * k + p] = at.data()[p * m + i];
+            }
+        }
+        let mut b = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                b[p * n + j] = bt.data()[j * k + p];
+            }
+        }
+        let mut want = vec![0.0f32; m * n];
+        gemm(m, k, n, MatRef::row_major(&a, k), MatRef::row_major(&b, n), &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm(
+            m,
+            k,
+            n,
+            MatRef::transposed(at.data(), m),
+            MatRef::transposed(bt.data(), k),
+            &mut got,
+        );
+        assert_eq!(got, want, "strided packing must fold the transposes exactly");
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_across_limits() {
+        let mut rng = seeded_rng(43);
+        // 192*256*192 ≈ 9.4M multiply-adds: crosses PAR_THRESHOLD.
+        let (m, k, n) = (192usize, 256usize, 192usize);
+        let a = randn([m, k], 1.0, &mut rng);
+        let b = randn([k, n], 1.0, &mut rng);
+        let run = |limit: usize| {
+            with_parallelism_limit(limit, || {
+                let mut out = vec![0.0f32; m * n];
+                gemm(m, k, n, MatRef::row_major(a.data(), k), MatRef::row_major(b.data(), n), &mut out);
+                out
+            })
+        };
+        let reference = run(1);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_serial(m, k, n, MatRef::row_major(a.data(), k), MatRef::row_major(b.data(), n), &mut serial);
+        assert_eq!(reference, serial, "serial entry point diverged");
+        for limit in [2usize, 8] {
+            assert_eq!(run(limit), reference, "limit {limit} diverged");
+        }
+    }
+
+    #[test]
+    fn packing_reuses_scratch_buffers() {
+        let (h0, _) = nautilus_util::scratch::thread_stats();
+        let mut rng = seeded_rng(44);
+        let a = randn([64, 64], 1.0, &mut rng);
+        let b = randn([64, 64], 1.0, &mut rng);
+        let mut out = vec![0.0f32; 64 * 64];
+        for _ in 0..3 {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            gemm_serial(64, 64, 64, MatRef::row_major(a.data(), 64), MatRef::row_major(b.data(), 64), &mut out);
+        }
+        let (h1, _) = nautilus_util::scratch::thread_stats();
+        assert!(h1 > h0, "repeated gemms must hit the scratch arena");
+    }
+}

@@ -3,29 +3,37 @@
 //! The tensor operands are interpreted as matrices via
 //! [`Tensor::as_matrix`]: every axis but the innermost is flattened into the
 //! row dimension. This matches how dense layers apply to `[batch, seq, dim]`
-//! activations. Kernels use the cache-friendly `i-k-j` loop order.
+//! activations.
 //!
-//! [`matmul_ex`] is the single entry point owning transpose dispatch, pool
-//! parallelization, and FLOP accounting; [`matmul`]/[`matmul_ta`]/
-//! [`matmul_tb`] are thin wrappers over it. Parallel execution runs on the
-//! shared [`nautilus_util::pool`] and partitions only *disjoint output
-//! regions*, so results are bit-identical to the sequential kernels at any
-//! thread count.
+//! [`matmul_ex`] is the single entry point owning transpose dispatch,
+//! kernel selection, and FLOP accounting; [`matmul`]/[`matmul_ta`]/
+//! [`matmul_tb`] are thin wrappers over it. Two physical kernels back it:
+//!
+//! * **Blocked packed GEMM** ([`crate::ops::gemm`]) for products with at
+//!   least [`GEMM_THRESHOLD`] multiply-adds: a cache-blocked loop nest over
+//!   packed panels with an 8×8 register microkernel. Transposes are folded
+//!   into the packing step, so all four [`MatmulSpec`] combinations take
+//!   the same fast path. Large products fan out over the shared
+//!   [`nautilus_util::pool`] with bit-identical results at any thread
+//!   width; rounding may differ from the naive kernels (each output
+//!   element still sums `k` ascending, but in KC-sized register-resident
+//!   partials).
+//! * **Naive sequential loops** below the threshold, where packing
+//!   overhead would dominate: `i-k-j` saxpy for the plain case and
+//!   specialized loops for the transposed cases.
+//!
+//! Output buffers come from the thread-local [`nautilus_util::scratch`]
+//! arena, so the training loop's matmuls stop hitting the allocator once
+//! the arena is warm.
 
+use crate::ops::gemm::{self, MatRef};
 use crate::{Tensor, TensorError};
-use nautilus_util::pool;
+use nautilus_util::scratch;
 
-/// Above this many multiply-adds, [`matmul_ex`] splits its output across
-/// the shared thread pool. Output partitioning keeps results bit-identical
-/// to the sequential kernel regardless of thread count.
-const PAR_THRESHOLD: usize = 1 << 22;
-
-fn num_tasks(work: usize, rows: usize) -> usize {
-    if work < PAR_THRESHOLD {
-        return 1;
-    }
-    pool::num_threads().min(rows.max(1))
-}
+/// Multiply-add count at and above which [`matmul_ex`] lowers to the
+/// blocked packed GEMM engine; below it the naive loops win because the
+/// packing traffic is not amortized.
+pub const GEMM_THRESHOLD: usize = 1 << 17;
 
 /// Which operands of [`matmul_ex`] are consumed transposed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,26 +75,14 @@ fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// Computes output rows `[p0, p0 + out.len()/n)` of `C[k,n] = Aᵀ · B`.
-///
-/// Scans every input row `i` exactly like the sequential kernel, restricted
-/// to this task's `p` range, so per-element addition order (and therefore
-/// rounding) is identical to the full sequential pass.
-fn matmul_ta_rows(
-    ad: &[f32],
-    bd: &[f32],
-    out: &mut [f32],
-    p0: usize,
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    let p_len = out.len() / n;
+/// `C[k,n] = Aᵀ · B` where `a` is stored `(m, k)`: scans input rows `i`
+/// once, scattering into every output row.
+fn matmul_ta_rows(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &ad[i * k..(i + 1) * k];
         let brow = &bd[i * n..(i + 1) * n];
-        for (pi, orow) in out.chunks_exact_mut(n).take(p_len).enumerate() {
-            let av = arow[p0 + pi];
+        for (p, orow) in out.chunks_exact_mut(n).enumerate() {
+            let av = arow[p];
             if av == 0.0 {
                 continue;
             }
@@ -115,8 +111,9 @@ fn matmul_tb_rows(ad: &[f32], bd: &[f32], out: &mut [f32], n: usize, k: usize) {
 ///
 /// `a` is flattened as `(outer, last)` via [`Tensor::as_matrix`]. The
 /// result keeps `a`'s outer axes (plain / `transpose_b`) or is the 2-D
-/// `(k, n)` gradient shape (`transpose_a`). Large products fan out over the
-/// shared thread pool with bit-identical results.
+/// `(k, n)` gradient shape (`transpose_a`). Products past
+/// [`GEMM_THRESHOLD`] run on the blocked packed GEMM engine (parallel when
+/// large, bit-identical at any thread width).
 pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, TensorError> {
     match (spec.transpose_a, spec.transpose_b) {
         (false, false) => {
@@ -128,17 +125,11 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                     k, bk
                 )));
             }
-            let mut out = vec![0.0f32; m * n];
-            let tasks = num_tasks(m * k * n, m);
-            if tasks <= 1 {
-                matmul_rows(ad, bd, &mut out, k, n);
+            let mut out = scratch::take_vec(m * n);
+            if m * k * n >= GEMM_THRESHOLD {
+                gemm::gemm(m, k, n, MatRef::row_major(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
-                let rows_per = m.div_ceil(tasks);
-                pool::scope_chunks(&mut out, rows_per * n, |ci, ochunk| {
-                    let a0 = ci * rows_per * k;
-                    let achunk = &ad[a0..(a0 + ochunk.len() / n * k)];
-                    matmul_rows(achunk, bd, ochunk, k, n);
-                });
+                matmul_rows(ad, bd, &mut out, k, n);
             }
             Tensor::from_vec(a.shape().with_last_dim(n), out)
         }
@@ -151,15 +142,12 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                     m, bm
                 )));
             }
-            let mut out = vec![0.0f32; k * n];
-            let tasks = num_tasks(m * k * n, k);
-            if tasks <= 1 {
-                matmul_ta_rows(ad, bd, &mut out, 0, m, k, n);
+            let mut out = scratch::take_vec(k * n);
+            if m * k * n >= GEMM_THRESHOLD {
+                // Effective A' = aᵀ: (k, m) view over the (m, k) buffer.
+                gemm::gemm(k, m, n, MatRef::transposed(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
-                let rows_per = k.div_ceil(tasks);
-                pool::scope_chunks(&mut out, rows_per * n, |ci, ochunk| {
-                    matmul_ta_rows(ad, bd, ochunk, ci * rows_per, m, k, n);
-                });
+                matmul_ta_rows(ad, bd, &mut out, m, k, n);
             }
             Tensor::from_vec([k, n], out)
         }
@@ -172,37 +160,54 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                     n, bn
                 )));
             }
-            let mut out = vec![0.0f32; m * k];
-            let tasks = num_tasks(m * k * n, m);
-            if tasks <= 1 {
-                matmul_tb_rows(ad, bd, &mut out, n, k);
+            let mut out = scratch::take_vec(m * k);
+            if m * k * n >= GEMM_THRESHOLD {
+                // Effective B' = bᵀ: (n, k) buffer read as (n → k, cols).
+                gemm::gemm(m, n, k, MatRef::row_major(ad, n), MatRef::transposed(bd, n), &mut out);
             } else {
-                let rows_per = m.div_ceil(tasks);
-                pool::scope_chunks(&mut out, rows_per * k, |ci, ochunk| {
-                    let a0 = ci * rows_per * n;
-                    let achunk = &ad[a0..(a0 + ochunk.len() / k * n)];
-                    matmul_tb_rows(achunk, bd, ochunk, n, k);
-                });
+                matmul_tb_rows(ad, bd, &mut out, n, k);
             }
             Tensor::from_vec(a.shape().with_last_dim(k), out)
         }
         (true, true) => {
-            // Cᵀ = B · A, so compute with the plain kernel and transpose.
-            // No hot path uses this combination; clarity over speed.
-            let c = matmul_ex(b, a, MatmulSpec::plain())?;
-            let (rows, cols, cd) = c.as_matrix();
-            let mut out = vec![0.0f32; rows * cols];
-            for r in 0..rows {
-                for cix in 0..cols {
-                    out[cix * rows + r] = cd[r * cols + cix];
+            let (am, ak, ad) = a.as_matrix();
+            let (bm, bn, bd) = b.as_matrix();
+            if am != bn {
+                return Err(TensorError::Incompatible(format!(
+                    "matmul aᵀ·bᵀ dims: {} vs {}",
+                    am, bn
+                )));
+            }
+            let (m, k, n) = (ak, am, bm);
+            let mut out = scratch::take_vec(m * n);
+            if m * k * n >= GEMM_THRESHOLD {
+                gemm::gemm(
+                    m,
+                    k,
+                    n,
+                    MatRef::transposed(ad, ak),
+                    MatRef::transposed(bd, bn),
+                    &mut out,
+                );
+            } else {
+                // Cᵀ = B · A: compute with the plain kernel, then transpose.
+                let mut c = vec![0.0f32; n * m];
+                matmul_rows(bd, ad, &mut c, bn, ak);
+                for r in 0..n {
+                    for cix in 0..m {
+                        out[cix * n + r] = c[r * m + cix];
+                    }
                 }
             }
-            Tensor::from_vec([cols, rows], out)
+            Tensor::from_vec([m, n], out)
         }
     }
 }
 
 /// FLOPs performed by a [`matmul_ex`] call with these operands.
+///
+/// Counts the mathematical multiply-adds only — identical for the naive
+/// and blocked kernels; panel packing is memory traffic, not FLOPs.
 pub fn matmul_ex_flops(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> u64 {
     let (am, ak, _) = a.as_matrix();
     let (bk, bn, _) = b.as_matrix();
@@ -214,7 +219,7 @@ pub fn matmul_ex_flops(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> u64 {
 /// `C[m,n] = A[m,k] · B[k,n]`, with `A` flattened as `(outer, last)`.
 ///
 /// The result keeps `A`'s outer axes and replaces the innermost axis with
-/// `B`'s column count. Large products run on the shared thread pool.
+/// `B`'s column count. Large products run on the blocked GEMM engine.
 #[inline]
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     matmul_ex(a, b, MatmulSpec::plain())
@@ -321,32 +326,41 @@ mod tests {
         );
     }
 
+    /// The blocked dispatch (all four transpose combos, sizes past
+    /// `GEMM_THRESHOLD`) must match the naive reference within relative
+    /// tolerance — the kernels may legitimately differ in rounding.
     #[test]
-    fn parallel_path_matches_sequential() {
+    fn blocked_dispatch_matches_naive_reference() {
         use crate::init::{randn, seeded_rng};
-        // 256*128*256 mult-adds = 8.4M > PAR_THRESHOLD: exercises the
-        // pooled path; output partitioning must be bit-identical.
         let mut rng = seeded_rng(77);
-        let a = randn([256, 128], 1.0, &mut rng);
-        let b = randn([128, 256], 1.0, &mut rng);
-        let par = matmul(&a, &b).unwrap();
-        let mut seq = vec![0.0f32; 256 * 256];
-        matmul_rows(a.data(), b.data(), &mut seq, 128, 256);
-        assert_eq!(par.data(), &seq[..]);
-
-        let bt = randn([256, 256], 1.0, &mut rng);
-        let par_tb = matmul_tb(&a.reshape([128, 256]).unwrap(), &bt).unwrap();
-        let mut seq_tb = vec![0.0f32; 128 * 256];
-        matmul_tb_rows(a.data(), bt.data(), &mut seq_tb, 256, 256);
-        assert_eq!(par_tb.data(), &seq_tb[..]);
-
-        // matmul_ta: pooled p-range partitioning vs one full-range pass.
-        let big_a = randn([256, 128], 1.0, &mut rng);
-        let big_b = randn([256, 256], 1.0, &mut rng);
-        let par_ta = matmul_ta(&big_a, &big_b).unwrap();
-        let mut seq_ta = vec![0.0f32; 128 * 256];
-        matmul_ta_rows(big_a.data(), big_b.data(), &mut seq_ta, 0, 256, 128, 256);
-        assert_eq!(par_ta.data(), &seq_ta[..]);
+        let (m, k, n) = (96usize, 128usize, 96usize); // 1.2M mult-adds > threshold
+        assert!(m * k * n >= GEMM_THRESHOLD);
+        for (ta, tb) in [(false, false), (true, false), (false, true), (true, true)] {
+            let a_dims = if ta { [k, m] } else { [m, k] };
+            let b_dims = if tb { [n, k] } else { [k, n] };
+            let a = randn(a_dims, 1.0, &mut rng);
+            let b = randn(b_dims, 1.0, &mut rng);
+            let got = matmul_ex(&a, &b, MatmulSpec { transpose_a: ta, transpose_b: tb }).unwrap();
+            // Naive reference in the same effective orientation.
+            let mut want = vec![0.0f32; m * n];
+            let ar = if ta {
+                crate::ops::gemm::MatRef::transposed(a.data(), m)
+            } else {
+                crate::ops::gemm::MatRef::row_major(a.data(), k)
+            };
+            let br = if tb {
+                crate::ops::gemm::MatRef::transposed(b.data(), k)
+            } else {
+                crate::ops::gemm::MatRef::row_major(b.data(), n)
+            };
+            crate::ops::gemm::gemm_naive(m, k, n, ar, br, &mut want);
+            for (i, (&x, &y)) in got.data().iter().zip(want.iter()).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                    "combo ({ta},{tb})[{i}]: blocked {x} vs naive {y}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -361,5 +375,23 @@ mod tests {
             let got = with_parallelism_limit(limit, || matmul(&a, &b).unwrap());
             assert_eq!(got, reference, "limit {limit} diverged");
         }
+    }
+
+    /// Once the scratch arena is warm, matmul output buffers stop hitting
+    /// the allocator: dropping the previous result recycles its storage
+    /// into the arena and the next call takes it back out.
+    #[test]
+    fn matmul_outputs_recycle_through_scratch() {
+        use crate::init::{randn, seeded_rng};
+        let mut rng = seeded_rng(5);
+        let a = randn([64, 64], 1.0, &mut rng);
+        let b = randn([64, 64], 1.0, &mut rng);
+        let _ = matmul(&a, &b).unwrap(); // warm: result dropped, buffer recycled
+        let (h0, _) = nautilus_util::scratch::thread_stats();
+        for _ in 0..4 {
+            let _ = matmul(&a, &b).unwrap();
+        }
+        let (h1, _) = nautilus_util::scratch::thread_stats();
+        assert!(h1 - h0 >= 4, "warm-loop matmuls must reuse recycled buffers");
     }
 }

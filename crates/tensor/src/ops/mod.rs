@@ -7,12 +7,17 @@
 
 pub mod conv;
 pub mod elementwise;
+pub mod gemm;
 pub mod matmul;
 pub mod nn;
 pub mod reduce;
 
-pub use conv::{avg_pool2d_global, conv2d, conv2d_backward, max_pool2d, max_pool2d_backward};
+pub use conv::{
+    avg_pool2d_global, conv2d, conv2d_backward, conv2d_backward_direct, conv2d_backward_im2col,
+    conv2d_direct, conv2d_im2col, max_pool2d, max_pool2d_backward,
+};
 pub use elementwise::{add, add_assign, axpy, hadamard, scale, sub};
+pub use gemm::MatRef;
 pub use matmul::{matmul, matmul_ex, matmul_ex_flops, matmul_ta, matmul_tb, MatmulSpec};
 pub use nn::{
     cross_entropy_logits, gelu, gelu_backward, layer_norm, layer_norm_backward, relu,

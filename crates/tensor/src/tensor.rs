@@ -1,6 +1,7 @@
 //! The core dense tensor type.
 
 use crate::shape::{Shape, ShapeError};
+use nautilus_util::scratch;
 use std::fmt;
 
 /// Errors produced by tensor construction and operations.
@@ -61,18 +62,22 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
-    /// A tensor of zeros.
+    /// A tensor of zeros (scratch-arena backed, see [`Drop`] impl notes).
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor { shape, data: scratch::take_vec(n) }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![value; n] }
+        let mut data = scratch::take_vec(n);
+        if value != 0.0 {
+            data.fill(value);
+        }
+        Tensor { shape, data }
     }
 
     /// A tensor of ones.
@@ -110,9 +115,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its buffer (which then bypasses the
+    /// drop-time scratch recycling — the caller owns it).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The single value of a rank-0 or single-element tensor.
@@ -230,6 +236,16 @@ impl Tensor {
     /// True when every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Dropping a tensor recycles its backing buffer into the thread-local
+/// [`scratch`] arena, so the training loop's short-lived activations and
+/// gradients feed the next step's kernel outputs instead of the allocator.
+/// Tiny buffers bypass the arena and retention is bounded (see `scratch`).
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
     }
 }
 

@@ -19,6 +19,10 @@
 //!   result ordering ([`pool::scope_chunks`]/[`pool::join_all`]); the
 //!   worker count follows `available_parallelism`, overridable via
 //!   `NAUTILUS_THREADS`.
+//! - [`scratch`] — thread-local arena of reusable `f32` buffers for
+//!   kernel temporaries (GEMM packing panels, im2col columns, output
+//!   buffers); zero-filled on take, bounded retention, `scratch.hits`/
+//!   `scratch.misses` telemetry.
 //! - [`telemetry`] — tracing + metrics substrate: RAII spans with
 //!   thread-local parent stacks and per-thread ring buffers, named atomic
 //!   counters, Chrome trace-event JSON export and per-span summaries;
@@ -36,4 +40,5 @@ pub mod json;
 pub mod pool;
 pub mod prop;
 pub mod rng;
+pub mod scratch;
 pub mod telemetry;

@@ -232,6 +232,21 @@ pub fn num_threads() -> usize {
     }
 }
 
+/// Chunk length that splits `total` items into at most [`num_threads`]
+/// contiguous chunks whose lengths are multiples of `align` (the final
+/// chunk absorbs the remainder). Blocked kernels use this to hand
+/// [`scope_chunks`] macro-tile-aligned output partitions: every task
+/// boundary lands on an `align` multiple, so per-tile work never straddles
+/// tasks. Partition *placement* still follows the thread count, but the
+/// per-element computation order inside a tile does not — results stay
+/// bit-identical at any width.
+pub fn aligned_chunk_len(total: usize, align: usize) -> usize {
+    let align = align.max(1);
+    let blocks = total.div_ceil(align).max(1);
+    let tasks = num_threads().min(blocks);
+    blocks.div_ceil(tasks) * align
+}
+
 /// Requests a pool width (e.g. from `SystemConfig::threads`). Only
 /// effective before the pool's first use; `NAUTILUS_THREADS` wins over it,
 /// and `0` means "decide automatically". Returns whether the request can
@@ -486,6 +501,23 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok".to_string());
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn aligned_chunk_len_respects_alignment_and_width() {
+        with_parallelism_limit(4, || {
+            for total in [1usize, 7, 64, 100, 1000] {
+                for align in [1usize, 8, 64] {
+                    let chunk = aligned_chunk_len(total, align);
+                    assert_eq!(chunk % align, 0, "chunk {chunk} not {align}-aligned");
+                    let chunks = total.div_ceil(chunk);
+                    assert!(chunks <= 4, "{chunks} chunks for total {total} at width 4");
+                }
+            }
+        });
+        with_parallelism_limit(1, || {
+            assert!(aligned_chunk_len(1000, 8) >= 1000, "width 1 must not split");
+        });
     }
 
     #[test]

@@ -354,6 +354,14 @@ declare_counters! {
     PAGECACHE_HITS => "pagecache.hits";
     /// Page-cache read misses (object count).
     PAGECACHE_MISSES => "pagecache.misses";
+    /// Bytes copied into packed GEMM A/B panels (and im2col columns).
+    GEMM_PACK_BYTES => "gemm.pack_bytes";
+    /// Register-tile microkernel invocations in the blocked GEMM.
+    GEMM_MICROKERNEL_CALLS => "gemm.microkernel_calls";
+    /// Scratch-arena takes served by a recycled buffer.
+    SCRATCH_HITS => "scratch.hits";
+    /// Scratch-arena takes that fell through to a fresh allocation.
+    SCRATCH_MISSES => "scratch.misses";
     /// Simplex pivot iterations across all LP solves.
     SIMPLEX_ITERATIONS => "simplex.iterations";
     /// Branch-and-bound nodes explored across all MILP solves.

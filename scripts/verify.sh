@@ -60,7 +60,7 @@ cargo test -q --offline
 # NAUTILUS_RESULTS must be absolute: cargo runs bench binaries from the
 # package directory, not the workspace root.
 NAUTILUS_BENCH_SAMPLES=9 NAUTILUS_RESULTS="$PWD/results" \
-    cargo bench --offline -p nautilus-bench --bench substrates -- pool telemetry
+    cargo bench --offline -p nautilus-bench --bench substrates -- gemm conv pool telemetry
 python3 - results/bench-substrates.json results/BENCH_pool.json <<'EOF'
 import json, sys
 
@@ -95,6 +95,56 @@ for bench, seq_id, pool_id in [
           f"(min {seq_min} vs {pool_min}), speedup {speedup:.2f}x [{status}]")
 json.dump(out, open(dst, "w"), indent=2)
 print(f"pool gate: wrote {dst}")
+sys.exit(1 if failed else 0)
+EOF
+
+# GEMM kernel-quality gate: the cache-blocked packed kernel must beat the
+# naive triple loop by >= 1.5x at 256 and 512 (both sides single-task, so
+# the ratio is pure kernel quality, not pool parallelism). 64 is recorded
+# for the report only — below the dispatch threshold the naive loop wins
+# on startup cost, which is exactly why matmul_ex keeps it for tiny shapes.
+# Conv direct-vs-im2col numbers ride along as information.
+python3 - results/bench-substrates.json results/BENCH_gemm.json <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+results = {r["id"]: r for r in json.load(open(src))}
+
+REQUIRED = 1.5
+out, failed = {}, False
+for n, gated in [(64, False), (256, True), (512, True)]:
+    naive, blocked = results[f"gemm/naive/{n}"], results[f"gemm/blocked/{n}"]
+    naive_min, blocked_min = min(naive["samples_ns"]), min(blocked["samples_ns"])
+    # Minimum samples: the noise-robust statistic for A/B timing; the
+    # emitted JSON records medians alongside.
+    speedup = naive_min / blocked_min if blocked_min else 0.0
+    out[f"gemm/{n}"] = {
+        "naive_ns": naive["median_ns"],
+        "blocked_ns": blocked["median_ns"],
+        "naive_min_ns": naive_min,
+        "blocked_min_ns": blocked_min,
+        "speedup": round(speedup, 3),
+        "gated": gated,
+    }
+    status = "ok" if not gated else ("ok" if speedup >= REQUIRED else "TOO SLOW")
+    if gated and speedup < REQUIRED:
+        failed = True
+    print(f"gemm gate: n={n}: naive {naive['median_ns']} ns, blocked "
+          f"{blocked['median_ns']} ns, speedup {speedup:.2f}x "
+          f"(required {REQUIRED if gated else '-'}) [{status}]")
+for shape in ("4x8x16x16", "8x16x32x32"):
+    direct, lowered = results[f"conv/direct/{shape}"], results[f"conv/im2col/{shape}"]
+    speedup = min(direct["samples_ns"]) / min(lowered["samples_ns"])
+    out[f"conv/{shape}"] = {
+        "direct_ns": direct["median_ns"],
+        "im2col_ns": lowered["median_ns"],
+        "speedup": round(speedup, 3),
+        "gated": False,
+    }
+    print(f"gemm gate: conv {shape}: direct {direct['median_ns']} ns, "
+          f"im2col {lowered['median_ns']} ns, speedup {speedup:.2f}x [info]")
+json.dump(out, open(dst, "w"), indent=2)
+print(f"gemm gate: wrote {dst}")
 sys.exit(1 if failed else 0)
 EOF
 
