@@ -189,6 +189,77 @@ fn bench_pagecache_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serve(c: &mut Criterion) {
+    use nautilus_dnn::exec::forward_batch;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_dnn::ModelGraph;
+
+    // The shape a micro-batched serving forward pass sees: an MLP head of
+    // the size `export_best` produces for small feature-transfer models.
+    // Per-record work sits below the parallel-dispatch threshold, so the
+    // batched-vs-unbatched ratio measures per-forward overhead
+    // amortization (graph walk, allocation, dispatch), not parallelism —
+    // which is exactly the win the micro-batcher exists to capture.
+    const IN: usize = 16;
+    const HIDDEN: usize = 16;
+    const OUT: usize = 4;
+    const BATCH: usize = 8;
+
+    let mut rng = seeded_rng(9);
+    let mut g = ModelGraph::new();
+    let inp = g.add_input("features", [IN]);
+    let hidden = g
+        .add_layer(
+            "hidden",
+            LayerKind::Dense { in_dim: IN, out_dim: HIDDEN, act: Activation::Relu },
+            &[inp],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    let head = g
+        .add_layer(
+            "head",
+            LayerKind::Dense { in_dim: HIDDEN, out_dim: OUT, act: Activation::None },
+            &[hidden],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    g.add_output(head).unwrap();
+
+    let records: Vec<Vec<f32>> =
+        (0..BATCH).map(|_| randn([IN], 1.0, &mut rng).data().to_vec()).collect();
+    let singles: Vec<BatchInputs> = records
+        .iter()
+        .map(|r| {
+            let mut bi = BatchInputs::new();
+            bi.insert(inp, Tensor::from_vec([1, IN], r.clone()).unwrap());
+            bi
+        })
+        .collect();
+    let mut stacked = BatchInputs::new();
+    stacked.insert(
+        inp,
+        Tensor::from_vec([BATCH, IN], records.iter().flatten().copied().collect::<Vec<f32>>())
+            .unwrap(),
+    );
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("unbatched/8", |b| {
+        b.iter(|| {
+            for bi in &singles {
+                forward_batch(&g, bi, 1).unwrap();
+            }
+        })
+    });
+    group.bench_function("batched/8", |b| {
+        b.iter(|| forward_batch(&g, &stacked, BATCH).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_training_step(c: &mut Criterion) {
     let cfg = BertConfig::tiny(8, 40);
     let graph =
@@ -224,6 +295,7 @@ criterion_group!(
     bench_conv,
     bench_pool,
     bench_telemetry,
+    bench_serve,
     bench_store,
     bench_pagecache_ablation,
     bench_training_step

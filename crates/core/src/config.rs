@@ -82,6 +82,53 @@ impl Default for HardwareProfile {
     }
 }
 
+/// Knobs for the online inference server (`nautilus-serve`).
+///
+/// The serving layer lives downstream of training: a session exports its
+/// best trained model and the server answers prediction requests over a
+/// loopback HTTP endpoint, micro-batching concurrent requests into one
+/// forward pass. These knobs bound its queues and batching behavior.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Maximum records fused into one forward pass by the micro-batcher.
+    pub max_batch: usize,
+    /// Maximum time a request waits for batch-mates before the batcher
+    /// flushes a partial batch, microseconds.
+    pub max_delay_us: u64,
+    /// Bound on the accepted-connection queue; connections beyond this are
+    /// shed with `503` + `Retry-After` instead of queueing unboundedly.
+    pub queue_limit: usize,
+    /// Handler threads draining the connection queue.
+    pub handler_threads: usize,
+    /// Per-connection read timeout, milliseconds (slow or stalled clients
+    /// get `408` instead of pinning a handler thread).
+    pub request_timeout_ms: u64,
+    /// Largest request body accepted, bytes (`413` beyond this).
+    pub max_body_bytes: usize,
+}
+
+json_struct!(ServingConfig {
+    max_batch,
+    max_delay_us,
+    queue_limit,
+    handler_threads,
+    request_timeout_ms,
+    max_body_bytes
+});
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            max_batch: 8,
+            max_delay_us: 2_000,
+            queue_limit: 64,
+            handler_threads: 4,
+            request_timeout_ms: 2_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
 /// Full system configuration (paper §3: budgets, expected maximum records,
 /// throughput values; all user-overridable).
 #[derive(Debug, Clone)]
@@ -117,6 +164,8 @@ pub struct SystemConfig {
     /// for the whole process and exports the trace there when the session
     /// drops. `NAUTILUS_TRACE` offers the same knob environmentally.
     pub trace: Option<String>,
+    /// Online inference server knobs (queue bounds, micro-batching).
+    pub serving: ServingConfig,
 }
 
 json_struct!(SystemConfig {
@@ -130,7 +179,8 @@ json_struct!(SystemConfig {
     milp_max_nodes,
     milp_time_limit_secs,
     threads,
-    trace
+    trace,
+    serving
 });
 
 impl Default for SystemConfig {
@@ -147,6 +197,7 @@ impl Default for SystemConfig {
             milp_time_limit_secs: 30,
             threads: 0,
             trace: None,
+            serving: ServingConfig::default(),
         }
     }
 }
@@ -275,6 +326,48 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Replaces the whole serving configuration.
+    pub fn serving(mut self, v: ServingConfig) -> Self {
+        self.cfg.serving = v;
+        self
+    }
+
+    /// Maximum records fused into one serving forward pass.
+    pub fn serve_max_batch(mut self, v: usize) -> Self {
+        self.cfg.serving.max_batch = v;
+        self
+    }
+
+    /// Maximum micro-batcher wait for batch-mates, microseconds.
+    pub fn serve_max_delay_us(mut self, v: u64) -> Self {
+        self.cfg.serving.max_delay_us = v;
+        self
+    }
+
+    /// Bound on the server's accepted-connection queue.
+    pub fn serve_queue_limit(mut self, v: usize) -> Self {
+        self.cfg.serving.queue_limit = v;
+        self
+    }
+
+    /// Handler threads draining the server's connection queue.
+    pub fn serve_handler_threads(mut self, v: usize) -> Self {
+        self.cfg.serving.handler_threads = v;
+        self
+    }
+
+    /// Per-connection read timeout, milliseconds.
+    pub fn serve_request_timeout_ms(mut self, v: u64) -> Self {
+        self.cfg.serving.request_timeout_ms = v;
+        self
+    }
+
+    /// Largest request body accepted by the server, bytes.
+    pub fn serve_max_body_bytes(mut self, v: usize) -> Self {
+        self.cfg.serving.max_body_bytes = v;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SystemConfig {
         self.cfg
@@ -345,6 +438,32 @@ mod tests {
         assert_eq!(cfg.disk_budget_bytes, 64 << 20);
         assert_eq!(cfg.max_records, 256);
         assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn serving_knobs_build_and_round_trip() {
+        use nautilus_util::json::{FromJson, ToJson};
+        let cfg = SystemConfig::builder()
+            .serve_max_batch(16)
+            .serve_max_delay_us(500)
+            .serve_queue_limit(3)
+            .serve_handler_threads(2)
+            .serve_request_timeout_ms(250)
+            .serve_max_body_bytes(4096)
+            .build();
+        assert_eq!(cfg.serving.max_batch, 16);
+        assert_eq!(cfg.serving.max_delay_us, 500);
+        assert_eq!(cfg.serving.queue_limit, 3);
+        assert_eq!(cfg.serving.handler_threads, 2);
+        assert_eq!(cfg.serving.request_timeout_ms, 250);
+        assert_eq!(cfg.serving.max_body_bytes, 4096);
+
+        let bytes = nautilus_util::json::to_vec(&cfg.serving.to_json());
+        let back = ServingConfig::from_json(&nautilus_util::json::from_slice(&bytes).unwrap())
+            .expect("serving config round-trips through json");
+        assert_eq!(back.max_batch, 16);
+        assert_eq!(back.queue_limit, 3);
+        assert_eq!(back.max_body_bytes, 4096);
     }
 
     #[test]

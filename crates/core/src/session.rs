@@ -26,6 +26,7 @@ use crate::trainer::{CycleDataView, MemberResult, TrainError};
 use nautilus_data::Dataset;
 use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::graph::GraphError;
+use nautilus_dnn::{ModelGraph, NodeId};
 use nautilus_store::{SharedIoStats, StoreError, TensorStore};
 use nautilus_util::telemetry;
 use std::collections::BTreeSet;
@@ -161,6 +162,10 @@ pub struct ModelSelection {
     n_train: usize,
     n_valid: usize,
     best_so_far: Option<(usize, f32)>,
+    /// Best candidate's *trained* graph (real backend only): the plan
+    /// graph's post-training parameters mapped back onto the candidate's
+    /// own topology, ready for checkpointing or serving.
+    best_trained: Option<(usize, ModelGraph)>,
 }
 
 impl ModelSelection {
@@ -311,6 +316,7 @@ impl ModelSelection {
             n_train: 0,
             n_valid: 0,
             best_so_far: None,
+            best_trained: None,
         })
     }
 
@@ -570,8 +576,8 @@ impl ModelSelection {
         let parallel_units = self.backend.is_real()
             && self.units.len() > 1
             && nautilus_util::pool::num_threads() > 1;
-        let unit_results: Vec<Vec<MemberResult>> = if parallel_units {
-            type UnitOut = Result<(Vec<MemberResult>, f64, f64), TrainError>;
+        let unit_results: Vec<(Vec<MemberResult>, Option<ModelGraph>)> = if parallel_units {
+            type UnitOut = Result<(Vec<MemberResult>, f64, f64, Option<ModelGraph>), TrainError>;
             let multi = &self.multi;
             let candidates = &self.candidates[..];
             let store = &self.materializer.store;
@@ -589,19 +595,19 @@ impl ModelSelection {
                     Box::new(move || {
                         let mut worker = Backend::new(BackendKind::Real, hw, io);
                         let data = CycleDataView::Real { train, valid };
-                        let results = crate::trainer::train_unit_with(
+                        let (results, trained) = crate::trainer::train_unit_retaining(
                             multi, plan, unit, candidates, &data, store, &mut worker,
                             full_ckpt, shuffle,
                         )?;
-                        Ok((results, worker.busy_secs(), worker.total_flops()))
+                        Ok((results, worker.busy_secs(), worker.total_flops(), trained))
                     }) as Box<dyn FnOnce() -> UnitOut + Send>
                 })
                 .collect();
             let mut folded = Vec::with_capacity(self.units.len());
             for out in nautilus_util::pool::join_all(tasks) {
-                let (results, busy, flops) = out?;
+                let (results, busy, flops, trained) = out?;
                 self.backend.absorb_compute(busy, flops);
-                folded.push(results);
+                folded.push((results, trained));
             }
             folded
         } else {
@@ -612,7 +618,7 @@ impl ModelSelection {
                 } else {
                     CycleDataView::Virtual { n_train: self.n_train, n_valid: self.n_valid }
                 };
-                folded.push(crate::trainer::train_unit_with(
+                folded.push(crate::trainer::train_unit_retaining(
                     &self.multi,
                     plan,
                     unit,
@@ -626,18 +632,26 @@ impl ModelSelection {
             }
             folded
         };
-        for results in unit_results {
+        let mut best_unit = 0usize;
+        for (ui, (results, _)) in unit_results.iter().enumerate() {
             for r in results {
                 if let Some(acc) = r.accuracy {
                     if best.as_ref().is_none_or(|(_, _, b)| acc > *b) {
                         best = Some((r.candidate, r.name.clone(), acc));
+                        best_unit = ui;
                     }
                 }
-                accuracies.push((r.name, r.accuracy));
+                accuracies.push((r.name.clone(), r.accuracy));
             }
         }
         if let Some((ci, _, acc)) = &best {
             self.best_so_far = Some((*ci, *acc));
+            if let Some(trained) = &unit_results[best_unit].1 {
+                let (_, plan) = &self.units[best_unit];
+                let exported =
+                    export_candidate(&self.multi, &self.candidates, plan, trained, *ci);
+                self.best_trained = Some((*ci, exported));
+            }
         }
         let now = self.backend.elapsed_secs();
         let real = self.backend.is_real();
@@ -738,6 +752,7 @@ impl ModelSelection {
             self.milp = Some(m);
         }
         self.best_so_far = None;
+        self.best_trained = None;
 
         // Swap materialization and backfill any newly chosen features for
         // the accumulated snapshot.
@@ -900,6 +915,9 @@ impl ModelSelection {
         self.n_train = header.n_train;
         self.n_valid = header.n_valid;
         self.best_so_far = header.best_so_far;
+        // Trained parameters are not persisted in session state; the next
+        // fit cycle repopulates the exportable model.
+        self.best_trained = None;
         if header.max_records != self.max_records {
             // Re-plan under the persisted (backoff-grown) r.
             self.max_records = header.max_records;
@@ -974,11 +992,57 @@ impl ModelSelection {
         Ok(out)
     }
 
+    /// Exports the best candidate trained so far as `(candidate index,
+    /// trained graph)` — the candidate's own topology carrying the
+    /// post-training parameters from its (possibly fused) execution plan.
+    ///
+    /// The returned graph is checkpoint- and serving-ready: save it with
+    /// [`nautilus_dnn::checkpoint::save`] or publish it to a
+    /// `nautilus-serve` model registry. Errors on the simulated backend
+    /// (nothing is actually trained there) and before the first real
+    /// `fit` cycle.
+    pub fn export_best(&self) -> Result<(usize, ModelGraph), SessionError> {
+        if !self.backend.is_real() {
+            return Err(SessionError::Invalid(
+                "export_best requires the real backend".into(),
+            ));
+        }
+        match &self.best_trained {
+            Some((ci, g)) => Ok((*ci, g.clone())),
+            None => Err(SessionError::Invalid("no trained model yet".into())),
+        }
+    }
+
     fn raw_record_bytes(&self) -> u64 {
         let g = &self.candidates[0].graph;
         let inp = g.input_ids()[0];
         g.shape(inp).num_bytes() as u64
     }
+}
+
+/// Maps the trained plan graph's parameters back onto candidate `ci`'s own
+/// topology: candidate node → merged node (`mappings[ci]`) → plan node
+/// (`merged_to_plan`). Nodes the plan pruned or loaded from materialized
+/// features keep their initial (frozen) parameters — the optimizer never
+/// touches those, so the result equals full solo training of the candidate.
+fn export_candidate(
+    multi: &MultiModelGraph,
+    candidates: &[CandidateModel],
+    plan: &ExecutablePlan,
+    trained: &ModelGraph,
+    ci: usize,
+) -> ModelGraph {
+    let mut g = candidates[ci].graph.clone();
+    for idx in 0..g.len() {
+        let m = multi.mappings[ci].node_to_merged[idx];
+        let Some(&p) = plan.merged_to_plan.get(&m) else { continue };
+        let src = &trained.node(p).params;
+        let dst = &mut g.node_mut(NodeId(idx)).params;
+        if !src.is_empty() && src.len() == dst.len() {
+            dst.clone_from(src);
+        }
+    }
+    g
 }
 
 impl Drop for ModelSelection {

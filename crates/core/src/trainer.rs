@@ -21,7 +21,7 @@ use crate::spec::CandidateModel;
 use nautilus_data::Dataset;
 use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::exec::{backward, forward, BatchInputs};
-use nautilus_dnn::{NodeId, Optimizer};
+use nautilus_dnn::{ModelGraph, NodeId, Optimizer};
 use nautilus_store::{StoreError, TensorStore};
 use nautilus_tensor::Tensor;
 use nautilus_util::telemetry;
@@ -139,6 +139,38 @@ pub fn train_unit_with(
     full_checkpoints: bool,
     shuffle: bool,
 ) -> Result<Vec<MemberResult>, TrainError> {
+    train_unit_retaining(
+        multi,
+        plan,
+        unit,
+        candidates,
+        data,
+        store,
+        backend,
+        full_checkpoints,
+        shuffle,
+    )
+    .map(|(results, _)| results)
+}
+
+/// [`train_unit_with`] that also hands back the trained plan graph.
+///
+/// On the real backend the returned graph holds the post-training
+/// parameters for every member in the unit (the session maps them back to
+/// per-candidate models for export/serving). The simulated backend trains
+/// nothing, so it returns `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_unit_retaining(
+    multi: &MultiModelGraph,
+    plan: &ExecutablePlan,
+    unit: &TrainUnit,
+    candidates: &[CandidateModel],
+    data: &CycleDataView<'_>,
+    store: &TensorStore,
+    backend: &mut Backend,
+    full_checkpoints: bool,
+    shuffle: bool,
+) -> Result<(Vec<MemberResult>, Option<ModelGraph>), TrainError> {
     let _sp = telemetry::span("train", "train.unit");
     backend.charge_session_overhead();
 
@@ -187,6 +219,7 @@ pub fn train_unit_with(
         })
         .collect();
 
+    let mut trained: Option<ModelGraph> = None;
     match data {
         CycleDataView::Virtual { .. } => {
             for epoch in 0..unit.epochs {
@@ -337,6 +370,7 @@ pub fn train_unit_with(
                 results[k].accuracy = Some(acc);
                 results[k].train_loss = Some(last_epoch_loss[k]);
             }
+            trained = Some(graph);
         }
     }
 
@@ -348,7 +382,7 @@ pub fn train_unit_with(
         backend.io.record_write(out_ckpt);
     }
 
-    Ok(results)
+    Ok((results, trained))
 }
 
 /// Simulated per-epoch data reads: every feed key (raw data / materialized

@@ -232,6 +232,28 @@ pub fn forward(
     })
 }
 
+/// Inference forward over a stacked batch of `batch` records: one graph
+/// walk, no backward caches, and kernel dispatch pinned to *per-record*
+/// work via [`nautilus_tensor::ops::with_batch_invariant_dispatch`].
+///
+/// The pinning is what makes micro-batched serving deterministic: the
+/// naive-vs-blocked kernel thresholds compare total multiply-adds, which
+/// scale with the leading batch axis, and the two kernel families differ
+/// in rounding. Dividing the work estimate by `batch` makes every kernel
+/// choice a function of one record's shape only, so each record's rows in
+/// the stacked output are bit-identical to running that record alone
+/// (`forward` with a batch of 1). All graph ops are record-separable
+/// (dense/conv rows, per-record attention fan-out, per-row norms), so no
+/// other batch-size dependence exists.
+pub fn forward_batch(
+    graph: &ModelGraph,
+    inputs: &BatchInputs,
+    batch: usize,
+) -> Result<ForwardResult, ExecError> {
+    let _sp = telemetry::span("dnn", "dnn.forward_batch");
+    nautilus_tensor::ops::with_batch_invariant_dispatch(batch, || forward(graph, inputs, false))
+}
+
 /// Runs the backward pass from per-output-node gradients, returning
 /// parameter gradients for every trainable node reached.
 pub fn backward(
@@ -1480,5 +1502,64 @@ mod tests {
         let mut inputs = BatchInputs::new();
         inputs.insert(inp, randn([2, 1, 4, 4], 1.0, &mut rng));
         grad_check(&mut g, &inputs, &[0, 1], 5e-2);
+    }
+
+    /// `forward_batch` over a stacked batch must reproduce per-record
+    /// `forward` bit for bit — including when the *stacked* matmul work
+    /// crosses `GEMM_THRESHOLD` while the per-record work does not (the
+    /// case where an unpinned dispatch would flip kernels).
+    #[test]
+    fn forward_batch_bit_identical_to_per_record_forward() {
+        use nautilus_tensor::ops::matmul::GEMM_THRESHOLD;
+        let mut rng = seeded_rng(42);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [64]);
+        let h = g
+            .add_layer(
+                "hidden",
+                LayerKind::Dense { in_dim: 64, out_dim: 64, act: Activation::Gelu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "logits",
+                LayerKind::Dense { in_dim: 64, out_dim: 48, act: Activation::None },
+                &[h],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+
+        let batch = 64usize;
+        assert!(batch * 64 * 64 >= GEMM_THRESHOLD, "stacked work must cross the threshold");
+        assert!(64 * 64 < GEMM_THRESHOLD, "per-record work must stay below it");
+
+        let records: Vec<Tensor> = (0..batch).map(|_| randn([1, 64], 1.0, &mut rng)).collect();
+        let mut stacked = Vec::new();
+        for r in &records {
+            stacked.extend_from_slice(r.data());
+        }
+        let stacked = Tensor::from_vec([batch, 64], stacked).unwrap();
+
+        let mut bi = BatchInputs::new();
+        bi.insert(inp, stacked);
+        let batched = forward_batch(&g, &bi, batch).unwrap();
+        let out = batched.output(o);
+        let per_record = out.len() / batch;
+
+        for (i, r) in records.iter().enumerate() {
+            let mut solo_in = BatchInputs::new();
+            solo_in.insert(inp, r.clone());
+            let solo = forward(&g, &solo_in, false).unwrap();
+            assert_eq!(
+                &out.data()[i * per_record..(i + 1) * per_record],
+                solo.output(o).data(),
+                "record {i} diverged between batched and solo forward"
+            );
+        }
     }
 }

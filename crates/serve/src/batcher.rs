@@ -1,0 +1,359 @@
+//! Dynamic micro-batching: fuse concurrent prediction requests into one
+//! forward pass.
+//!
+//! Requests enqueue a record and block on a reply channel; a single
+//! batcher thread collects up to `max_batch` records — waiting at most
+//! `max_delay_us` for stragglers once the first record arrives — stacks
+//! them into one batched tensor, runs
+//! [`forward_batch`](nautilus_dnn::exec::forward_batch), and scatters the
+//! output rows back to the callers. `forward_batch` pins kernel dispatch
+//! to per-record work, so a record's result is **bit-identical** whether
+//! it rode in a batch of 1 or of `max_batch` — batching is purely a
+//! throughput optimization, never a numerics change.
+
+use crate::registry::{ModelArtifact, ModelRegistry};
+use nautilus_core::config::ServingConfig;
+use nautilus_dnn::exec::{forward_batch, BatchInputs};
+use nautilus_tensor::Tensor;
+use nautilus_util::telemetry;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One answered prediction.
+#[derive(Debug, Clone)]
+pub struct PredictOutput {
+    /// Registry version of the model that answered.
+    pub version: u64,
+    /// Size of the batch the record rode in (diagnostics).
+    pub batch_size: usize,
+    /// Output head values for this record.
+    pub values: Vec<f32>,
+}
+
+/// Why a prediction failed.
+#[derive(Debug, Clone)]
+pub enum PredictError {
+    /// No model published yet.
+    NoModel,
+    /// Record length does not match the model's input shape.
+    BadShape {
+        /// Elements received.
+        got: usize,
+        /// Elements the model expects.
+        want: usize,
+    },
+    /// Forward execution failed.
+    Exec(String),
+    /// The batcher shut down before answering.
+    Shutdown,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NoModel => write!(f, "no model published"),
+            PredictError::BadShape { got, want } => {
+                write!(f, "record has {got} elements, model expects {want}")
+            }
+            PredictError::Exec(m) => write!(f, "forward failed: {m}"),
+            PredictError::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+struct Pending {
+    record: Vec<f32>,
+    reply: mpsc::Sender<Result<PredictOutput, PredictError>>,
+}
+
+struct State {
+    queue: Vec<Pending>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    registry: Arc<ModelRegistry>,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+/// The micro-batcher: a queue plus one worker thread.
+pub struct MicroBatcher {
+    inner: Arc<Inner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Starts the batcher thread against `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: &ServingConfig) -> MicroBatcher {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: Vec::new(), shutdown: false }),
+            cv: Condvar::new(),
+            registry,
+            max_batch: cfg.max_batch.max(1),
+            max_delay: Duration::from_micros(cfg.max_delay_us),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("nautilus-serve-batcher".into())
+            .spawn(move || batcher_loop(&worker_inner))
+            .expect("spawn batcher thread");
+        MicroBatcher { inner, worker: Some(worker) }
+    }
+
+    /// Submits one record and blocks until its prediction (or failure)
+    /// comes back. Shape validation happens up front against the current
+    /// model so bad requests never occupy batch slots.
+    pub fn predict(&self, record: Vec<f32>) -> Result<PredictOutput, PredictError> {
+        let artifact = self.inner.registry.current().ok_or(PredictError::NoModel)?;
+        if record.len() != artifact.record_elems {
+            return Err(PredictError::BadShape {
+                got: record.len(),
+                want: artifact.record_elems,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.inner.state.lock().expect("batcher lock");
+            if st.shutdown {
+                return Err(PredictError::Shutdown);
+            }
+            st.queue.push(Pending { record, reply: tx });
+        }
+        self.inner.cv.notify_all();
+        rx.recv().unwrap_or(Err(PredictError::Shutdown))
+    }
+
+    /// Drains the queue (answering everything still enqueued) and joins
+    /// the worker thread.
+    pub fn shutdown(&mut self) {
+        self.inner.state.lock().expect("batcher lock").shutdown = true;
+        self.inner.cv.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(inner: &Inner) {
+    loop {
+        // Wait for the first record (or shutdown).
+        let mut st = inner.state.lock().expect("batcher lock");
+        while st.queue.is_empty() && !st.shutdown {
+            st = inner.cv.wait(st).expect("batcher wait");
+        }
+        if st.queue.is_empty() && st.shutdown {
+            return;
+        }
+        // A record is in: hold the door for `max_delay` or until the batch
+        // fills. On shutdown, flush immediately.
+        let deadline = Instant::now() + inner.max_delay;
+        while st.queue.len() < inner.max_batch && !st.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = inner
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("batcher wait");
+            st = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let n = st.queue.len().min(inner.max_batch);
+        let batch: Vec<Pending> = st.queue.drain(..n).collect();
+        drop(st);
+        run_batch(inner, batch);
+    }
+}
+
+fn run_batch(inner: &Inner, batch: Vec<Pending>) {
+    let n = batch.len();
+    let Some(artifact) = inner.registry.current() else {
+        for p in batch {
+            let _ = p.reply.send(Err(PredictError::NoModel));
+        }
+        return;
+    };
+    let _sp = telemetry::span("serve", "serve.batch");
+    let t0 = Instant::now();
+    match forward_rows(&artifact, &batch) {
+        Ok(rows) => {
+            telemetry::SERVE_BATCHES.add(1);
+            telemetry::SERVE_BATCH_RECORDS.add(n as u64);
+            telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
+            for (p, values) in batch.into_iter().zip(rows) {
+                let _ = p.reply.send(Ok(PredictOutput {
+                    version: artifact.version,
+                    batch_size: n,
+                    values,
+                }));
+            }
+        }
+        Err(e) => {
+            for p in batch {
+                let _ = p.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Stacks the batch, runs one forward, splits the output per record.
+fn forward_rows(
+    artifact: &ModelArtifact,
+    batch: &[Pending],
+) -> Result<Vec<Vec<f32>>, PredictError> {
+    let n = batch.len();
+    let per = artifact.record_elems;
+    let mut data = Vec::with_capacity(n * per);
+    for p in batch {
+        data.extend_from_slice(&p.record);
+    }
+    let stacked = Tensor::from_vec(artifact.record_shape.with_batch(n), data)
+        .map_err(|e| PredictError::Exec(e.to_string()))?;
+    let mut inputs = BatchInputs::new();
+    inputs.insert(artifact.input, stacked);
+    let fwd = forward_batch(&artifact.graph, &inputs, n)
+        .map_err(|e| PredictError::Exec(e.to_string()))?;
+    let out = fwd.output(artifact.output);
+    let out_data = out.data();
+    let out_per = out_data.len() / n.max(1);
+    Ok((0..n).map(|i| out_data[i * out_per..(i + 1) * out_per].to_vec()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::exec::forward;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_dnn::ModelGraph;
+    use nautilus_tensor::init::seeded_rng;
+    use nautilus_util::rng::Rng;
+
+    fn model(seed: u64, in_dim: usize, out_dim: usize) -> ModelGraph {
+        let mut rng = seeded_rng(seed);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [in_dim]);
+        let h = g
+            .add_layer(
+                "hidden",
+                LayerKind::Dense { in_dim, out_dim: in_dim, act: Activation::Gelu },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "head",
+                LayerKind::Dense { in_dim, out_dim, act: Activation::None },
+                &[h],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        g
+    }
+
+    fn solo_forward(g: &ModelGraph, record: &[f32]) -> Vec<f32> {
+        let inp = g.input_ids()[0];
+        let t = Tensor::from_vec(
+            g.shape(inp).with_batch(1),
+            record.to_vec(),
+        )
+        .unwrap();
+        let mut bi = BatchInputs::new();
+        bi.insert(inp, t);
+        let fwd = forward(g, &bi, false).unwrap();
+        fwd.output(g.outputs()[0]).data().to_vec()
+    }
+
+    fn cfg(max_batch: usize, max_delay_us: u64) -> ServingConfig {
+        ServingConfig { max_batch, max_delay_us, ..ServingConfig::default() }
+    }
+
+    #[test]
+    fn concurrent_predictions_are_bit_identical_to_solo() {
+        let g = model(7, 32, 5);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(g.clone()).unwrap();
+        let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(8, 20_000)));
+
+        let mut rng = seeded_rng(99);
+        let records: Vec<Vec<f32>> = (0..16)
+            .map(|_| (0..32).map(|_| rng.gen_f32() * 2.0 - 1.0).collect())
+            .collect();
+
+        let handles: Vec<_> = records
+            .iter()
+            .cloned()
+            .map(|r| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.predict(r).expect("prediction succeeds"))
+            })
+            .collect();
+        let outputs: Vec<PredictOutput> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let mut saw_real_batch = false;
+        for (r, out) in records.iter().zip(&outputs) {
+            assert_eq!(out.values, solo_forward(&g, r), "batched != solo");
+            assert_eq!(out.version, 1);
+            saw_real_batch |= out.batch_size > 1;
+        }
+        // With a 20ms door and 16 concurrent submitters, at least one
+        // batch must have fused multiple records.
+        assert!(saw_real_batch, "batching never fused any requests");
+    }
+
+    #[test]
+    fn predict_validates_shape_and_missing_model() {
+        let registry = Arc::new(ModelRegistry::new());
+        let batcher = MicroBatcher::start(Arc::clone(&registry), &cfg(4, 100));
+        assert!(matches!(batcher.predict(vec![0.0; 4]), Err(PredictError::NoModel)));
+        registry.publish(model(1, 6, 2)).unwrap();
+        assert!(matches!(
+            batcher.predict(vec![0.0; 4]),
+            Err(PredictError::BadShape { got: 4, want: 6 })
+        ));
+        let out = batcher.predict(vec![0.5; 6]).unwrap();
+        assert_eq!(out.values.len(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(model(2, 8, 3)).unwrap();
+        // A wide-open door: requests would sit for 10s without the drain.
+        let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(64, 10_000_000)));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.predict(vec![i as f32; 8]))
+            })
+            .collect();
+        // Give the submitters a moment to enqueue, then drain.
+        while batcher.inner.state.lock().unwrap().queue.len() < 4 {
+            std::thread::yield_now();
+        }
+        batcher.inner.state.lock().unwrap().shutdown = true;
+        batcher.inner.cv.notify_all();
+        for h in handles {
+            assert!(h.join().unwrap().is_ok(), "drained request must be answered");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Online inference serving for trained Nautilus models.
+//!
+//! The paper's workflow ends at model selection; this crate closes the
+//! loop for the system reproduction: the best trained model a
+//! [`ModelSelection`](nautilus_core::session::ModelSelection) exports is
+//! published to a [`registry::ModelRegistry`] and served over a minimal
+//! HTTP/1.1 loopback endpoint ([`server::Server`]).
+//!
+//! Design points:
+//!
+//! * **Versioned hot swap** — [`registry::ModelRegistry::publish`]
+//!   atomically replaces the current model without dropping in-flight
+//!   requests: each request pins the `Arc` of the artifact it started
+//!   with, so a swap mid-request is torn nowhere.
+//! * **Dynamic micro-batching** — concurrent predictions are fused into
+//!   one `forward_batch` call ([`batcher::MicroBatcher`]), amortizing
+//!   per-forward overhead. Batched results are **bit-identical** to
+//!   single-request execution (the kernel-dispatch pinning in
+//!   `nautilus_tensor::ops::with_batch_invariant_dispatch` guarantees the
+//!   same kernels run regardless of batch size).
+//! * **Bounded queues + load shedding** — the accept queue is bounded
+//!   (`SystemConfig::serving.queue_limit`); overload is answered with
+//!   `503` + `Retry-After` instead of unbounded buffering, and slow
+//!   clients get `408` instead of pinning a handler thread.
+//! * **Serving telemetry** — spans `serve.request`/`serve.batch`,
+//!   counters `serve.requests`/`serve.shed`/`serve.batches`/
+//!   `serve.batch_size`, and log2-bucketed latency histograms
+//!   `serve.request_us`/`serve.batch_us` (p50/p95/p99 in the telemetry
+//!   summary table and Chrome trace export).
+//!
+//! Everything is `std`-only: the HTTP parser, JSON codec, thread pool,
+//! and telemetry all come from in-tree substrates.
+
+pub mod batcher;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{MicroBatcher, PredictOutput};
+pub use http::{Request, Response};
+pub use registry::{ModelArtifact, ModelRegistry, RegistryError};
+pub use server::{Server, ServerStatsSnapshot};

@@ -1,0 +1,207 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! The registry holds at most one *current* model. Publishing a new one
+//! swaps an `Arc` under a short-lived write lock; requests that already
+//! hold the previous `Arc` keep using it untouched, so a swap never tears
+//! an in-flight prediction. Versions increase monotonically from 1.
+
+use nautilus_dnn::checkpoint;
+use nautilus_dnn::{ModelGraph, NodeId};
+use nautilus_tensor::Shape;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One published, servable model.
+#[derive(Debug)]
+pub struct ModelArtifact {
+    /// Monotonic registry version (1 = first publish).
+    pub version: u64,
+    /// The trained graph (forward-only use).
+    pub graph: ModelGraph,
+    /// The graph's single input placeholder.
+    pub input: NodeId,
+    /// The graph's single output head.
+    pub output: NodeId,
+    /// Per-record input shape (no batch axis).
+    pub record_shape: Shape,
+    /// Elements in one input record.
+    pub record_elems: usize,
+}
+
+/// Registry errors.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The graph is not servable (wrong number of inputs/outputs).
+    Unservable(String),
+    /// Loading a checkpoint failed.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Unservable(m) => write!(f, "unservable model: {m}"),
+            RegistryError::Checkpoint(m) => write!(f, "registry checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A versioned single-slot model store shared by the server's threads.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    current: RwLock<Option<Arc<ModelArtifact>>>,
+    next_version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry (no model published yet).
+    pub fn new() -> Self {
+        ModelRegistry { current: RwLock::new(None), next_version: AtomicU64::new(1) }
+    }
+
+    /// Publishes `graph` as the new current model, returning its version.
+    ///
+    /// Validates that the graph is servable (exactly one input placeholder
+    /// and one output head). The swap is atomic: concurrent requests see
+    /// either the old or the new artifact, never a mix.
+    pub fn publish(&self, graph: ModelGraph) -> Result<u64, RegistryError> {
+        let inputs = graph.input_ids();
+        if inputs.len() != 1 {
+            return Err(RegistryError::Unservable(format!(
+                "expected 1 input placeholder, found {}",
+                inputs.len()
+            )));
+        }
+        let outputs = graph.outputs();
+        if outputs.len() != 1 {
+            return Err(RegistryError::Unservable(format!(
+                "expected 1 output head, found {}",
+                outputs.len()
+            )));
+        }
+        let input = inputs[0];
+        let output = outputs[0];
+        let record_shape = graph.shape(input).clone();
+        let record_elems = record_shape.num_elements();
+        if record_elems == 0 {
+            return Err(RegistryError::Unservable("empty input shape".into()));
+        }
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let artifact =
+            Arc::new(ModelArtifact { version, graph, input, output, record_shape, record_elems });
+        *self.current.write().expect("registry lock") = Some(artifact);
+        Ok(version)
+    }
+
+    /// Loads a checkpoint from `path` and publishes it.
+    pub fn publish_from_checkpoint(&self, path: &Path) -> Result<u64, RegistryError> {
+        let (graph, _) = checkpoint::load(path)
+            .map_err(|e| RegistryError::Checkpoint(e.to_string()))?;
+        self.publish(graph)
+    }
+
+    /// The current model, pinned: callers keep the returned `Arc` for the
+    /// whole request, so later publishes cannot pull it out from under
+    /// them.
+    pub fn current(&self) -> Option<Arc<ModelArtifact>> {
+        self.current.read().expect("registry lock").clone()
+    }
+
+    /// Version of the current model; 0 when nothing is published.
+    pub fn version(&self) -> u64 {
+        self.current().map_or(0, |a| a.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_tensor::init::seeded_rng;
+
+    fn tiny_graph(seed: u64) -> ModelGraph {
+        let mut rng = seeded_rng(seed);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [6]);
+        let d = g
+            .add_layer(
+                "dense",
+                LayerKind::Dense { in_dim: 6, out_dim: 3, act: Activation::None },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(d).unwrap();
+        g
+    }
+
+    #[test]
+    fn publish_validates_and_versions_monotonically() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.version(), 0);
+        assert!(reg.current().is_none());
+
+        let v1 = reg.publish(tiny_graph(1)).unwrap();
+        assert_eq!(v1, 1);
+        let v2 = reg.publish(tiny_graph(2)).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.current().unwrap().record_elems, 6);
+    }
+
+    #[test]
+    fn publish_rejects_multi_output_graphs() {
+        let mut rng = seeded_rng(3);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [4]);
+        for name in ["a", "b"] {
+            let d = g
+                .add_layer(
+                    name,
+                    LayerKind::Dense { in_dim: 4, out_dim: 2, act: Activation::None },
+                    &[inp],
+                    false,
+                    ParamInit::Seeded(&mut rng),
+                )
+                .unwrap();
+            g.add_output(d).unwrap();
+        }
+        assert!(matches!(reg_err(g), RegistryError::Unservable(_)));
+    }
+
+    fn reg_err(g: ModelGraph) -> RegistryError {
+        ModelRegistry::new().publish(g).unwrap_err()
+    }
+
+    #[test]
+    fn hot_swap_leaves_pinned_artifact_intact() {
+        let reg = ModelRegistry::new();
+        reg.publish(tiny_graph(10)).unwrap();
+        let pinned = reg.current().unwrap();
+        reg.publish(tiny_graph(11)).unwrap();
+        // The pinned artifact still exists and still answers for version 1.
+        assert_eq!(pinned.version, 1);
+        assert_eq!(reg.current().unwrap().version, 2);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_publishes() {
+        let g = tiny_graph(20);
+        let dir = std::env::temp_dir()
+            .join(format!("nautilus-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        checkpoint::save(&g, &path).unwrap();
+        let reg = ModelRegistry::new();
+        let v = reg.publish_from_checkpoint(&path).unwrap();
+        assert_eq!(v, 1);
+        let art = reg.current().unwrap();
+        assert_eq!(art.record_shape.num_elements(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,435 @@
+//! The serving front-end: accept loop, bounded connection queue, handler
+//! threads, request routing, load shedding, and graceful drain.
+//!
+//! Threading model (all `std`):
+//!
+//! * one **accept thread** owns the `TcpListener`. Accepted connections
+//!   go into a bounded queue; when the queue is full the accept thread
+//!   itself answers `503` + `Retry-After` (load shedding costs one small
+//!   write, never a handler slot);
+//! * `handler_threads` **handler threads** pop connections, read one
+//!   request each (with a read timeout), route it, and always write a
+//!   response before closing — no connection is dropped silently;
+//! * predictions flow through the shared [`MicroBatcher`], so concurrent
+//!   requests fuse into batched forwards.
+//!
+//! Graceful drain ([`Server::shutdown`]): stop accepting, answer every
+//! queued connection, flush the batcher, join all threads.
+
+use crate::batcher::{MicroBatcher, PredictError};
+use crate::http::{self, Limits, ReadError, Request, Response};
+use crate::registry::ModelRegistry;
+use nautilus_core::config::ServingConfig;
+use nautilus_util::json::Json;
+use nautilus_util::telemetry;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Always-on serving statistics (plain atomics, independent of whether
+/// the telemetry layer is enabled).
+#[derive(Debug, Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    predictions: AtomicU64,
+    shed: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Requests that reached a handler (all endpoints).
+    pub requests: u64,
+    /// Successful predictions.
+    pub predictions: u64,
+    /// Connections shed with `503` at the accept queue.
+    pub shed: u64,
+    /// Requests answered with a 4xx.
+    pub client_errors: u64,
+    /// Requests answered with a 5xx.
+    pub server_errors: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    batcher: MicroBatcher,
+    limits: Limits,
+    request_timeout: Duration,
+    queue_limit: usize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    stats: ServerStats,
+}
+
+/// A running inference server bound to a loopback port.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    handler_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` (or `127.0.0.1:port`) and starts the accept,
+    /// handler, and batcher threads.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: &ServingConfig,
+        port: u16,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            batcher: MicroBatcher::start(Arc::clone(&registry), cfg),
+            registry,
+            limits: Limits { max_head_bytes: 8 * 1024, max_body_bytes: cfg.max_body_bytes },
+            request_timeout: Duration::from_millis(cfg.request_timeout_ms.max(1)),
+            queue_limit: cfg.queue_limit.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: ServerStats::default(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("nautilus-serve-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        let handler_threads = (0..cfg.handler_threads.max(1))
+            .map(|i| {
+                let h_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nautilus-serve-h{i}"))
+                    .spawn(move || handler_loop(&h_shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(Server { addr, shared, accept_thread: Some(accept_thread), handler_threads })
+    }
+
+    /// The bound address (`127.0.0.1:port`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server serves from (publish here to hot-swap).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, answer everything already queued,
+    /// flush the batcher, join every thread. Returns the final stats.
+    pub fn shutdown(mut self) -> ServerStatsSnapshot {
+        self.drain();
+        self.shared.stats.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // Handlers drain the queue, then exit on (stop && empty).
+        self.shared.cv.notify_all();
+        for h in self.handler_threads.drain(..) {
+            let _ = h.join();
+        }
+        // MicroBatcher::drop flushes pending predictions; nothing is
+        // enqueued anymore because all handlers have exited.
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.handler_threads.is_empty() || self.accept_thread.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            // The wake-up connection (and any racer) is dropped after the
+            // queue handoff stops; queued connections still get answered.
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let mut q = shared.queue.lock().expect("server queue");
+        if q.len() >= shared.queue_limit {
+            drop(q);
+            shed(stream, shared);
+            continue;
+        }
+        q.push_back(stream);
+        drop(q);
+        shared.cv.notify_one();
+    }
+}
+
+/// Answers an over-capacity connection with `503` + `Retry-After` from the
+/// accept thread (bounded work: one small write plus a bounded drain).
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    telemetry::SERVE_SHED.add(1);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::error(503, "server overloaded").with_header("Retry-After", "1");
+    finish(stream, &resp);
+}
+
+/// Sends the response and closes the connection without racing the
+/// client: unread request bytes left in the receive buffer at close time
+/// make the kernel RST the connection, which can destroy the response
+/// before the client reads it. So after sending we half-close and drain
+/// (bounded) until the client's own close acknowledges receipt.
+fn finish(mut stream: TcpStream, resp: &Response) {
+    use std::io::Read;
+    let _ = resp.send(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    for _ in 0..8 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn handler_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("server queue");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("server queue wait");
+            }
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.request_timeout));
+    let _ = stream.set_write_timeout(Some(shared.request_timeout));
+    let response = match http::read_request(&mut stream, &shared.limits) {
+        Ok(req) => route(&req, shared),
+        Err(ReadError::Parse(e)) => Response::error(e.status(), "malformed request"),
+        Err(ReadError::Timeout) => Response::error(408, "request timed out"),
+        // Nothing arrived and the peer is gone; no response possible.
+        Err(ReadError::Disconnected) => return,
+    };
+    match response.status {
+        400..=499 => shared.stats.client_errors.fetch_add(1, Ordering::Relaxed),
+        500..=599 => shared.stats.server_errors.fetch_add(1, Ordering::Relaxed),
+        _ => 0,
+    };
+    finish(stream, &response);
+}
+
+fn route(req: &Request, shared: &Shared) -> Response {
+    let _sp = telemetry::span("serve", "serve.request");
+    let t0 = Instant::now();
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    telemetry::SERVE_REQUESTS.add(1);
+    let resp = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => predict(req, shared),
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::obj([
+                ("status", Json::Str("ok".into())),
+                ("model_version", Json::Int(shared.registry.version() as i128)),
+            ]),
+        ),
+        ("GET", "/stats") => {
+            let s = shared.stats.snapshot();
+            Response::json(
+                200,
+                &Json::obj([
+                    ("requests", Json::Int(s.requests as i128)),
+                    ("predictions", Json::Int(s.predictions as i128)),
+                    ("shed", Json::Int(s.shed as i128)),
+                    ("client_errors", Json::Int(s.client_errors as i128)),
+                    ("server_errors", Json::Int(s.server_errors as i128)),
+                ]),
+            )
+        }
+        ("GET", "/model") => match shared.registry.current() {
+            Some(a) => Response::json(
+                200,
+                &Json::obj([
+                    ("version", Json::Int(a.version as i128)),
+                    (
+                        "input_shape",
+                        Json::Arr(
+                            a.record_shape.0.iter().map(|&d| Json::Int(d as i128)).collect(),
+                        ),
+                    ),
+                    ("input_elements", Json::Int(a.record_elems as i128)),
+                ]),
+            ),
+            None => Response::error(404, "no model published"),
+        },
+        ("POST" | "GET", _) => Response::error(404, "unknown endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    };
+    telemetry::SERVE_REQUEST_US.record(t0.elapsed().as_micros() as u64);
+    resp
+}
+
+/// `POST /predict` with body `{"inputs": [f32...]}` → `{"model_version",
+/// "batch_size", "outputs": [f32...]}`.
+fn predict(req: &Request, shared: &Shared) -> Response {
+    let parsed: Result<Json, _> = nautilus_util::json::from_slice(&req.body);
+    let Ok(body) = parsed else {
+        return Response::error(400, "body is not valid JSON");
+    };
+    let Some(inputs) = body.get("inputs").and_then(|v| v.as_arr()) else {
+        return Response::error(422, "missing 'inputs' array");
+    };
+    let mut record = Vec::with_capacity(inputs.len());
+    for v in inputs {
+        match v.as_f64() {
+            Some(x) => record.push(x as f32),
+            None => return Response::error(422, "'inputs' must be numbers"),
+        }
+    }
+    match shared.batcher.predict(record) {
+        Ok(out) => {
+            shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                &Json::obj([
+                    ("model_version", Json::Int(out.version as i128)),
+                    ("batch_size", Json::Int(out.batch_size as i128)),
+                    (
+                        "outputs",
+                        Json::Arr(out.values.iter().map(|&x| Json::Num(x as f64)).collect()),
+                    ),
+                ]),
+            )
+        }
+        Err(PredictError::NoModel) => Response::error(503, "no model published"),
+        Err(e @ PredictError::BadShape { .. }) => Response::error(422, &e.to_string()),
+        Err(PredictError::Shutdown) => Response::error(503, "server draining"),
+        Err(PredictError::Exec(m)) => Response::error(500, &m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_dnn::ModelGraph;
+    use nautilus_tensor::init::seeded_rng;
+
+    fn model(seed: u64) -> ModelGraph {
+        let mut rng = seeded_rng(seed);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [8]);
+        let o = g
+            .add_layer(
+                "head",
+                LayerKind::Dense { in_dim: 8, out_dim: 3, act: Activation::None },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        g
+    }
+
+    fn start(cfg: &ServingConfig) -> (Server, String) {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(model(5)).unwrap();
+        let server = Server::start(registry, cfg, 0).unwrap();
+        let addr = server.addr().to_string();
+        (server, addr)
+    }
+
+    fn get(addr: &str, path: &str) -> (u16, Json) {
+        let (status, body) =
+            http::request(addr, "GET", path, None, Duration::from_secs(5)).unwrap();
+        (status, nautilus_util::json::from_slice(&body).unwrap())
+    }
+
+    #[test]
+    fn serves_health_model_and_predictions() {
+        let (server, addr) = start(&ServingConfig::default());
+
+        let (status, health) = get(&addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(health.get("model_version").and_then(|v| v.as_u64()), Some(1));
+
+        let (status, meta) = get(&addr, "/model");
+        assert_eq!(status, 200);
+        assert_eq!(meta.get("input_elements").and_then(|v| v.as_u64()), Some(8));
+
+        let body = br#"{"inputs": [1, 0.5, -1, 2, 0, 0.25, -0.5, 3]}"#;
+        let (status, raw) =
+            http::request(&addr, "POST", "/predict", Some(body), Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&raw));
+        let out: Json = nautilus_util::json::from_slice(&raw).unwrap();
+        assert_eq!(out.get("outputs").and_then(|v| v.as_arr()).map(|a| a.len()), Some(3));
+
+        let (status, _) = get(&addr, "/nope");
+        assert_eq!(status, 404);
+
+        let stats = server.shutdown();
+        assert!(stats.requests >= 4);
+        assert_eq!(stats.predictions, 1);
+    }
+
+    #[test]
+    fn rejects_bad_bodies_and_shapes() {
+        let (server, addr) = start(&ServingConfig::default());
+        let cases: [(&[u8], u16); 3] = [
+            (b"not json", 400),
+            (br#"{"wrong": 1}"#, 422),
+            (br#"{"inputs": [1, 2]}"#, 422),
+        ];
+        for (body, want) in cases {
+            let (status, _) =
+                http::request(&addr, "POST", "/predict", Some(body), Duration::from_secs(5))
+                    .unwrap();
+            assert_eq!(status, want, "body {:?}", String::from_utf8_lossy(body));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.client_errors, 3);
+        assert_eq!(stats.predictions, 0);
+    }
+}

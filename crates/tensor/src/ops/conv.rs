@@ -62,7 +62,9 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor, TensorError> {
-    if conv_work(input, weight, stride, pad)? >= IM2COL_THRESHOLD {
+    if crate::ops::dispatch::effective_work(conv_work(input, weight, stride, pad)?)
+        >= IM2COL_THRESHOLD
+    {
         conv2d_im2col(input, weight, bias, stride, pad)
     } else {
         conv2d_direct(input, weight, bias, stride, pad)

@@ -1,0 +1,84 @@
+//! Batch-invariant kernel dispatch.
+//!
+//! [`crate::ops::matmul::matmul_ex`] and [`crate::ops::conv2d`] pick
+//! between a naive kernel and a blocked/lowered one by comparing the
+//! *total* multiply-add count against a threshold. The total scales with
+//! the leading batch axis, so the same record can take different kernel
+//! paths depending on how many records ride along in the batch — and the
+//! two paths legitimately differ in floating-point rounding (the blocked
+//! GEMM accumulates in KC-sized partials).
+//!
+//! Online inference micro-batches requests and promises that batched
+//! outputs are **bit-identical** to single-request outputs. To keep that
+//! promise, [`with_batch_invariant_dispatch`] installs a thread-local
+//! divisor for the duration of a closure: every dispatch site divides its
+//! work estimate by the batch size before comparing against its
+//! threshold, making the kernel choice a function of *per-record* work
+//! only. Each record's rows are then computed by the same kernel whether
+//! it runs alone or stacked with others (both the naive loops and the
+//! blocked GEMM compute each output row independently of the row count).
+//!
+//! The divisor is thread-local and the decision happens at the dispatch
+//! site on the calling thread — pool workers spawned *inside* a kernel
+//! inherit the already-made decision, so the shared pool needs no
+//! propagation.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DISPATCH_BATCH: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Runs `f` with kernel-dispatch work estimates divided by `batch`
+/// (clamped to at least 1), restoring the previous divisor afterwards.
+///
+/// Used by batched inference so the naive-vs-blocked kernel choice — and
+/// therefore the bitwise result of each record — does not depend on how
+/// many records are stacked into the batch.
+pub fn with_batch_invariant_dispatch<R>(batch: usize, f: impl FnOnce() -> R) -> R {
+    let prev = DISPATCH_BATCH.with(|c| c.replace(batch.max(1)));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DISPATCH_BATCH.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The work estimate a dispatch site should compare against its
+/// threshold: `total_work` divided by the installed batch divisor
+/// (1 outside [`with_batch_invariant_dispatch`], i.e. a no-op).
+#[inline]
+pub(crate) fn effective_work(total_work: usize) -> usize {
+    let d = DISPATCH_BATCH.with(|c| c.get());
+    if d == 1 {
+        total_work
+    } else {
+        total_work / d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisor_scopes_and_restores() {
+        assert_eq!(effective_work(1000), 1000);
+        let inner = with_batch_invariant_dispatch(8, || {
+            let nested = with_batch_invariant_dispatch(2, || effective_work(1000));
+            assert_eq!(nested, 500);
+            effective_work(1000)
+        });
+        assert_eq!(inner, 125);
+        assert_eq!(effective_work(1000), 1000, "divisor restored on exit");
+    }
+
+    #[test]
+    fn zero_batch_clamps_to_one() {
+        let w = with_batch_invariant_dispatch(0, || effective_work(42));
+        assert_eq!(w, 42);
+    }
+}

@@ -26,6 +26,7 @@
 //! arena, so the training loop's matmuls stop hitting the allocator once
 //! the arena is warm.
 
+use crate::ops::dispatch::effective_work;
 use crate::ops::gemm::{self, MatRef};
 use crate::{Tensor, TensorError};
 use nautilus_util::scratch;
@@ -126,7 +127,7 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(m * n);
-            if m * k * n >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= GEMM_THRESHOLD {
                 gemm::gemm(m, k, n, MatRef::row_major(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
                 matmul_rows(ad, bd, &mut out, k, n);
@@ -143,7 +144,7 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(k * n);
-            if m * k * n >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= GEMM_THRESHOLD {
                 // Effective A' = aᵀ: (k, m) view over the (m, k) buffer.
                 gemm::gemm(k, m, n, MatRef::transposed(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
@@ -161,7 +162,7 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(m * k);
-            if m * k * n >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= GEMM_THRESHOLD {
                 // Effective B' = bᵀ: (n, k) buffer read as (n → k, cols).
                 gemm::gemm(m, n, k, MatRef::row_major(ad, n), MatRef::transposed(bd, n), &mut out);
             } else {
@@ -180,7 +181,7 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
             }
             let (m, k, n) = (ak, am, bm);
             let mut out = scratch::take_vec(m * n);
-            if m * k * n >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= GEMM_THRESHOLD {
                 gemm::gemm(
                     m,
                     k,
@@ -360,6 +361,36 @@ mod tests {
                     "combo ({ta},{tb})[{i}]: blocked {x} vs naive {y}"
                 );
             }
+        }
+    }
+
+    /// With the batch-invariant divisor installed, a stacked batch whose
+    /// *total* work crosses `GEMM_THRESHOLD` (but whose per-record work
+    /// does not) keeps the naive kernel — so every record's rows are
+    /// bit-identical to multiplying that record alone.
+    #[test]
+    fn batch_invariant_dispatch_pins_kernel_choice() {
+        use crate::init::{randn, seeded_rng};
+        use crate::ops::with_batch_invariant_dispatch;
+        let mut rng = seeded_rng(11);
+        let (recs, rows, k, n) = (16usize, 8usize, 64usize, 64usize);
+        assert!(recs * rows * k * n >= GEMM_THRESHOLD, "stacked work must cross");
+        assert!(rows * k * n < GEMM_THRESHOLD, "per-record work must not");
+        let b = randn([k, n], 1.0, &mut rng);
+        let records: Vec<Tensor> = (0..recs).map(|_| randn([rows, k], 1.0, &mut rng)).collect();
+        let mut stacked = Vec::new();
+        for r in &records {
+            stacked.extend_from_slice(r.data());
+        }
+        let stacked = Tensor::from_vec([recs, rows, k], stacked).unwrap();
+        let pinned = with_batch_invariant_dispatch(recs, || matmul(&stacked, &b).unwrap());
+        for (i, r) in records.iter().enumerate() {
+            let solo = matmul(r, &b).unwrap();
+            assert_eq!(
+                &pinned.data()[i * solo.len()..(i + 1) * solo.len()],
+                solo.data(),
+                "record {i} diverged from its solo product"
+            );
         }
     }
 

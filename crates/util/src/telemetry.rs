@@ -83,6 +83,10 @@ struct Global {
     counters: Mutex<Vec<&'static Counter>>,
     /// Interned dynamically named counters (name → leaked static).
     interned: Mutex<Vec<(&'static str, &'static Counter)>>,
+    /// Registered histograms, in registration order.
+    histograms: Mutex<Vec<&'static Histogram>>,
+    /// Interned dynamically named histograms (name → leaked static).
+    interned_hists: Mutex<Vec<(&'static str, &'static Histogram)>>,
     next_tid: AtomicU64,
     /// Trace-file destination configured via env/`enable_to`.
     out_path: Mutex<Option<PathBuf>>,
@@ -96,6 +100,8 @@ fn global() -> &'static Global {
         threads: Mutex::new(Vec::new()),
         counters: Mutex::new(Vec::new()),
         interned: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+        interned_hists: Mutex::new(Vec::new()),
         next_tid: AtomicU64::new(1),
         out_path: Mutex::new(None),
     })
@@ -335,7 +341,200 @@ macro_rules! declare_counters {
     };
 }
 
+/// Number of log2 buckets: index 0 holds zeros, index `i >= 1` holds
+/// samples in `[2^(i-1), 2^i - 1]`, up to index 64 for values with the
+/// high bit set.
+const HIST_BUCKETS: usize = 65;
+
+/// Aggregate view of one [`Histogram`], as used by [`summary_table`] and
+/// the trace export. Quantiles are bucket upper bounds (conservative for
+/// a log2-bucketed histogram); an empty histogram reports all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum recorded sample.
+    pub max: u64,
+}
+
+/// A log2-bucketed histogram of `u64` samples (latencies in µs, batch
+/// sizes, ...): 65 relaxed atomic buckets plus exact count/sum/max.
+/// Declare as a `static` and feed it with [`Histogram::record`]; like
+/// [`Counter`], recording is a no-op while collection is disabled, and
+/// the first sample recorded while enabled registers the histogram for
+/// [`summary_table`] and the Chrome-trace export.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new histogram; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index for a sample: `0` for zero, otherwise
+    /// `floor(log2(v)) + 1` — so bucket `i >= 1` spans `[2^(i-1), 2^i - 1]`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (the quantile estimate reported
+    /// for samples landing there).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records `v` (no-op while collection is disabled).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.observe(v);
+        self.ensure_registered();
+    }
+
+    /// The unconditional recording path (shared by [`Histogram::record`]
+    /// and tests): bucket increment plus exact count/sum/max updates, all
+    /// relaxed atomics.
+    fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q · count)`-th smallest sample.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // The top bucket's estimate is the exact max (tighter than
+                // u64::MAX and exact whenever the max landed there).
+                let max = self.max.load(Ordering::Relaxed);
+                return Self::bucket_upper_bound(i).min(max);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated view (count, p50/p95/p99, exact max); all zeros when no
+    /// samples were recorded.
+    pub fn summarize(&self) -> HistogramSummary {
+        HistogramSummary {
+            name: self.name,
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            global().histograms.lock().unwrap().push(self);
+        }
+    }
+}
+
+macro_rules! declare_histograms {
+    ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
+        $($(#[$doc])* pub static $ident: Histogram = Histogram::new($name);)*
+        /// Every predeclared histogram, so exports list them (zeros
+        /// included) even when a subsystem never ran.
+        fn predeclared_histograms() -> Vec<&'static Histogram> {
+            vec![$(&$ident),*]
+        }
+    };
+}
+
+declare_histograms! {
+    /// End-to-end serving latency of one HTTP prediction request, µs.
+    SERVE_REQUEST_US => "serve.request_us";
+    /// Latency of one micro-batch forward (collect → forward → scatter), µs.
+    SERVE_BATCH_US => "serve.batch_us";
+}
+
+/// Interns a dynamically named histogram, returning a `'static` handle
+/// (the histogram analogue of [`counter`]).
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut interned = global().interned_hists.lock().unwrap();
+    if let Some(&(_, h)) = interned.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(leaked_name)));
+    interned.push((leaked_name, h));
+    h
+}
+
 declare_counters! {
+    /// Prediction requests answered by the serving front-end.
+    SERVE_REQUESTS => "serve.requests";
+    /// Requests shed with 503 (admission queue full / endpoint at cap).
+    SERVE_SHED => "serve.shed";
+    /// Micro-batches executed by the serving batcher.
+    SERVE_BATCHES => "serve.batches";
+    /// Records carried by those micro-batches (mean batch size =
+    /// `serve.batch_size / serve.batches`).
+    SERVE_BATCH_RECORDS => "serve.batch_size";
     /// FLOPs executed/charged by the backend.
     FLOPS => "flops";
     /// Bytes read from disk (page-cache misses).
@@ -431,6 +630,9 @@ pub fn reset() {
     for c in g.counters.lock().unwrap().iter() {
         c.value.store(0, Ordering::Relaxed);
     }
+    for h in g.histograms.lock().unwrap().iter() {
+        h.reset();
+    }
 }
 
 /// Snapshot of everything collected so far (drained + live rings),
@@ -453,6 +655,22 @@ fn registered_counters() -> Vec<&'static Counter> {
         }
     }
     out
+}
+
+fn registered_histograms() -> Vec<&'static Histogram> {
+    let mut out = predeclared_histograms();
+    for h in global().histograms.lock().unwrap().iter() {
+        if !out.iter().any(|p| std::ptr::eq(*p, *h)) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// Aggregated view of every registered histogram (predeclared ones
+/// included, so empty histograms render as all-zero rows).
+pub fn histogram_summaries() -> Vec<HistogramSummary> {
+    registered_histograms().iter().map(|h| h.summarize()).collect()
 }
 
 /// Aggregated statistics for one span name.
@@ -524,6 +742,20 @@ pub fn summary_table() -> String {
             out.push_str(&format!("{:<40} {:>20}\n", c.name(), c.get()));
         }
     }
+    let hists: Vec<_> =
+        histogram_summaries().into_iter().filter(|h| h.count > 0).collect();
+    if !hists.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "p50", "p95", "p99", "max"
+        ));
+        for h in hists {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                h.name, h.count, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+    }
     out
 }
 
@@ -577,6 +809,26 @@ fn trace_json() -> Json {
             ("args", Json::obj([("value", Json::Int(c.get() as i128))])),
         ]));
     }
+    // Histograms export as counter events whose args carry the quantile
+    // series — Perfetto plots each arg as its own track.
+    for h in histogram_summaries() {
+        trace_events.push(Json::obj([
+            ("name", Json::Str(h.name.to_string())),
+            ("ph", Json::Str("C".into())),
+            ("ts", Json::Int(last_ts as i128)),
+            ("pid", Json::Int(1)),
+            (
+                "args",
+                Json::obj([
+                    ("count", Json::Int(h.count as i128)),
+                    ("p50", Json::Int(h.p50 as i128)),
+                    ("p95", Json::Int(h.p95 as i128)),
+                    ("p99", Json::Int(h.p99 as i128)),
+                    ("max", Json::Int(h.max as i128)),
+                ]),
+            ),
+        ]));
+    }
     Json::obj([("traceEvents", Json::Arr(trace_events))])
 }
 
@@ -620,8 +872,10 @@ mod tests {
             // Disabled spans are inert.
             let _s = span("test", "t.disabled");
             FLOPS.add(5);
+            SERVE_REQUEST_US.record(9);
         }
         assert_eq!(FLOPS.get(), 0, "disabled counter must not count");
+        assert_eq!(SERVE_REQUEST_US.count(), 0, "disabled histogram must not record");
 
         enable();
         reset();
@@ -643,6 +897,10 @@ mod tests {
         let c = counter("test.dynamic");
         c.add(3);
         assert!(std::ptr::eq(c, counter("test.dynamic")), "interning is stable");
+        SERVE_REQUEST_US.record(100);
+        SERVE_REQUEST_US.record(1000);
+        let dh = histogram("test.dynamic_hist");
+        assert!(std::ptr::eq(dh, histogram("test.dynamic_hist")), "hist interning is stable");
 
         let rows = summary();
         let outer = rows.iter().find(|s| s.name == "t.outer").expect("outer present");
@@ -683,11 +941,78 @@ mod tests {
             "counter events present"
         );
 
+        // The recorded histogram reaches the summary table and the trace
+        // export (as a counter event carrying the quantile series).
+        let hs = histogram_summaries();
+        let req = hs.iter().find(|h| h.name == "serve.request_us").expect("registered");
+        assert_eq!(req.count, 2);
+        assert_eq!(req.max, 1000);
+        let hist_ev = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                    && e.get("name").and_then(|n| n.as_str()) == Some("serve.request_us")
+            })
+            .expect("histogram counter event");
+        assert_eq!(
+            hist_ev.get("args").and_then(|a| a.get("count")).and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert!(hist_ev.get("args").and_then(|a| a.get("p50")).is_some());
+
         let table = summary_table();
         assert!(table.contains("t.outer") && table.contains("flops"));
+        assert!(table.contains("serve.request_us"), "histogram row in table:\n{table}");
 
         disable();
         reset();
+        assert_eq!(SERVE_REQUEST_US.count(), 0, "reset clears histograms");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_and_empty_formatting() {
+        // Boundaries: zero gets its own bucket; each power of two opens a
+        // new one.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index((1 << 32) - 1), 32);
+        assert_eq!(Histogram::bucket_index(1 << 32), 33);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+
+        // Empty histogram: all-zero summary that formats cleanly.
+        let empty = Histogram::new("test.empty_hist");
+        let s = empty.summarize();
+        assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0, 0));
+        assert_eq!(empty.quantile(0.5), 0);
+        let row = format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            s.name, s.count, s.p50, s.p95, s.p99, s.max
+        );
+        assert!(row.starts_with("test.empty_hist"));
+
+        // Quantiles over 1..=100: estimates are bucket upper bounds,
+        // capped at the exact max.
+        let h = Histogram::new("test.quantiles");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.0), 1, "lowest sample sits in bucket [1,1]");
+        assert_eq!(h.quantile(0.5), 63, "50th sample lands in bucket [32,63]");
+        assert_eq!(h.quantile(1.0), 100, "top bucket reports the exact max");
+        let s = h.summarize();
+        assert_eq!(s.max, 100);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 }

@@ -60,7 +60,7 @@ cargo test -q --offline
 # NAUTILUS_RESULTS must be absolute: cargo runs bench binaries from the
 # package directory, not the workspace root.
 NAUTILUS_BENCH_SAMPLES=9 NAUTILUS_RESULTS="$PWD/results" \
-    cargo bench --offline -p nautilus-bench --bench substrates -- gemm conv pool telemetry
+    cargo bench --offline -p nautilus-bench --bench substrates -- gemm conv pool telemetry serve
 python3 - results/bench-substrates.json results/BENCH_pool.json <<'EOF'
 import json, sys
 
@@ -177,6 +177,76 @@ print(f"telemetry gate: untraced {untraced['median_ns']} ns, disabled-span "
 json.dump(out, open(dst, "w"), indent=2)
 print(f"telemetry gate: wrote {dst}")
 sys.exit(1 if failed else 0)
+EOF
+
+# Serving micro-batch gate: one batch-8 forward must beat 8 sequential
+# single-record forwards by >= 2x on the serving-head model. The win is
+# per-forward overhead amortization (graph walk, allocation, dispatch),
+# not parallelism, so it holds on a 1-core runner — and it is the whole
+# reason the server's micro-batcher exists.
+python3 - results/bench-substrates.json results/BENCH_serve.json <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+results = {r["id"]: r for r in json.load(open(src))}
+
+REQUIRED = 2.0
+un, ba = results["serve/unbatched/8"], results["serve/batched/8"]
+un_min, ba_min = min(un["samples_ns"]), min(ba["samples_ns"])
+# Minimum samples: the noise-robust statistic for A/B timing; the
+# emitted JSON records medians alongside.
+speedup = un_min / ba_min if ba_min else 0.0
+out = {
+    "unbatched_ns": un["median_ns"],
+    "batched_ns": ba["median_ns"],
+    "unbatched_min_ns": un_min,
+    "batched_min_ns": ba_min,
+    "batch_size": 8,
+    "speedup": round(speedup, 3),
+    "required": REQUIRED,
+}
+failed = speedup < REQUIRED
+status = "ok" if not failed else "TOO SLOW"
+print(f"serve gate: 8x unbatched {un['median_ns']} ns, batched/8 "
+      f"{ba['median_ns']} ns (min {un_min} vs {ba_min}), speedup "
+      f"{speedup:.2f}x (required {REQUIRED}) [{status}]")
+json.dump(out, open(dst, "w"), indent=2)
+print(f"serve gate: wrote {dst}")
+sys.exit(1 if failed else 0)
+EOF
+
+# Serving smoke test: train -> export -> checkpoint -> publish -> answer
+# concurrent loopback predictions bit-identically, then drain cleanly.
+# The example asserts bit-identity and zero server errors itself; the
+# trace must carry serving spans, counters, and latency histograms.
+NAUTILUS_TRACE="$PWD/results/TRACE_serve.json" \
+    cargo run --release --offline --example serve_demo
+python3 - results/TRACE_serve.json <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+trace = json.load(open(path))
+events = trace["traceEvents"]
+spans = {e["name"] for e in events if e.get("ph") == "X"}
+for want in ("serve.request", "serve.batch"):
+    assert want in spans, f"missing serving span {want!r}: {sorted(spans)}"
+counters = {e["name"]: e for e in events if e.get("ph") == "C"}
+for want in ("serve.requests", "serve.batches", "serve.batch_size"):
+    assert want in counters, f"missing counter {want!r}: {sorted(counters)}"
+hists = {
+    name: e["args"]
+    for name, e in counters.items()
+    if {"count", "p50", "p95", "p99", "max"} <= set(e["args"])
+}
+for want in ("serve.request_us", "serve.batch_us"):
+    assert want in hists, f"missing histogram {want!r}: {sorted(hists)}"
+    assert hists[want]["count"] > 0, f"histogram {want!r} recorded nothing"
+    assert hists[want]["p50"] <= hists[want]["p99"] <= hists[want]["max"]
+batched = counters["serve.batch_size"]["args"]["value"]
+batches = counters["serve.batches"]["args"]["value"]
+assert batches > 0 and batched >= batches, "batcher never fused work"
+print(f"serve trace gate: spans {sorted(s for s in spans if s.startswith('serve'))}, "
+      f"{batched} records in {batches} batches, histograms ok")
 EOF
 
 # End-to-end trace artifact: the quickstart example run under

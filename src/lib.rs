@@ -11,7 +11,8 @@
 //! * [`milp`] — the MILP solver substrate;
 //! * [`store`] — feature/checkpoint storage with IO accounting;
 //! * [`data`] — synthetic datasets and labeling sessions;
-//! * [`models`] — MiniBERT/MiniResNet and transfer-learning builders.
+//! * [`models`] — MiniBERT/MiniResNet and transfer-learning builders;
+//! * [`serve`] — online inference serving for trained models.
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@
 //! ```
 
 pub use nautilus_core as core;
+pub use nautilus_serve as serve;
 pub use nautilus_data as data;
 pub use nautilus_dnn as dnn;
 pub use nautilus_milp as milp;

@@ -70,6 +70,45 @@ fn ftu_nautilus_matches_current_practice() {
     assert!(opt_flops < base_flops, "{opt_flops:.2e} vs {base_flops:.2e}");
 }
 
+/// Like [`run`] but returns the exported best trained model.
+fn run_export(strategy: Strategy, tag: &str) -> (usize, nautilus_repro::dnn::ModelGraph) {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    let mut candidates = spec.candidates().expect("workload builds");
+    candidates.truncate(3);
+    let mut session = ModelSelection::new(
+        candidates,
+        SystemConfig::tiny(),
+        strategy,
+        BackendKind::Real,
+        workdir(&format!("{tag}-{}", strategy.label().replace('/', "_"))),
+    )
+    .expect("session initializes");
+    let pool = spec.ner_config().generate(30);
+    let (train, valid) = pool.split_at(24);
+    session.fit(CycleInput::Real { train, valid }).expect("cycle runs");
+    session.export_best().expect("trained model exports")
+}
+
+#[test]
+fn export_best_is_bit_identical_across_strategies() {
+    // The fused/materialized plan trains step-for-step identically to solo
+    // training, so the *exported parameters* — mapped from the plan graph
+    // back onto the candidate topology — must match Current Practice's
+    // bit for bit, layer by layer.
+    let (ci_base, base) = run_export(Strategy::CurrentPractice, "exp");
+    let (ci_opt, opt) = run_export(Strategy::Nautilus, "exp");
+    assert_eq!(ci_base, ci_opt, "same best candidate");
+    assert_eq!(base.len(), opt.len());
+    for idx in 0..base.len() {
+        let id = nautilus_repro::dnn::NodeId(idx);
+        let (a, b) = (base.node(id), opt.node(id));
+        assert_eq!(a.params.len(), b.params.len(), "node {}", a.name);
+        for (pa, pb) in a.params.iter().zip(&b.params) {
+            assert_eq!(pa.data(), pb.data(), "params differ at node {}", a.name);
+        }
+    }
+}
+
 #[test]
 fn atr_nautilus_matches_current_practice() {
     let (base, _) = run(WorkloadKind::Atr, Strategy::CurrentPractice, 3, "atr");

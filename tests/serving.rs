@@ -1,0 +1,402 @@
+//! Serving-layer integration and property tests: HTTP parser robustness,
+//! batcher arrival-order bit-identity, checkpoint round-trip + hot swap
+//! under concurrent load, and bounded-queue overload behavior.
+
+use nautilus_repro::dnn::exec::{forward, BatchInputs};
+use nautilus_repro::dnn::graph::ParamInit;
+use nautilus_repro::dnn::{checkpoint, Activation, LayerKind, ModelGraph};
+use nautilus_repro::serve::http::{self, parse_request, Limits, ParseOutcome};
+use nautilus_repro::serve::{MicroBatcher, ModelRegistry, Server};
+use nautilus_repro::tensor::init::seeded_rng;
+use nautilus_repro::tensor::Tensor;
+use nautilus_repro::core::config::ServingConfig;
+use nautilus_util::prop::{prop_check, Gen};
+use nautilus_util::rng::{Rng, StdRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model(seed: u64, in_dim: usize, out_dim: usize) -> ModelGraph {
+    let mut rng = seeded_rng(seed);
+    let mut g = ModelGraph::new();
+    let inp = g.add_input("in", [in_dim]);
+    let h = g
+        .add_layer(
+            "hidden",
+            LayerKind::Dense { in_dim, out_dim: in_dim, act: Activation::Gelu },
+            &[inp],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    let o = g
+        .add_layer(
+            "head",
+            LayerKind::Dense { in_dim, out_dim, act: Activation::None },
+            &[h],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    g.add_output(o).unwrap();
+    g
+}
+
+fn solo_forward(g: &ModelGraph, record: &[f32]) -> Vec<f32> {
+    let inp = g.input_ids()[0];
+    let t = Tensor::from_vec(g.shape(inp).with_batch(1), record.to_vec()).unwrap();
+    let mut bi = BatchInputs::new();
+    bi.insert(inp, t);
+    forward(g, &bi, false).unwrap().output(g.outputs()[0]).data().to_vec()
+}
+
+// ---------------------------------------------------------------------
+// Property: the HTTP parser never panics and classifies any byte soup as
+// complete / incomplete / clean error — including requests split at
+// arbitrary read boundaries, corrupted bytes, and truncations.
+// ---------------------------------------------------------------------
+
+/// A raw byte buffer derived from a valid request by optional mangling.
+struct RequestSoup;
+
+impl Gen for RequestSoup {
+    type Value = Vec<u8>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<u8> {
+        let methods = ["GET", "POST", "PUT", ""];
+        let method = methods[rng.gen_range(0usize..methods.len())];
+        let path_len = rng.gen_range(0usize..20);
+        let path: String =
+            std::iter::once('/').chain((0..path_len).map(|_| 'a')).collect();
+        let body_len = rng.gen_range(0usize..64);
+        let body: Vec<u8> = (0..body_len).map(|_| rng.gen_range(0u8..=255)).collect();
+        let declared = if rng.gen_bool(0.8) {
+            body_len.to_string()
+        } else {
+            // Sometimes lie about (or corrupt) the length.
+            format!("{}x", rng.gen_range(0u32..100))
+        };
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {declared}\r\n\r\n"
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+
+        match rng.gen_range(0u32..4) {
+            0 => {} // valid (or valid-shaped) request
+            1 => {
+                // Truncate anywhere — simulates a half-arrived read.
+                let cut = rng.gen_range(0usize..raw.len().max(1));
+                raw.truncate(cut);
+            }
+            2 => {
+                // Corrupt one byte.
+                if !raw.is_empty() {
+                    let i = rng.gen_range(0usize..raw.len());
+                    raw[i] = rng.gen_range(0u8..=255);
+                }
+            }
+            _ => {
+                // Pure garbage.
+                let n = rng.gen_range(0usize..200);
+                raw = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
+            }
+        }
+        raw
+    }
+
+    fn shrink(&self, v: &Vec<u8>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        if !v.is_empty() {
+            out.push(v[..v.len() / 2].to_vec());
+            out.push(v[..v.len() - 1].to_vec());
+        }
+        out
+    }
+}
+
+#[test]
+fn http_parser_is_total_over_byte_soup() {
+    let limits = Limits { max_head_bytes: 256, max_body_bytes: 128 };
+    prop_check(0x5E27_0001, 300, &RequestSoup, |raw| {
+        // Whole-buffer parse must classify without panicking (prop_check
+        // converts panics into failures).
+        let whole = parse_request(raw, &limits);
+        // Incremental invariant: every prefix is either Incomplete, or
+        // settles on the same classification the full buffer reaches —
+        // feeding a request split across reads can't change the outcome.
+        for cut in 0..raw.len() {
+            match (parse_request(&raw[..cut], &limits), &whole) {
+                (ParseOutcome::Incomplete, _) => {}
+                (ParseOutcome::Error(e1), ParseOutcome::Error(e2)) if e1 == *e2 => {}
+                (ParseOutcome::Complete(_, used), _) if used <= cut => {}
+                (got, want) => {
+                    return Err(format!(
+                        "prefix {cut}/{} diverged: {got:?} vs whole {want:?}",
+                        raw.len()
+                    ))
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Property: any arrival interleaving through the micro-batcher yields
+// outputs bit-identical to serial single-request execution.
+// ---------------------------------------------------------------------
+
+/// `(max_batch, max_delay_us, submission delays in µs)` per case.
+struct Interleaving;
+
+impl Gen for Interleaving {
+    type Value = (usize, u64, Vec<u64>);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let max_batch = rng.gen_range(1usize..9);
+        let max_delay_us = [0u64, 200, 2_000, 8_000][rng.gen_range(0usize..4)];
+        let n = rng.gen_range(1usize..10);
+        let delays = (0..n).map(|_| rng.gen_range(0u64..3_000)).collect();
+        (max_batch, max_delay_us, delays)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (b, d, delays) = v.clone();
+        let mut out = Vec::new();
+        if delays.len() > 1 {
+            out.push((b, d, delays[..delays.len() / 2].to_vec()));
+        }
+        if d > 0 {
+            out.push((b, 0, delays.clone()));
+        }
+        out
+    }
+}
+
+#[test]
+fn batcher_outputs_match_serial_execution_for_any_interleaving() {
+    let g = model(0xBA7C, 16, 4);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(g.clone()).unwrap();
+    let g = Arc::new(g);
+
+    prop_check(0x5E27_0002, 24, &Interleaving, |case| {
+        let (max_batch, max_delay_us, delays) = case.clone();
+        let cfg = ServingConfig { max_batch, max_delay_us, ..ServingConfig::default() };
+        let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg));
+        let mut rng = seeded_rng(max_delay_us ^ delays.len() as u64);
+        let records: Vec<Vec<f32>> = delays
+            .iter()
+            .map(|_| (0..16).map(|_| rng.gen_f32() * 2.0 - 1.0).collect())
+            .collect();
+
+        let handles: Vec<_> = records
+            .iter()
+            .zip(&delays)
+            .map(|(r, &delay)| {
+                let b = Arc::clone(&batcher);
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_micros(delay));
+                    b.predict(r)
+                })
+            })
+            .collect();
+        for (h, r) in handles.into_iter().zip(&records) {
+            let out = h.join().unwrap().map_err(|e| e.to_string())?;
+            let want = solo_forward(&g, r);
+            if out.values != want {
+                return Err(format!(
+                    "batched (batch_size {}) != solo: {:?} vs {:?}",
+                    out.batch_size, out.values, want
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Integration: checkpoint round-trip + hot swap under concurrent
+// loopback requests — every response comes from exactly one published
+// version, never a torn mix.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hot_swap_under_concurrent_requests_never_tears() {
+    const VERSIONS: usize = 4;
+    const CLIENTS: usize = 4;
+    let dir = std::env::temp_dir().join(format!("nautilus-serve-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Round-trip every version through the on-disk checkpoint format.
+    let graphs: Vec<ModelGraph> = (0..VERSIONS as u64)
+        .map(|seed| {
+            let g = model(100 + seed, 12, 3);
+            let path = dir.join(format!("v{seed}.bin"));
+            checkpoint::save(&g, &path).unwrap();
+            let (loaded, _) = checkpoint::load(&path).unwrap();
+            loaded
+        })
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish_from_checkpoint(&dir.join("v0.bin")).unwrap();
+    let cfg = ServingConfig {
+        max_batch: 4,
+        max_delay_us: 500,
+        queue_limit: 64,
+        handler_threads: 3,
+        ..ServingConfig::default()
+    };
+    let server = Server::start(Arc::clone(&registry), &cfg, 0).unwrap();
+    let addr = server.addr().to_string();
+
+    // Per-version expected outputs for one fixed probe record.
+    let record: Vec<f32> = (0..12).map(|i| (i as f32) / 6.0 - 1.0).collect();
+    let expected: Vec<Vec<f32>> = graphs.iter().map(|g| solo_forward(g, &record)).collect();
+    let body = format!(
+        "{{\"inputs\": [{}]}}",
+        record.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+    );
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = body.clone();
+            let expected = expected.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, raw) = http::request(
+                        &addr,
+                        "POST",
+                        "/predict",
+                        Some(body.as_bytes()),
+                        Duration::from_secs(10),
+                    )
+                    .expect("request completes");
+                    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&raw));
+                    let out: nautilus_util::json::Json =
+                        nautilus_util::json::from_slice(&raw).unwrap();
+                    let version =
+                        out.get("model_version").and_then(|v| v.as_u64()).unwrap() as usize;
+                    let values: Vec<f32> = out
+                        .get("outputs")
+                        .and_then(|v| v.as_arr())
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.as_f64().unwrap() as f32)
+                        .collect();
+                    // The response must match the *complete* parameter set
+                    // of the version it claims — a torn swap would mix two.
+                    assert!(version >= 1 && version <= VERSIONS, "version {version}");
+                    assert_eq!(
+                        values,
+                        expected[version - 1],
+                        "outputs are not version {version}'s"
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    // Hot-swap through the remaining versions while clients hammer.
+    for seed in 1..VERSIONS as u64 {
+        std::thread::sleep(Duration::from_millis(30));
+        let v = registry.publish_from_checkpoint(&dir.join(format!("v{seed}.bin"))).unwrap();
+        assert_eq!(v, seed + 1);
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u32 = clients.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "clients never completed a request");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.predictions as u32, total);
+    assert_eq!(stats.server_errors, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Integration: overload. A burst larger than the bounded queue gets some
+// 503s with Retry-After, zero unanswered connections, and a clean drain.
+// ---------------------------------------------------------------------
+
+#[test]
+fn overload_sheds_cleanly_and_answers_every_connection() {
+    const BURST: usize = 24;
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(model(77, 8, 2)).unwrap();
+    // One handler + a wide-open batching door make each prediction slow
+    // (~40ms), so a burst must pile up on the 2-slot accept queue.
+    let cfg = ServingConfig {
+        max_batch: 64,
+        max_delay_us: 40_000,
+        queue_limit: 2,
+        handler_threads: 1,
+        request_timeout_ms: 5_000,
+        ..ServingConfig::default()
+    };
+    let server = Server::start(registry, &cfg, 0).unwrap();
+    let addr = server.addr().to_string();
+    let body = br#"{"inputs": [0, 1, 0, 1, 0, 1, 0, 1]}"#;
+
+    let handles: Vec<_> = (0..BURST)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                http::request(&addr, "POST", "/predict", Some(body), Duration::from_secs(20))
+                    .expect("every connection gets a response")
+            })
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for h in handles {
+        let (status, raw) = h.join().expect("client thread must not panic");
+        match status {
+            200 => ok += 1,
+            503 => {
+                shed += 1;
+                // Shed responses carry the back-off hint.
+                assert!(!raw.is_empty());
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok + shed, BURST, "every connection answered");
+    assert!(shed > 0, "burst of {BURST} over a 2-slot queue must shed");
+    assert!(ok > 0, "some requests must still succeed under overload");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.shed as usize, shed);
+    assert_eq!(stats.predictions as usize, ok);
+}
+
+// ---------------------------------------------------------------------
+// Integration: slow clients get 408 instead of pinning a handler.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stalled_client_gets_request_timeout() {
+    use std::io::{Read, Write};
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish(model(9, 8, 2)).unwrap();
+    let cfg = ServingConfig { request_timeout_ms: 150, ..ServingConfig::default() };
+    let server = Server::start(registry, &cfg, 0).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Send only a partial head, then stall.
+    stream.write_all(b"POST /predict HTTP/1.1\r\nContent-").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let (status, _) = http::parse_response(&raw).unwrap();
+    assert_eq!(status, 408);
+    server.shutdown();
+}

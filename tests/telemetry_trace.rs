@@ -98,7 +98,13 @@ fn traced_session_exports_valid_chrome_trace() {
             "C" => {
                 counters.insert(get_str(e, "name").expect("counter name").to_string());
                 let args = get(e, "args").expect("counter args");
-                assert!(get_int(args, "value").is_some(), "counter value is integral");
+                if get_int(args, "value").is_none() {
+                    // Histograms export as counter events carrying their
+                    // quantile series instead of a single value.
+                    for q in ["count", "p50", "p95", "p99", "max"] {
+                        assert!(get_int(args, q).is_some(), "histogram arg {q} is integral");
+                    }
+                }
             }
             "M" => {}
             other => panic!("unexpected event phase {other:?}"),
