@@ -598,23 +598,29 @@ fn transformer_forward(
     // Attention cores are independent per record; fan records out over the
     // pool. Each record's ctx block and attention matrices come back in
     // record order, so assembly (and results) are identical to the
-    // sequential loop at any thread count.
+    // sequential loop at any thread count. Each task's tensors span one
+    // record, so its dispatch-site work estimates are already per-record:
+    // pin the divisor to 1 so the kernel choice matches this record served
+    // alone even when the enclosing `forward_batch` scope installed a
+    // batch divisor.
     let record_attn = |bi: usize| -> Result<(Tensor, Vec<Tensor>), TensorError> {
-        let mut ctx_rec = Tensor::zeros([1, s, dim]);
-        let mut attn_rec = Vec::with_capacity(if keep_cache { heads } else { 0 });
-        for h in 0..heads {
-            let qh = slice_head(&q, bi, s, dim, h, dh);
-            let kh = slice_head(&k, bi, s, dim, h, dh);
-            let vh = slice_head(&v, bi, s, dim, h, dh);
-            let scores = scale(&matmul_tb(&qh, &kh)?, scale_f);
-            let attn = softmax_last(&scores);
-            let ctx_h = matmul(&attn, &vh)?;
-            add_head(&mut ctx_rec, &ctx_h, 0, s, dim, h, dh);
-            if keep_cache {
-                attn_rec.push(attn);
+        nautilus_tensor::ops::with_batch_invariant_dispatch(1, || {
+            let mut ctx_rec = Tensor::zeros([1, s, dim]);
+            let mut attn_rec = Vec::with_capacity(if keep_cache { heads } else { 0 });
+            for h in 0..heads {
+                let qh = slice_head(&q, bi, s, dim, h, dh);
+                let kh = slice_head(&k, bi, s, dim, h, dh);
+                let vh = slice_head(&v, bi, s, dim, h, dh);
+                let scores = scale(&matmul_tb(&qh, &kh)?, scale_f);
+                let attn = softmax_last(&scores);
+                let ctx_h = matmul(&attn, &vh)?;
+                add_head(&mut ctx_rec, &ctx_h, 0, s, dim, h, dh);
+                if keep_cache {
+                    attn_rec.push(attn);
+                }
             }
-        }
-        Ok((ctx_rec, attn_rec))
+            Ok((ctx_rec, attn_rec))
+        })
     };
     let per_record: Vec<Result<(Tensor, Vec<Tensor>), TensorError>> = pool::join_all(
         (0..b)
@@ -704,28 +710,32 @@ fn transformer_backward(
     // Attention cores, per record and head.
     // Per-record attention gradients fan out over the pool; each record's
     // dq/dk/dv blocks are assembled back in record order, bit-identical to
-    // the sequential loop.
+    // the sequential loop. As in the forward pass, each task spans one
+    // record, so its dispatch estimates are already per-record — pin the
+    // divisor to 1 regardless of any scope on the spawning thread.
     type RecGrads = (Tensor, Tensor, Tensor);
     let record_grads = |bi: usize| -> Result<RecGrads, TensorError> {
-        let mut dq_rec = Tensor::zeros([1, s, dim]);
-        let mut dk_rec = Tensor::zeros([1, s, dim]);
-        let mut dv_rec = Tensor::zeros([1, s, dim]);
-        for h in 0..heads {
-            let attn = &tc.attn[bi * heads + h];
-            let dctx_h = slice_head(&dctx, bi, s, dim, h, dh);
-            let qh = slice_head(&tc.q, bi, s, dim, h, dh);
-            let kh = slice_head(&tc.k, bi, s, dim, h, dh);
-            let vh = slice_head(&tc.v, bi, s, dim, h, dh);
-            let dattn = matmul_tb(&dctx_h, &vh)?;
-            let dvh = matmul_ta(attn, &dctx_h)?;
-            let dscores = softmax_last_backward(attn, &dattn)?;
-            let dqh = scale(&matmul(&dscores, &kh)?, scale_f);
-            let dkh = scale(&matmul_ta(&dscores, &qh)?, scale_f);
-            add_head(&mut dq_rec, &dqh, 0, s, dim, h, dh);
-            add_head(&mut dk_rec, &dkh, 0, s, dim, h, dh);
-            add_head(&mut dv_rec, &dvh, 0, s, dim, h, dh);
-        }
-        Ok((dq_rec, dk_rec, dv_rec))
+        nautilus_tensor::ops::with_batch_invariant_dispatch(1, || {
+            let mut dq_rec = Tensor::zeros([1, s, dim]);
+            let mut dk_rec = Tensor::zeros([1, s, dim]);
+            let mut dv_rec = Tensor::zeros([1, s, dim]);
+            for h in 0..heads {
+                let attn = &tc.attn[bi * heads + h];
+                let dctx_h = slice_head(&dctx, bi, s, dim, h, dh);
+                let qh = slice_head(&tc.q, bi, s, dim, h, dh);
+                let kh = slice_head(&tc.k, bi, s, dim, h, dh);
+                let vh = slice_head(&tc.v, bi, s, dim, h, dh);
+                let dattn = matmul_tb(&dctx_h, &vh)?;
+                let dvh = matmul_ta(attn, &dctx_h)?;
+                let dscores = softmax_last_backward(attn, &dattn)?;
+                let dqh = scale(&matmul(&dscores, &kh)?, scale_f);
+                let dkh = scale(&matmul_ta(&dscores, &qh)?, scale_f);
+                add_head(&mut dq_rec, &dqh, 0, s, dim, h, dh);
+                add_head(&mut dk_rec, &dkh, 0, s, dim, h, dh);
+                add_head(&mut dv_rec, &dvh, 0, s, dim, h, dh);
+            }
+            Ok((dq_rec, dk_rec, dv_rec))
+        })
     };
     let per_record: Vec<Result<RecGrads, TensorError>> = pool::join_all(
         (0..b)
@@ -1559,6 +1569,66 @@ mod tests {
                 &out.data()[i * per_record..(i + 1) * per_record],
                 solo.output(o).data(),
                 "record {i} diverged between batched and solo forward"
+            );
+        }
+    }
+
+    /// The transformer fans per-record attention tasks out over the shared
+    /// pool, so `forward_batch` bit-identity must hold even though those
+    /// tasks execute on different threads than the one holding the
+    /// batch-invariant dispatch scope. Sized so each record's attention
+    /// context matmul straddles `GEMM_THRESHOLD` — per-record work at or
+    /// above the threshold, work/batch below it — and so its shared dim
+    /// exceeds one GEMM `KC` panel, where the blocked and naive kernels
+    /// genuinely round differently. A divisor that leaks (or fails to
+    /// propagate) across pool threads flips the kernel for whichever
+    /// records land on the wrong thread and changes their bits.
+    #[test]
+    fn forward_batch_transformer_attention_straddles_gemm_threshold() {
+        use nautilus_tensor::ops::gemm::KC;
+        use nautilus_tensor::ops::matmul::GEMM_THRESHOLD;
+        let (seq, dim, heads, batch) = (288usize, 8usize, 1usize, 8usize);
+        let ctx_work = seq * seq * (dim / heads);
+        assert!(ctx_work >= GEMM_THRESHOLD, "per-record attention work must cross");
+        assert!(ctx_work / batch < GEMM_THRESHOLD, "work/batch must stay below");
+        assert!(seq > KC, "shared dim must exceed one KC panel so kernels differ");
+
+        let mut rng = seeded_rng(23);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("seq", [seq, dim]);
+        let t = g
+            .add_layer(
+                "block",
+                LayerKind::TransformerBlock { dim, heads, ff_dim: 16 },
+                &[inp],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(t).unwrap();
+
+        let records: Vec<Tensor> =
+            (0..batch).map(|_| randn([1, seq, dim], 1.0, &mut rng)).collect();
+        let mut stacked = Vec::new();
+        for r in &records {
+            stacked.extend_from_slice(r.data());
+        }
+        let stacked = Tensor::from_vec([batch, seq, dim], stacked).unwrap();
+
+        let mut bi = BatchInputs::new();
+        bi.insert(inp, stacked);
+        let batched = forward_batch(&g, &bi, batch).unwrap();
+        let out = batched.output(t);
+        let per_record = out.len() / batch;
+
+        for (i, r) in records.iter().enumerate() {
+            let mut solo_in = BatchInputs::new();
+            solo_in.insert(inp, r.clone());
+            let solo = forward(&g, &solo_in, false).unwrap();
+            assert_eq!(
+                &out.data()[i * per_record..(i + 1) * per_record],
+                solo.output(t).data(),
+                "record {i} diverged between batched and solo transformer forward"
             );
         }
     }

@@ -6,7 +6,10 @@
 //! `max_delay_us` for stragglers once the first record arrives — stacks
 //! them into one batched tensor, runs
 //! [`forward_batch`](nautilus_dnn::exec::forward_batch), and scatters the
-//! output rows back to the callers. `forward_batch` pins kernel dispatch
+//! output rows back to the callers. Each request is pinned at submit time
+//! to the model it was shape-validated against, so a hot swap never tears
+//! an in-flight request: a batch that spans a swap is grouped by model
+//! version, one forward per group. `forward_batch` pins kernel dispatch
 //! to per-record work, so a record's result is **bit-identical** whether
 //! it rode in a batch of 1 or of `max_batch` — batching is purely a
 //! throughput optimization, never a numerics change.
@@ -65,6 +68,12 @@ impl std::fmt::Display for PredictError {
 
 struct Pending {
     record: Vec<f32>,
+    /// The artifact this record was shape-validated against in
+    /// [`MicroBatcher::predict`]. The batch runs against this exact model:
+    /// a hot swap between validation and execution must neither fail the
+    /// request (new shape ≠ validated shape) nor answer it with a model
+    /// it was never validated for.
+    artifact: Arc<ModelArtifact>,
     reply: mpsc::Sender<Result<PredictOutput, PredictError>>,
 }
 
@@ -107,7 +116,9 @@ impl MicroBatcher {
 
     /// Submits one record and blocks until its prediction (or failure)
     /// comes back. Shape validation happens up front against the current
-    /// model so bad requests never occupy batch slots.
+    /// model so bad requests never occupy batch slots; the validated
+    /// artifact is pinned into the queue entry so a concurrent hot swap
+    /// cannot change which model answers.
     pub fn predict(&self, record: Vec<f32>) -> Result<PredictOutput, PredictError> {
         let artifact = self.inner.registry.current().ok_or(PredictError::NoModel)?;
         if record.len() != artifact.record_elems {
@@ -122,7 +133,7 @@ impl MicroBatcher {
             if st.shutdown {
                 return Err(PredictError::Shutdown);
             }
-            st.queue.push(Pending { record, reply: tx });
+            st.queue.push(Pending { record, artifact, reply: tx });
         }
         self.inner.cv.notify_all();
         rx.recv().unwrap_or(Err(PredictError::Shutdown))
@@ -175,36 +186,44 @@ fn batcher_loop(inner: &Inner) {
         let n = st.queue.len().min(inner.max_batch);
         let batch: Vec<Pending> = st.queue.drain(..n).collect();
         drop(st);
-        run_batch(inner, batch);
+        run_batch(batch);
     }
 }
 
-fn run_batch(inner: &Inner, batch: Vec<Pending>) {
-    let n = batch.len();
-    let Some(artifact) = inner.registry.current() else {
-        for p in batch {
-            let _ = p.reply.send(Err(PredictError::NoModel));
+fn run_batch(batch: Vec<Pending>) {
+    // Each request runs against the artifact it was shape-validated with.
+    // A hot swap while requests sat in the queue can leave the batch
+    // spanning model versions; stacking those into one tensor would mix
+    // shapes (and answer with a version the request never saw), so group
+    // by pinned artifact and run one forward per group, in arrival order.
+    let mut groups: Vec<(Arc<ModelArtifact>, Vec<Pending>)> = Vec::new();
+    for p in batch {
+        match groups.iter_mut().find(|(a, _)| a.version == p.artifact.version) {
+            Some((_, g)) => g.push(p),
+            None => groups.push((Arc::clone(&p.artifact), vec![p])),
         }
-        return;
-    };
-    let _sp = telemetry::span("serve", "serve.batch");
-    let t0 = Instant::now();
-    match forward_rows(&artifact, &batch) {
-        Ok(rows) => {
-            telemetry::SERVE_BATCHES.add(1);
-            telemetry::SERVE_BATCH_RECORDS.add(n as u64);
-            telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
-            for (p, values) in batch.into_iter().zip(rows) {
-                let _ = p.reply.send(Ok(PredictOutput {
-                    version: artifact.version,
-                    batch_size: n,
-                    values,
-                }));
+    }
+    for (artifact, group) in groups {
+        let n = group.len();
+        let _sp = telemetry::span("serve", "serve.batch");
+        let t0 = Instant::now();
+        match forward_rows(&artifact, &group) {
+            Ok(rows) => {
+                telemetry::SERVE_BATCHES.add(1);
+                telemetry::SERVE_BATCH_RECORDS.add(n as u64);
+                telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
+                for (p, values) in group.into_iter().zip(rows) {
+                    let _ = p.reply.send(Ok(PredictOutput {
+                        version: artifact.version,
+                        batch_size: n,
+                        values,
+                    }));
+                }
             }
-        }
-        Err(e) => {
-            for p in batch {
-                let _ = p.reply.send(Err(e.clone()));
+            Err(e) => {
+                for p in group {
+                    let _ = p.reply.send(Err(e.clone()));
+                }
             }
         }
     }
@@ -332,6 +351,42 @@ mod tests {
         ));
         let out = batcher.predict(vec![0.5; 6]).unwrap();
         assert_eq!(out.values.len(), 2);
+    }
+
+    /// A hot swap that changes the input shape while requests sit in the
+    /// queue: each request must be answered by the exact model it was
+    /// validated against, even when both versions share one batch window.
+    #[test]
+    fn hot_swap_mid_batch_answers_each_request_with_its_pinned_model() {
+        let g1 = model(31, 6, 2);
+        let g2 = model(32, 9, 3);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish(g1.clone()).unwrap();
+        // A long door so both requests land in the same batch window.
+        let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(8, 300_000)));
+
+        let r1 = vec![0.25f32; 6];
+        let b1 = Arc::clone(&batcher);
+        let rec1 = r1.clone();
+        let h1 = std::thread::spawn(move || b1.predict(rec1));
+        // Wait until the first request is queued (validated against v1),
+        // then swap to a model with a different input shape and submit a
+        // second request validated against v2.
+        while batcher.inner.state.lock().unwrap().queue.len() < 1 {
+            std::thread::yield_now();
+        }
+        registry.publish(g2.clone()).unwrap();
+        let r2 = vec![-0.5f32; 9];
+        let b2 = Arc::clone(&batcher);
+        let rec2 = r2.clone();
+        let h2 = std::thread::spawn(move || b2.predict(rec2));
+
+        let o1 = h1.join().unwrap().expect("v1 request must survive the swap");
+        let o2 = h2.join().unwrap().expect("v2 request must succeed");
+        assert_eq!(o1.version, 1);
+        assert_eq!(o1.values, solo_forward(&g1, &r1));
+        assert_eq!(o2.version, 2);
+        assert_eq!(o2.values, solo_forward(&g2, &r2));
     }
 
     #[test]

@@ -90,15 +90,38 @@ fn is_token_byte(b: u8) -> bool {
 /// Parses one request from `buf`. Incremental and restartable: call again
 /// with the same buffer plus newly read bytes after `Incomplete`.
 pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
-    // Find the end of the head without scanning past the limit.
-    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    parse_request_resumable(buf, limits, &mut 0)
+}
+
+/// [`parse_request`] with a persistent head-scan offset. `scanned` must
+/// start at 0 for a fresh buffer and be carried unchanged across
+/// `Incomplete` retries on the same (growing) buffer: bytes already known
+/// to hold no `\r\n\r\n` are never rescanned, so a read loop costs O(bytes)
+/// total against a client that trickles the head byte by byte, instead of
+/// O(bytes²). The head-size limit is enforced as soon as an unterminated
+/// head outgrows it.
+pub fn parse_request_resumable(
+    buf: &[u8],
+    limits: &Limits,
+    scanned: &mut usize,
+) -> ParseOutcome {
+    // Resume the terminator scan 3 bytes early: a `\r\n\r\n` may straddle
+    // the previously scanned prefix and the new bytes.
+    let start = scanned.saturating_sub(3).min(buf.len());
+    let head_end = buf[start..].windows(4).position(|w| w == b"\r\n\r\n").map(|p| start + p);
     let Some(head_len) = head_end else {
+        *scanned = buf.len();
         return if buf.len() > limits.max_head_bytes {
             ParseOutcome::Error(ParseError::HeadTooLarge)
         } else {
             ParseOutcome::Incomplete
         };
     };
+    // Park the scan position at the terminator (never moving backwards —
+    // an earlier partial scan may sit up to 3 bytes past it, which the
+    // resume back-off covers) so body-completeness retries re-find it in
+    // constant time.
+    *scanned = (*scanned).max(head_len);
     if head_len > limits.max_head_bytes {
         return ParseOutcome::Error(ParseError::HeadTooLarge);
     }
@@ -124,7 +147,7 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
     }
 
     let mut headers = Vec::new();
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return ParseOutcome::Error(ParseError::Malformed);
@@ -135,16 +158,24 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
         let name = name.to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
+            // RFC 9112 §6.3: conflicting or repeated Content-Length must
+            // be rejected, not resolved — a second header field here, or a
+            // comma-separated list (which fails the integer parse below),
+            // is malformed rather than last-one-wins.
+            if content_length.is_some() {
+                return ParseOutcome::Error(ParseError::Malformed);
+            }
             let Ok(n) = value.parse::<usize>() else {
                 return ParseOutcome::Error(ParseError::Malformed);
             };
             if n > limits.max_body_bytes {
                 return ParseOutcome::Error(ParseError::BodyTooLarge);
             }
-            content_length = n;
+            content_length = Some(n);
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
 
     let body_start = head_len + 4;
     let total = body_start + content_length;
@@ -177,8 +208,11 @@ pub enum ReadError {
 pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
+    // Carried across retries so slow (trickling) clients cost O(bytes)
+    // of head scanning per connection, not O(bytes²).
+    let mut scanned = 0usize;
     loop {
-        match parse_request(&buf, limits) {
+        match parse_request_resumable(&buf, limits, &mut scanned) {
             ParseOutcome::Complete(req, _) => return Ok(req),
             ParseOutcome::Error(e) => return Err(ReadError::Parse(e)),
             ParseOutcome::Incomplete => {}
@@ -369,6 +403,66 @@ mod tests {
         assert!(matches!(parse(no_colon), ParseOutcome::Error(ParseError::Malformed)));
         let bad_len = b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n";
         assert!(matches!(parse(bad_len), ParseOutcome::Error(ParseError::Malformed)));
+    }
+
+    /// RFC 9112 §6.3: repeated or conflicting Content-Length is rejected
+    /// outright — never resolved last-one-wins.
+    #[test]
+    fn rejects_duplicate_or_listed_content_length() {
+        for raw in [
+            // Two agreeing fields are still malformed.
+            &b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd"[..],
+            // Two conflicting fields.
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd",
+            // A comma-separated list inside one field.
+            b"POST / HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\nabcd",
+        ] {
+            assert!(
+                matches!(parse(raw), ParseOutcome::Error(ParseError::Malformed)),
+                "should reject {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    /// Feeding the parser byte by byte with a persistent scan offset must
+    /// reach the same result as one-shot parsing, without rescanning the
+    /// prefix (the offset only moves forward).
+    #[test]
+    fn resumable_parse_handles_trickled_delivery() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let limits = Limits::default();
+        let mut scanned = 0usize;
+        let mut prev_scanned = 0usize;
+        for n in 1..raw.len() {
+            match parse_request_resumable(&raw[..n], &limits, &mut scanned) {
+                ParseOutcome::Incomplete => {}
+                other => panic!("unexpected outcome at {n} bytes: {other:?}"),
+            }
+            assert!(scanned >= prev_scanned, "scan offset moved backwards at {n}");
+            prev_scanned = scanned;
+        }
+        match parse_request_resumable(raw, &limits, &mut scanned) {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.body, b"abcd");
+                assert_eq!(used, raw.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+        // The head terminator straddling a read boundary is found even
+        // though the scan resumed mid-sequence.
+        let head_only = b"GET / HTTP/1.1\r\n\r\n";
+        let mut scanned = 0usize;
+        let split = head_only.len() - 2; // "\r\n\r" delivered, final "\n" pending
+        assert!(matches!(
+            parse_request_resumable(&head_only[..split], &Limits::default(), &mut scanned),
+            ParseOutcome::Incomplete
+        ));
+        assert!(matches!(
+            parse_request_resumable(head_only, &Limits::default(), &mut scanned),
+            ParseOutcome::Complete(..)
+        ));
     }
 
     #[test]

@@ -10,40 +10,43 @@
 //!
 //! Online inference micro-batches requests and promises that batched
 //! outputs are **bit-identical** to single-request outputs. To keep that
-//! promise, [`with_batch_invariant_dispatch`] installs a thread-local
-//! divisor for the duration of a closure: every dispatch site divides its
-//! work estimate by the batch size before comparing against its
-//! threshold, making the kernel choice a function of *per-record* work
-//! only. Each record's rows are then computed by the same kernel whether
-//! it runs alone or stacked with others (both the naive loops and the
-//! blocked GEMM compute each output row independently of the row count).
+//! promise, [`with_batch_invariant_dispatch`] installs a divisor for the
+//! duration of a closure: every dispatch site divides its work estimate by
+//! the batch size before comparing against its threshold, making the
+//! kernel choice a function of *per-record* work only. Each record's rows
+//! are then computed by the same kernel whether it runs alone or stacked
+//! with others (both the naive loops and the blocked GEMM compute each
+//! output row independently of the row count).
 //!
-//! The divisor is thread-local and the decision happens at the dispatch
-//! site on the calling thread — pool workers spawned *inside* a kernel
-//! inherit the already-made decision, so the shared pool needs no
-//! propagation.
+//! The divisor describes the logical computation, not the thread, so it
+//! must follow work onto the shared pool. The slot itself lives in
+//! [`nautilus_util::pool`], which captures the spawner's divisor into
+//! every job and reinstalls it around execution: jobs spawned inside a
+//! batch-invariant scope keep the scope's divisor on any worker, and a
+//! scope-holding thread that executes unrelated jobs while help-first
+//! waiting does not leak its divisor into them. Code that fans out
+//! *per-record* tasks (each task's tensors span one record, so its
+//! dispatch-site estimates are already per-record) re-enters
+//! [`with_batch_invariant_dispatch`] with a batch of 1 inside each task.
 
-use std::cell::Cell;
-
-thread_local! {
-    static DISPATCH_BATCH: Cell<usize> = const { Cell::new(1) };
-}
+use nautilus_util::pool;
 
 /// Runs `f` with kernel-dispatch work estimates divided by `batch`
 /// (clamped to at least 1), restoring the previous divisor afterwards.
+/// The divisor propagates into pool jobs spawned inside `f` (captured at
+/// spawn time; see the module docs).
 ///
 /// Used by batched inference so the naive-vs-blocked kernel choice — and
 /// therefore the bitwise result of each record — does not depend on how
 /// many records are stacked into the batch.
 pub fn with_batch_invariant_dispatch<R>(batch: usize, f: impl FnOnce() -> R) -> R {
-    let prev = DISPATCH_BATCH.with(|c| c.replace(batch.max(1)));
     struct Restore(usize);
     impl Drop for Restore {
         fn drop(&mut self) {
-            DISPATCH_BATCH.with(|c| c.set(self.0));
+            pool::set_dispatch_divisor(self.0);
         }
     }
-    let _restore = Restore(prev);
+    let _restore = Restore(pool::set_dispatch_divisor(batch.max(1)));
     f()
 }
 
@@ -52,7 +55,7 @@ pub fn with_batch_invariant_dispatch<R>(batch: usize, f: impl FnOnce() -> R) -> 
 /// (1 outside [`with_batch_invariant_dispatch`], i.e. a no-op).
 #[inline]
 pub(crate) fn effective_work(total_work: usize) -> usize {
-    let d = DISPATCH_BATCH.with(|c| c.get());
+    let d = pool::dispatch_divisor();
     if d == 1 {
         total_work
     } else {
@@ -80,5 +83,38 @@ mod tests {
     fn zero_batch_clamps_to_one() {
         let w = with_batch_invariant_dispatch(0, || effective_work(42));
         assert_eq!(w, 42);
+    }
+
+    #[test]
+    fn divisor_follows_work_onto_the_pool() {
+        // Pool tasks spawned inside a batch-invariant scope must see the
+        // scope's divisor no matter which thread executes them; a nested
+        // batch-of-1 scope inside a task pins it back to per-record
+        // dispatch (the per-record fan-out pattern in dnn::exec).
+        let seen = with_batch_invariant_dispatch(8, || {
+            pool::join_all(
+                (0..32usize)
+                    .map(|i| {
+                        Box::new(move || {
+                            let mut acc = i;
+                            for _ in 0..2_000 {
+                                acc = std::hint::black_box(acc + 1) - 1;
+                            }
+                            let _ = acc;
+                            let scoped = effective_work(1000);
+                            let pinned =
+                                with_batch_invariant_dispatch(1, || effective_work(1000));
+                            (scoped, pinned)
+                        })
+                            as Box<dyn FnOnce() -> (usize, usize) + Send>
+                    })
+                    .collect(),
+            )
+        });
+        for (i, (scoped, pinned)) in seen.into_iter().enumerate() {
+            assert_eq!(scoped, 125, "task {i} lost the scope divisor");
+            assert_eq!(pinned, 1000, "task {i} could not pin back to per-record");
+        }
+        assert_eq!(effective_work(1000), 1000, "divisor restored on exit");
     }
 }
