@@ -107,6 +107,9 @@ pub fn choose_materialization_grouped(
     grouped: bool,
 ) -> MatOptResult {
     let _sp = telemetry::span("planner", "planner.choose_materialization");
+    // Gauge: the disk constant this MILP run actually used (static default
+    // or the measured/blended value from I/O calibration).
+    telemetry::PLANNER_DISK_BPS.set(cfg.planner.disk_bytes_per_sec as u64);
     let groups = if grouped {
         multi.interchangeable_groups()
     } else {

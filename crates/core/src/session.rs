@@ -27,7 +27,7 @@ use nautilus_data::Dataset;
 use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::graph::GraphError;
 use nautilus_dnn::{ModelGraph, NodeId};
-use nautilus_store::{SharedIoStats, StoreError, TensorStore};
+use nautilus_store::{IoCalibration, IoPolicy, SharedIoStats, StoreError, TensorStore};
 use nautilus_util::telemetry;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -161,6 +161,10 @@ pub struct ModelSelection {
     valid_all: Dataset,
     n_train: usize,
     n_valid: usize,
+    /// Measured I/O bandwidths from the startup micro-probe (real backend
+    /// with `config.io.calibrate`); `None` means the planner keeps its
+    /// static disk constant.
+    calibration: Option<IoCalibration>,
     best_so_far: Option<(usize, f32)>,
     /// Best candidate's *trained* graph (real backend only): the plan
     /// graph's post-training parameters mapped back onto the candidate's
@@ -173,7 +177,7 @@ impl ModelSelection {
     /// the chosen strategy, and prepares training units.
     pub fn new(
         candidates: Vec<CandidateModel>,
-        config: SystemConfig,
+        mut config: SystemConfig,
         strategy: Strategy,
         backend_kind: BackendKind,
         workdir: impl Into<PathBuf>,
@@ -231,6 +235,25 @@ impl ModelSelection {
         let profiling_secs = end_phase(&mut backend, t0, c0);
         drop(sp);
 
+        // Measured I/O calibration (real backend, opt-in): replace the
+        // planner's static disk constant with the machine's actual
+        // sequential read bandwidth before the MILP runs. At startup the
+        // page cache is cold for feature reads, so the blend point is the
+        // raw disk number; re-plans blend in the observed hit curve.
+        let calibration = if backend.is_real() && config.io.calibrate {
+            match nautilus_store::calibrate::probe(&workdir, config.io.calibrate_probe_bytes) {
+                Ok(cal) => {
+                    config.planner.disk_bytes_per_sec = cal.seq_read_bytes_per_sec;
+                    Some(cal)
+                }
+                // A failed probe (exotic filesystem, no space) is not
+                // fatal: keep the static constant.
+                Err(_) => None,
+            }
+        } else {
+            None
+        };
+
         // Phase 3: the optimizer (MILP + fusion).
         let sp = telemetry::span("core", "init.optimize");
         let t0 = Instant::now();
@@ -264,6 +287,12 @@ impl ModelSelection {
         // The real store models the OS page cache at the size the hardware
         // profile declares (the simulated backend has its own model).
         store.set_page_cache_bytes(config.hardware.page_cache_bytes);
+        store.set_io_policy(IoPolicy {
+            prefetch: config.io.prefetch,
+            io_threads: config.io.io_threads,
+            write_behind: config.io.write_behind,
+            read_delay_ms: config.io.read_delay_ms,
+        });
         // MAT-ALL is the paper's unbounded baseline: it materializes every
         // materializable layer "irrespective of whether it is efficient"
         // (§5.1), so it is exempt from the Bdisk enforcement that guards
@@ -315,6 +344,7 @@ impl ModelSelection {
             valid_all: Dataset::empty(&in_shape, &[]),
             n_train: 0,
             n_valid: 0,
+            calibration,
             best_so_far: None,
             best_trained: None,
         })
@@ -420,6 +450,11 @@ impl ModelSelection {
         self.max_records
     }
 
+    /// Measured I/O bandwidths from the startup probe, if calibration ran.
+    pub fn calibration(&self) -> Option<&IoCalibration> {
+        self.calibration.as_ref()
+    }
+
     /// Cumulative run statistics.
     pub fn stats(&self) -> RunStats {
         RunStats::from_parts(
@@ -486,6 +521,14 @@ impl ModelSelection {
                 self.max_records *= 2;
             }
             let t0 = Instant::now();
+            // Re-plans see a warm page cache: blend the measured disk
+            // bandwidth with DRAM speed at the hit rate the store has
+            // actually observed so far.
+            if let Some(cal) = &self.calibration {
+                let hit = self.materializer.store.cache_stats().hit_fraction();
+                self.config.planner.disk_bytes_per_sec =
+                    cal.effective_read_bandwidth(hit, self.config.hardware.dram_bytes_per_sec);
+            }
             let (v, milp) = Self::choose_v(
                 &self.multi,
                 &self.candidates,

@@ -1,0 +1,176 @@
+//! Measured I/O calibration for the planner's cost constants.
+//!
+//! MAT-OPT's `cload` term converts bytes into "missed compute" using a
+//! disk-throughput constant that defaults to the paper's static 500 MB/s.
+//! Real machines differ by an order of magnitude in either direction, so a
+//! sub-second micro-probe measures what *this* machine actually delivers:
+//! sequential write, sequential read, and strided ("random") read
+//! bandwidth over a scratch file in the store's own directory.
+//!
+//! Reads go through the OS page cache on purpose — that is exactly what
+//! training epoch scans experience (the paper relies on the cache for
+//! repeated reads, §3). The probe therefore measures the *effective*
+//! bandwidth of a recently written file, and
+//! [`IoCalibration::effective_read_bandwidth`] re-blends it with the
+//! observed page-cache hit curve (from [`crate::pagecache::CacheStats`])
+//! as the session learns how much of its working set stays resident.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Block size for probe transfers.
+const BLOCK: usize = 256 << 10;
+
+/// Measured I/O bandwidths, bytes/second.
+#[derive(Debug, Clone, Copy)]
+pub struct IoCalibration {
+    /// Sequential read bandwidth of a freshly written file.
+    pub seq_read_bytes_per_sec: f64,
+    /// Strided (seek-per-block) read bandwidth.
+    pub rand_read_bytes_per_sec: f64,
+    /// Buffered sequential write bandwidth.
+    pub write_bytes_per_sec: f64,
+    /// Bytes transferred per measurement.
+    pub probe_bytes: u64,
+}
+
+impl IoCalibration {
+    /// Effective read bandwidth given the observed page-cache hit
+    /// fraction `h`: the harmonic blend `1 / (h/dram + (1-h)/disk)` —
+    /// h of the bytes stream at DRAM speed, the rest at the measured
+    /// sequential read speed.
+    pub fn effective_read_bandwidth(&self, hit_fraction: f64, dram_bytes_per_sec: f64) -> f64 {
+        let h = if hit_fraction.is_finite() { hit_fraction.clamp(0.0, 1.0) } else { 0.0 };
+        let disk = self.seq_read_bytes_per_sec.max(1.0);
+        // The cache cannot be slower than re-reading the file.
+        let dram = dram_bytes_per_sec.max(disk);
+        1.0 / (h / dram + (1.0 - h) / disk)
+    }
+}
+
+fn bandwidth(bytes: u64, secs: f64) -> f64 {
+    bytes as f64 / secs.max(1e-9)
+}
+
+/// Measures this machine's I/O bandwidths with a scratch file under
+/// `dir` (created if needed, removed afterwards). `probe_bytes` is
+/// rounded up to at least four blocks (1 MiB).
+pub fn probe(dir: &Path, probe_bytes: u64) -> std::io::Result<IoCalibration> {
+    let _sp = nautilus_util::telemetry::span("store", "store.calibrate");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(".io-probe.bin");
+    let blocks = (probe_bytes as usize).div_ceil(BLOCK).max(4);
+    let total = (blocks * BLOCK) as u64;
+    let block: Vec<u8> = (0..BLOCK).map(|i| (i % 251) as u8).collect();
+
+    let result = (|| {
+        let t0 = Instant::now();
+        {
+            let mut f = std::fs::File::create(&path)?;
+            for _ in 0..blocks {
+                f.write_all(&block)?;
+            }
+            f.flush()?;
+        }
+        let write_secs = t0.elapsed().as_secs_f64();
+
+        let mut buf = vec![0u8; BLOCK];
+        let t0 = Instant::now();
+        {
+            let mut f = std::fs::File::open(&path)?;
+            for _ in 0..blocks {
+                f.read_exact(&mut buf)?;
+            }
+        }
+        let seq_secs = t0.elapsed().as_secs_f64();
+
+        // Strided pass: visit every block once in a scrambled order via a
+        // full-cycle affine walk (stride coprime with the block count).
+        let stride = (blocks / 2) | 1;
+        let stride = if gcd(stride, blocks) == 1 { stride } else { 1 };
+        let t0 = Instant::now();
+        {
+            let mut f = std::fs::File::open(&path)?;
+            let mut idx = 0usize;
+            for _ in 0..blocks {
+                f.seek(SeekFrom::Start((idx * BLOCK) as u64))?;
+                f.read_exact(&mut buf)?;
+                idx = (idx + stride) % blocks;
+            }
+        }
+        let rand_secs = t0.elapsed().as_secs_f64();
+
+        Ok(IoCalibration {
+            seq_read_bytes_per_sec: bandwidth(total, seq_secs),
+            rand_read_bytes_per_sec: bandwidth(total, rand_secs),
+            write_bytes_per_sec: bandwidth(total, write_secs),
+            probe_bytes: total,
+        })
+    })();
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_measures_positive_bandwidths_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!(
+            "nautilus-calibrate-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cal = probe(&dir, 512 << 10).unwrap();
+        assert!(cal.seq_read_bytes_per_sec > 0.0 && cal.seq_read_bytes_per_sec.is_finite());
+        assert!(cal.rand_read_bytes_per_sec > 0.0 && cal.rand_read_bytes_per_sec.is_finite());
+        assert!(cal.write_bytes_per_sec > 0.0 && cal.write_bytes_per_sec.is_finite());
+        assert_eq!(cal.probe_bytes, 4 * (256 << 10)); // rounded up to 4 blocks
+        assert!(!dir.join(".io-probe.bin").exists(), "probe file removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn effective_bandwidth_blends_between_disk_and_dram() {
+        let cal = IoCalibration {
+            seq_read_bytes_per_sec: 1e9,
+            rand_read_bytes_per_sec: 5e8,
+            write_bytes_per_sec: 8e8,
+            probe_bytes: 1 << 20,
+        };
+        let dram = 8e9;
+        let all_miss = cal.effective_read_bandwidth(0.0, dram);
+        let half = cal.effective_read_bandwidth(0.5, dram);
+        let all_hit = cal.effective_read_bandwidth(1.0, dram);
+        assert!((all_miss - 1e9).abs() < 1.0);
+        assert!((all_hit - 8e9).abs() < 1.0);
+        assert!(all_miss < half && half < all_hit, "monotonic in the hit fraction");
+        // Out-of-range inputs clamp instead of exploding.
+        assert!(cal.effective_read_bandwidth(f64::NAN, dram).is_finite());
+        assert!(cal.effective_read_bandwidth(7.0, dram).is_finite());
+    }
+
+    #[test]
+    fn dram_floor_prevents_cache_slower_than_disk() {
+        let cal = IoCalibration {
+            seq_read_bytes_per_sec: 4e9,
+            rand_read_bytes_per_sec: 4e9,
+            write_bytes_per_sec: 4e9,
+            probe_bytes: 1 << 20,
+        };
+        // Configured DRAM below measured disk: hits must not *reduce* the
+        // effective bandwidth.
+        let b = cal.effective_read_bandwidth(0.9, 1e9);
+        assert!(b >= 4e9 - 1.0);
+    }
+}

@@ -22,6 +22,31 @@ pub struct PageCacheModel {
     clock: u64,
     /// key -> (bytes, last-touch tick)
     entries: HashMap<String, (u64, u64)>,
+    stats: CacheStats,
+}
+
+/// Cumulative hit/miss byte totals over the model's lifetime. Unlike the
+/// per-read [`ReadOutcome`], these survive [`PageCacheModel::resize`] —
+/// they are the observed hit curve the I/O calibration blends into an
+/// effective read bandwidth for the planner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total bytes served from cache since the model was created.
+    pub hit_bytes: u64,
+    /// Total bytes that had to come from disk since the model was created.
+    pub miss_bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of read bytes served from cache (0 when nothing was read).
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.hit_bytes + self.miss_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / total as f64
+        }
+    }
 }
 
 /// Outcome of a modeled read.
@@ -36,7 +61,13 @@ pub struct ReadOutcome {
 impl PageCacheModel {
     /// A cache with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        PageCacheModel { capacity, used: 0, clock: 0, entries: HashMap::new() }
+        PageCacheModel {
+            capacity,
+            used: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Capacity in bytes.
@@ -47,6 +78,19 @@ impl PageCacheModel {
     /// Bytes currently cached.
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// Cumulative hit/miss byte totals.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Changes the capacity *in place*: warm entries and the cumulative
+    /// hit/miss accounting survive. Shrinking evicts coldest-first until
+    /// the surviving entries fit.
+    pub fn resize(&mut self, capacity: u64) {
+        self.capacity = capacity;
+        self.evict_for(0);
     }
 
     fn touch(&mut self, key: &str) {
@@ -85,7 +129,7 @@ impl PageCacheModel {
 
     /// Models reading `bytes` of object `key`.
     pub fn read(&mut self, key: &str, bytes: u64) -> ReadOutcome {
-        match self.entries.get(key).copied() {
+        let outcome = match self.entries.get(key).copied() {
             Some((cached, _)) if cached >= bytes => {
                 self.touch(key);
                 ReadOutcome { hit_bytes: bytes, miss_bytes: 0 }
@@ -100,7 +144,10 @@ impl PageCacheModel {
                 self.admit(key, bytes);
                 ReadOutcome { hit_bytes: 0, miss_bytes: bytes }
             }
-        }
+        };
+        self.stats.hit_bytes += outcome.hit_bytes;
+        self.stats.miss_bytes += outcome.miss_bytes;
+        outcome
     }
 
     /// Models writing `bytes` of object `key` (write-through + admit).
@@ -157,6 +204,50 @@ mod tests {
         let r = c.read("a", 500);
         assert_eq!(r, ReadOutcome { hit_bytes: 300, miss_bytes: 200 });
         assert_eq!(c.read("a", 500).hit_bytes, 500);
+    }
+
+    #[test]
+    fn resize_preserves_warm_entries_and_stats() {
+        let mut c = PageCacheModel::new(1000);
+        c.read("a", 300);
+        c.read("b", 300);
+        c.read("a", 300);
+        let before = c.stats();
+        assert_eq!(before, CacheStats { hit_bytes: 300, miss_bytes: 600 });
+        // Growing keeps everything warm.
+        c.resize(2000);
+        assert_eq!(c.capacity(), 2000);
+        assert_eq!(c.used(), 600);
+        assert_eq!(c.read("a", 300).hit_bytes, 300);
+        assert_eq!(c.read("b", 300).hit_bytes, 300);
+        assert_eq!(c.stats(), CacheStats { hit_bytes: 900, miss_bytes: 600 });
+        // Shrinking evicts coldest-first and keeps cumulative accounting.
+        c.read("a", 300); // a is now the warmest
+        c.resize(400);
+        assert_eq!(c.used(), 300);
+        assert_eq!(c.read("a", 300).hit_bytes, 300, "warm survivor still hits");
+        assert_eq!(c.read("b", 300).miss_bytes, 300, "cold entry was evicted");
+        let after = c.stats();
+        assert!(after.hit_bytes >= before.hit_bytes && after.miss_bytes >= before.miss_bytes);
+    }
+
+    #[test]
+    fn resize_to_zero_evicts_everything() {
+        let mut c = PageCacheModel::new(1000);
+        c.read("a", 400);
+        c.resize(0);
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.read("a", 400).miss_bytes, 400);
+    }
+
+    #[test]
+    fn hit_fraction_tracks_reads() {
+        let mut c = PageCacheModel::new(1000);
+        assert_eq!(c.stats().hit_fraction(), 0.0);
+        c.read("a", 500);
+        assert_eq!(c.stats().hit_fraction(), 0.0);
+        c.read("a", 500);
+        assert!((c.stats().hit_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -32,14 +32,26 @@ fn main() -> Result<(), NautilusError> {
         let _ = std::fs::remove_dir_all(&workdir);
 
         let t0 = std::time::Instant::now();
+        // Calibrate: probe the machine's actual disk bandwidth at startup
+        // and plan with the measured number instead of the static default.
+        let config = SystemConfig::tiny().into_builder().io_calibrate(true).build();
         let mut session = ModelSelection::new(
             spec.candidates()?,
-            SystemConfig::tiny(),
+            config,
             strategy,
             BackendKind::Real,
             &workdir,
         )?;
         let init = session.init_report();
+        if let Some(cal) = session.calibration() {
+            println!(
+                "[{}] io calibration: seq read {:.0} MB/s, strided read {:.0} MB/s, write {:.0} MB/s",
+                strategy.label(),
+                cal.seq_read_bytes_per_sec / 1e6,
+                cal.rand_read_bytes_per_sec / 1e6,
+                cal.write_bytes_per_sec / 1e6,
+            );
+        }
         println!(
             "[{}] init: {:.2}s ({} units, {} materialized layers, theoretical speedup {:.2}x)",
             strategy.label(),

@@ -1,0 +1,120 @@
+//! Trainer-level properties of the asynchronous feature-store pipeline.
+//!
+//! The epoch prefetcher overlaps chunk reads/decodes with training compute,
+//! and write-behind defers materialization chunk writes to I/O threads.
+//! Neither is allowed to change anything observable: validation accuracies
+//! and the store's byte accounting must be bit-identical to fully
+//! synchronous I/O at every pool width, and a slow disk must make the
+//! trainer *wait* — never train on stale or partial buffers.
+
+use nautilus_repro::core::session::{CycleInput, ModelSelection};
+use nautilus_repro::core::workloads::{Scale, WorkloadKind, WorkloadSpec};
+use nautilus_repro::core::{BackendKind, Strategy, SystemConfig};
+use nautilus_util::{pool, telemetry};
+use std::path::PathBuf;
+
+type CycleAccuracies = Vec<Vec<(String, Option<f32>)>>;
+
+/// Everything observable about a run: the per-cycle accuracy reports plus
+/// the store's exact byte accounting.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    acc: CycleAccuracies,
+    disk_read_bytes: u64,
+    cached_read_bytes: u64,
+    disk_write_bytes: u64,
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "nautilus-it-prefetch-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Two labeling cycles of MAT-ALL (every materializable layer is stored, so
+/// training genuinely streams features from the store each epoch).
+fn run(config: SystemConfig, tag: &str) -> Outcome {
+    let spec = WorkloadSpec { kind: WorkloadKind::Ftr2, scale: Scale::Tiny };
+    let mut candidates = spec.candidates().expect("workload builds");
+    candidates.truncate(3);
+    let mut session = ModelSelection::new(
+        candidates,
+        config,
+        Strategy::MatAll,
+        BackendKind::Real,
+        workdir(tag),
+    )
+    .expect("session initializes");
+    let pool = spec.ner_config().generate(60);
+    let mut acc = Vec::new();
+    for cycle in 0..2 {
+        let batch = pool.range(cycle * 30, (cycle + 1) * 30);
+        let (train, valid) = batch.split_at(24);
+        let report = session.fit(CycleInput::Real { train, valid }).expect("cycle runs");
+        acc.push(report.accuracies);
+    }
+    let stats = session.stats();
+    Outcome {
+        acc,
+        disk_read_bytes: stats.disk_read_bytes,
+        cached_read_bytes: stats.cached_read_bytes,
+        disk_write_bytes: stats.disk_write_bytes,
+    }
+}
+
+fn sync_config() -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.io.prefetch = false;
+    cfg.io.write_behind = false;
+    cfg
+}
+
+fn async_config(io_threads: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.io.prefetch = true;
+    cfg.io.write_behind = true;
+    cfg.io.io_threads = io_threads;
+    cfg
+}
+
+#[test]
+fn prefetched_training_is_bit_identical_to_synchronous_at_any_width() {
+    // The prefetcher keeps all page-cache/IO accounting on the consumer
+    // thread in the synchronous order, so not just the accuracies but the
+    // exact byte counters must survive the async rewrite — at every
+    // combination of pool width and I/O thread count.
+    let reference = pool::with_parallelism_limit(1, || run(sync_config(), "ref-sync"));
+    for width in [1usize, 2, 8] {
+        let sync = pool::with_parallelism_limit(width, || {
+            run(sync_config(), &format!("w{width}-sync"))
+        });
+        let pre = pool::with_parallelism_limit(width, || {
+            run(async_config(width), &format!("w{width}-pre"))
+        });
+        assert_eq!(reference, sync, "sync run diverged at width {width}");
+        assert_eq!(reference, pre, "prefetched run diverged at width {width}");
+    }
+}
+
+#[test]
+fn trainer_blocks_on_slow_io_rather_than_training_on_stale_buffers() {
+    // Inject 25 ms of latency into every chunk fetch on the I/O threads.
+    // If the trainer ever consumed a buffer before its fetch completed,
+    // the accuracies (or the byte accounting) would diverge from the
+    // fast run — instead it must block, which surfaces as prefetch stalls.
+    telemetry::enable();
+    let stalls_before = telemetry::PREFETCH_STALLS.get();
+    let mut slow_cfg = SystemConfig::tiny();
+    slow_cfg.io.read_delay_ms = 25;
+    let slow = run(slow_cfg, "stall-slow");
+    let stalls_after = telemetry::PREFETCH_STALLS.get();
+    assert!(
+        stalls_after > stalls_before,
+        "injected delay must surface as prefetch stalls ({stalls_before} -> {stalls_after})"
+    );
+    let fast = run(SystemConfig::tiny(), "stall-fast");
+    assert_eq!(slow, fast, "slow I/O changed training results");
+}
