@@ -314,6 +314,114 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multitenant(c: &mut Criterion) {
+    use nautilus_dnn::exec::{forward_batch, forward_batch_shared_trunk, ParamOverrides, TrunkGroup};
+    use nautilus_models::personalize;
+    use nautilus_util::rng::Rng;
+    use std::sync::Arc;
+
+    // The multi-tenant serving batch shape: 16 adapter variants of one
+    // frozen base at the scale a serving head sees (per-record work below
+    // the parallel-dispatch threshold, so per-forward overhead matters —
+    // the same regime as the `serve` gate). `solo/16` walks each tenant's
+    // full standalone graph; `shared_trunk/16` runs the frozen trunk once
+    // over the 16-row union batch and only the per-tenant adapter/head
+    // suffixes separately — the serving dual of FUSE. scripts/verify.sh
+    // gates shared_trunk faster than solo via
+    // results/BENCH_multitenant.json.
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_dnn::ModelGraph;
+
+    const TENANTS: usize = 16;
+    const DIM: usize = 32;
+    let mut grng = seeded_rng(19);
+    let mut template = ModelGraph::new();
+    let inp = template.add_input("features", [DIM]);
+    let mut prev = inp;
+    for i in 0..6 {
+        prev = template
+            .add_layer(
+                &format!("trunk{i}"),
+                LayerKind::Dense { in_dim: DIM, out_dim: DIM, act: Activation::Gelu },
+                &[prev],
+                true,
+                ParamInit::Seeded(&mut grng),
+            )
+            .unwrap();
+    }
+    let ad = template
+        .add_layer(
+            "adapter",
+            LayerKind::Adapter { dim: DIM, bottleneck: 4 },
+            &[prev],
+            false,
+            ParamInit::Seeded(&mut grng),
+        )
+        .unwrap();
+    let head = template
+        .add_layer(
+            "head",
+            LayerKind::Dense { in_dim: DIM, out_dim: 4, act: Activation::None },
+            &[ad],
+            false,
+            ParamInit::Seeded(&mut grng),
+        )
+        .unwrap();
+    template.add_output(head).unwrap();
+
+    let variants: Vec<_> =
+        (0..TENANTS as u64).map(|t| personalize(&template, t).unwrap()).collect();
+    let input = template.input_ids()[0];
+    let output = template.outputs()[0];
+
+    let mut rng = seeded_rng(23);
+    let records: Vec<Vec<f32>> = (0..TENANTS)
+        .map(|_| (0..DIM).map(|_| rng.gen_f32() * 2.0 - 1.0).collect())
+        .collect();
+    let singles: Vec<BatchInputs> = records
+        .iter()
+        .map(|r| {
+            let mut bi = BatchInputs::new();
+            bi.insert(input, Tensor::from_vec([1, DIM], r.clone()).unwrap());
+            bi
+        })
+        .collect();
+    let stacked = Tensor::from_vec(
+        [TENANTS, DIM],
+        records.iter().flatten().copied().collect::<Vec<f32>>(),
+    )
+    .unwrap();
+    let overrides: Vec<ParamOverrides> = variants
+        .iter()
+        .map(|v| {
+            v.ids()
+                .filter(|&id| v.node(id).trainable())
+                .map(|id| (id, Arc::new(v.node(id).params.clone())))
+                .collect()
+        })
+        .collect();
+    let groups: Vec<TrunkGroup> =
+        overrides.iter().map(|o| TrunkGroup { rows: 1, overrides: Some(o) }).collect();
+
+    let mut group = c.benchmark_group("multitenant");
+    group.sample_size(15);
+    group.bench_function("solo/16", |b| {
+        b.iter(|| {
+            for (v, bi) in variants.iter().zip(&singles) {
+                forward_batch(v, bi, 1).unwrap();
+            }
+        })
+    });
+    group.bench_function("shared_trunk/16", |b| {
+        b.iter(|| {
+            forward_batch_shared_trunk(&template, input, output, stacked.clone(), &groups)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 fn bench_training_step(c: &mut Criterion) {
     let cfg = BertConfig::tiny(8, 40);
     let graph =
@@ -350,6 +458,7 @@ criterion_group!(
     bench_pool,
     bench_telemetry,
     bench_serve,
+    bench_multitenant,
     bench_store,
     bench_prefetch,
     bench_pagecache_ablation,

@@ -141,7 +141,7 @@ impl Default for IoConfig {
 /// best trained model and the server answers prediction requests over a
 /// loopback HTTP endpoint, micro-batching concurrent requests into one
 /// forward pass. These knobs bound its queues and batching behavior.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Maximum records fused into one forward pass by the micro-batcher.
     pub max_batch: usize,
@@ -158,6 +158,15 @@ pub struct ServingConfig {
     pub request_timeout_ms: u64,
     /// Largest request body accepted, bytes (`413` beyond this).
     pub max_body_bytes: usize,
+    /// Maximum variants kept resident; publishing or faulting in beyond
+    /// this LRU-evicts the coldest variant's delta to the delta store.
+    pub max_resident_variants: usize,
+    /// Directory backing the delta checkpoint store (eviction target and
+    /// fault-in source). `None` disables eviction.
+    pub delta_store_dir: Option<String>,
+    /// Tenant id answered by the un-suffixed endpoints (`/predict`,
+    /// `/model`) and by the deprecated single-slot registry calls.
+    pub default_tenant: String,
 }
 
 json_struct!(ServingConfig {
@@ -166,7 +175,10 @@ json_struct!(ServingConfig {
     queue_limit,
     handler_threads,
     request_timeout_ms,
-    max_body_bytes
+    max_body_bytes,
+    max_resident_variants,
+    delta_store_dir,
+    default_tenant
 });
 
 impl Default for ServingConfig {
@@ -178,6 +190,9 @@ impl Default for ServingConfig {
             handler_threads: 4,
             request_timeout_ms: 2_000,
             max_body_bytes: 1 << 20,
+            max_resident_variants: 64,
+            delta_store_dir: None,
+            default_tenant: "default".to_string(),
         }
     }
 }
@@ -426,6 +441,24 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Maximum model variants kept resident before LRU delta eviction.
+    pub fn serve_max_resident_variants(mut self, v: usize) -> Self {
+        self.cfg.serving.max_resident_variants = v;
+        self
+    }
+
+    /// Directory backing the delta checkpoint store (enables eviction).
+    pub fn serve_delta_store_dir(mut self, path: impl Into<String>) -> Self {
+        self.cfg.serving.delta_store_dir = Some(path.into());
+        self
+    }
+
+    /// Tenant id served by the un-suffixed `/predict` and `/model` routes.
+    pub fn serve_default_tenant(mut self, id: impl Into<String>) -> Self {
+        self.cfg.serving.default_tenant = id.into();
+        self
+    }
+
     /// Replaces the whole feature-store I/O configuration.
     pub fn io(mut self, v: IoConfig) -> Self {
         self.cfg.io = v;
@@ -550,6 +583,9 @@ mod tests {
             .serve_handler_threads(2)
             .serve_request_timeout_ms(250)
             .serve_max_body_bytes(4096)
+            .serve_max_resident_variants(12)
+            .serve_delta_store_dir("/tmp/deltas")
+            .serve_default_tenant("acme")
             .build();
         assert_eq!(cfg.serving.max_batch, 16);
         assert_eq!(cfg.serving.max_delay_us, 500);
@@ -557,6 +593,9 @@ mod tests {
         assert_eq!(cfg.serving.handler_threads, 2);
         assert_eq!(cfg.serving.request_timeout_ms, 250);
         assert_eq!(cfg.serving.max_body_bytes, 4096);
+        assert_eq!(cfg.serving.max_resident_variants, 12);
+        assert_eq!(cfg.serving.delta_store_dir.as_deref(), Some("/tmp/deltas"));
+        assert_eq!(cfg.serving.default_tenant, "acme");
 
         let bytes = nautilus_util::json::to_vec(&cfg.serving.to_json());
         let back = ServingConfig::from_json(&nautilus_util::json::from_slice(&bytes).unwrap())
@@ -564,6 +603,9 @@ mod tests {
         assert_eq!(back.max_batch, 16);
         assert_eq!(back.queue_limit, 3);
         assert_eq!(back.max_body_bytes, 4096);
+        assert_eq!(back.max_resident_variants, 12);
+        assert_eq!(back.delta_store_dir.as_deref(), Some("/tmp/deltas"));
+        assert_eq!(back.default_tenant, "acme");
     }
 
     #[test]

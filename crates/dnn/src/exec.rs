@@ -199,12 +199,34 @@ pub struct Gradients {
     pub params: HashMap<NodeId, Vec<Tensor>>,
 }
 
+/// Per-node parameter overrides: a variant's trainable tensors applied to
+/// a shared base graph at execution time, without cloning the graph.
+///
+/// Keyed by node id; each value replaces that node's `params` wholesale.
+/// The `Arc<Vec<Tensor>>` granularity lets a registry share one resident
+/// copy of structurally identical deltas across tenants.
+pub type ParamOverrides = HashMap<NodeId, std::sync::Arc<Vec<Tensor>>>;
+
 /// Runs the forward pass. `training` controls whether backward caches are
 /// retained.
 pub fn forward(
     graph: &ModelGraph,
     inputs: &BatchInputs,
     training: bool,
+) -> Result<ForwardResult, ExecError> {
+    forward_with_overrides(graph, inputs, training, None)
+}
+
+/// [`forward`] with per-node parameter overrides (see [`ParamOverrides`]).
+///
+/// Nodes absent from the override map execute with their own `params`;
+/// overridden nodes execute with the supplied tensors. This is how a
+/// trainable-stripped base graph serves any of its variants.
+pub fn forward_with_overrides(
+    graph: &ModelGraph,
+    inputs: &BatchInputs,
+    training: bool,
+    overrides: Option<&ParamOverrides>,
 ) -> Result<ForwardResult, ExecError> {
     let _sp = telemetry::span("dnn", "dnn.forward");
     let n = graph.len();
@@ -220,7 +242,10 @@ pub fn forward(
             .iter()
             .map(|p| outputs[p.index()].as_ref().expect("topological order"))
             .collect();
-        let (out, cache) = run_forward(node, &parent_outputs, inputs, id, keep_cache)
+        let params: &[Tensor] = overrides
+            .and_then(|o| o.get(&id))
+            .map_or(&node.params[..], |v| &v[..]);
+        let (out, cache) = run_forward(node, params, &parent_outputs, inputs, id, keep_cache)
             .map_err(|e| exec_err(&node.name, e))?;
         outputs[id.index()] = Some(out);
         caches.push(if keep_cache { cache } else { Cache::None });
@@ -252,6 +277,158 @@ pub fn forward_batch(
 ) -> Result<ForwardResult, ExecError> {
     let _sp = telemetry::span("dnn", "dnn.forward_batch");
     nautilus_tensor::ops::with_batch_invariant_dispatch(batch, || forward(graph, inputs, false))
+}
+
+/// One tenant's slice of a shared-trunk batch: `rows` consecutive records
+/// of the stacked input, executed with the variant's [`ParamOverrides`].
+pub struct TrunkGroup<'a> {
+    /// Number of consecutive records belonging to this group.
+    pub rows: usize,
+    /// The variant's trainable parameters (`None` = graph's own params).
+    pub overrides: Option<&'a ParamOverrides>,
+}
+
+/// Inference over a stacked batch spanning several variants of one base:
+/// the tenant-independent trunk (nodes with `requires_grad = false`) runs
+/// **once** over the union batch, then each group's suffix (adapters,
+/// heads, and any frozen layers above them) runs on its own row slice with
+/// its own parameter overrides — the serving dual of the paper's FUSE
+/// optimization.
+///
+/// Bit-identity with solo serving is preserved by the same dispatch
+/// pinning as [`forward_batch`]: the trunk pass divides kernel work
+/// estimates by the union batch and each suffix pass by its group's rows,
+/// so every kernel choice is a function of one record's shape only, and
+/// all graph ops are record-separable. Each returned tensor is therefore
+/// bit-identical to running that group's records alone through the full
+/// variant graph.
+///
+/// `stacked` must hold `sum(rows)` records of `input`'s per-record shape;
+/// returns one stacked output tensor (of node `output`) per group, in
+/// order.
+pub fn forward_batch_shared_trunk(
+    graph: &ModelGraph,
+    input: NodeId,
+    output: NodeId,
+    stacked: Tensor,
+    groups: &[TrunkGroup<'_>],
+) -> Result<Vec<Tensor>, ExecError> {
+    let _sp = telemetry::span("dnn", "dnn.forward_shared_trunk");
+    let n = graph.len();
+    if output.index() >= n || input.index() >= n {
+        return Err(exec_err("graph", "input/output node out of range"));
+    }
+    let total: usize = groups.iter().map(|g| g.rows).sum();
+    if total != stacked.shape().dim(0) || groups.iter().any(|g| g.rows == 0) {
+        return Err(exec_err(
+            "graph",
+            format!(
+                "group rows sum to {total}, stacked batch is {}",
+                stacked.shape().dim(0)
+            ),
+        ));
+    }
+    let rg = graph.requires_grad();
+
+    // Trunk pass: every tenant-independent node, once, over the union batch.
+    let mut binputs = BatchInputs::new();
+    binputs.insert(input, stacked);
+    let mut trunk_out: Vec<Option<Tensor>> = vec![None; n];
+    nautilus_tensor::ops::with_batch_invariant_dispatch(total, || -> Result<(), ExecError> {
+        for id in graph.ids() {
+            if rg[id.index()] {
+                continue;
+            }
+            let node = graph.node(id);
+            // A trunk node's parents are all trunk: requires_grad is
+            // monotone along edges, so !rg[child] implies !rg[parent].
+            let parents: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|p| trunk_out[p.index()].as_ref().expect("trunk parents are trunk"))
+                .collect();
+            let (out, _) = run_forward(node, &node.params, &parents, &binputs, id, false)
+                .map_err(|e| exec_err(&node.name, e))?;
+            trunk_out[id.index()] = Some(out);
+        }
+        Ok(())
+    })?;
+
+    // Fully frozen graph: no per-tenant suffix, just split the rows.
+    if !rg[output.index()] {
+        let shared = trunk_out[output.index()].take().expect("output computed in trunk");
+        let mut row = 0usize;
+        return Ok(groups
+            .iter()
+            .map(|g| {
+                let t = slice_rows(&shared, row, row + g.rows);
+                row += g.rows;
+                t
+            })
+            .collect());
+    }
+
+    // Boundary: trunk nodes feeding at least one per-tenant node.
+    let mut needed = vec![false; n];
+    for id in graph.ids() {
+        if rg[id.index()] {
+            for p in &graph.node(id).inputs {
+                if !rg[p.index()] {
+                    needed[p.index()] = true;
+                }
+            }
+        }
+    }
+
+    let empty = BatchInputs::new();
+    let mut results = Vec::with_capacity(groups.len());
+    let mut row = 0usize;
+    for g in groups {
+        let (a, b) = (row, row + g.rows);
+        row = b;
+        let out = nautilus_tensor::ops::with_batch_invariant_dispatch(
+            g.rows,
+            || -> Result<Tensor, ExecError> {
+                let mut outs: Vec<Option<Tensor>> = vec![None; n];
+                for (i, need) in needed.iter().enumerate() {
+                    if *need {
+                        outs[i] =
+                            Some(slice_rows(trunk_out[i].as_ref().expect("boundary is trunk"), a, b));
+                    }
+                }
+                for id in graph.ids() {
+                    if !rg[id.index()] {
+                        continue;
+                    }
+                    let node = graph.node(id);
+                    let parents: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|p| outs[p.index()].as_ref().expect("suffix parents available"))
+                        .collect();
+                    let params: &[Tensor] = g
+                        .overrides
+                        .and_then(|o| o.get(&id))
+                        .map_or(&node.params[..], |v| &v[..]);
+                    let (out, _) = run_forward(node, params, &parents, &empty, id, false)
+                        .map_err(|e| exec_err(&node.name, e))?;
+                    outs[id.index()] = Some(out);
+                }
+                Ok(outs[output.index()].take().expect("output computed in suffix"))
+            },
+        )?;
+        results.push(out);
+    }
+    Ok(results)
+}
+
+/// Copies record rows `[a, b)` out of a batch-leading stacked tensor.
+fn slice_rows(t: &Tensor, a: usize, b: usize) -> Tensor {
+    let per = t.shape().num_elements() / t.shape().dim(0);
+    let mut dims = t.shape().0.clone();
+    dims[0] = b - a;
+    Tensor::from_vec(Shape::new(dims), t.data()[a * per..b * per].to_vec())
+        .expect("row slice preserves shape")
 }
 
 /// Runs the backward pass from per-output-node gradients, returning
@@ -340,12 +517,13 @@ fn act_backward(act: Activation, pre: &Tensor, grad: &Tensor) -> Result<Tensor, 
 #[allow(clippy::too_many_lines)]
 fn run_forward(
     node: &crate::graph::Node,
+    params: &[Tensor],
     parents: &[&Tensor],
     inputs: &BatchInputs,
     id: NodeId,
     keep_cache: bool,
 ) -> Result<(Tensor, Cache), TensorError> {
-    let p = &node.params;
+    let p = params;
     match &node.kind {
         LayerKind::Input { shape } => {
             let t = inputs.get(id).ok_or_else(|| {
@@ -1570,6 +1748,114 @@ mod tests {
                 solo.output(o).data(),
                 "record {i} diverged between batched and solo forward"
             );
+        }
+    }
+
+    /// A shared-trunk batch over several variants of one base must be
+    /// bit-identical to running each variant's records alone through its
+    /// full graph: the trunk runs once at the union batch's divisor, each
+    /// suffix at its group's, so kernel choices stay per-record.
+    #[test]
+    fn shared_trunk_forward_bit_identical_to_solo_variants() {
+        use crate::delta::{extract_delta, strip_trainable};
+        let dim = 16usize;
+        let build = |tenant_seed: u64| {
+            let mut frozen_rng = seeded_rng(7);
+            let mut rng = seeded_rng(tenant_seed);
+            let mut g = ModelGraph::new();
+            let inp = g.add_input("in", [dim]);
+            let trunk = g
+                .add_layer(
+                    "trunk",
+                    LayerKind::Dense { in_dim: dim, out_dim: dim, act: Activation::Gelu },
+                    &[inp],
+                    true,
+                    ParamInit::Seeded(&mut frozen_rng),
+                )
+                .unwrap();
+            let ad = g
+                .add_layer(
+                    "adapter",
+                    LayerKind::Adapter { dim, bottleneck: 4 },
+                    &[trunk],
+                    false,
+                    ParamInit::Seeded(&mut rng),
+                )
+                .unwrap();
+            // Frozen layer *above* the adapter: tenant-dependent activations
+            // through tenant-independent weights — must run in the suffix.
+            let post = g
+                .add_layer(
+                    "post",
+                    LayerKind::Dense { in_dim: dim, out_dim: dim, act: Activation::Relu },
+                    &[ad],
+                    true,
+                    ParamInit::Seeded(&mut frozen_rng),
+                )
+                .unwrap();
+            let o = g
+                .add_layer(
+                    "head",
+                    LayerKind::Dense { in_dim: dim, out_dim: 3, act: Activation::None },
+                    &[post],
+                    false,
+                    ParamInit::Seeded(&mut rng),
+                )
+                .unwrap();
+            g.add_output(o).unwrap();
+            (g, inp, o)
+        };
+
+        let variants: Vec<_> = (0..3u64).map(|s| build(100 + s)).collect();
+        let (base, inp, out) = {
+            let (g, i, o) = &variants[0];
+            (strip_trainable(g), *i, *o)
+        };
+        let overrides: Vec<ParamOverrides> = variants
+            .iter()
+            .map(|(g, _, _)| {
+                extract_delta(g)
+                    .unwrap()
+                    .entries
+                    .into_iter()
+                    .map(|e| (NodeId(e.node), std::sync::Arc::new(e.params)))
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = seeded_rng(55);
+        let rows = [2usize, 1, 3];
+        let records: Vec<Vec<Tensor>> = rows
+            .iter()
+            .map(|&k| (0..k).map(|_| randn([1, dim], 1.0, &mut rng)).collect())
+            .collect();
+        let mut stacked = Vec::new();
+        for group in &records {
+            for r in group {
+                stacked.extend_from_slice(r.data());
+            }
+        }
+        let stacked = Tensor::from_vec([rows.iter().sum::<usize>(), dim], stacked).unwrap();
+
+        let groups: Vec<TrunkGroup<'_>> = rows
+            .iter()
+            .zip(&overrides)
+            .map(|(&rows, ov)| TrunkGroup { rows, overrides: Some(ov) })
+            .collect();
+        let outs = forward_batch_shared_trunk(&base, inp, out, stacked, &groups).unwrap();
+
+        for (gi, ((g, _, _), group)) in variants.iter().zip(&records).enumerate() {
+            let per = outs[gi].len() / rows[gi];
+            for (ri, r) in group.iter().enumerate() {
+                let mut solo_in = BatchInputs::new();
+                solo_in.insert(inp, r.clone());
+                let solo = forward_batch(g, &solo_in, 1).unwrap();
+                assert_eq!(
+                    &outs[gi].data()[ri * per..(ri + 1) * per],
+                    solo.output(out).data(),
+                    "variant {gi} record {ri} diverged from solo serving"
+                );
+            }
         }
     }
 

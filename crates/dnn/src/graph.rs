@@ -122,7 +122,7 @@ fn hash_kind(kind: &LayerKind, h: &mut DefaultHasher) {
     kind.hash(h);
 }
 
-fn hash_params(params: &[Tensor]) -> u64 {
+pub(crate) fn hash_params(params: &[Tensor]) -> u64 {
     let mut h = DefaultHasher::new();
     for p in params {
         p.shape().0.hash(&mut h);
@@ -266,6 +266,34 @@ impl ModelGraph {
     /// All nodes in topological (insertion) order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Replaces a node's parameter tensors, checking shapes and refreshing
+    /// the value signature (so expression signatures stay truthful).
+    pub fn set_node_params(&mut self, id: NodeId, params: Vec<Tensor>) -> Result<(), GraphError> {
+        if id.index() >= self.nodes.len() {
+            return Err(GraphError::BadOutput(id.index()));
+        }
+        let node = &mut self.nodes[id.index()];
+        if params.len() != node.param_shapes.len() {
+            return Err(GraphError::BadParams {
+                node: node.name.clone(),
+                expected: node.param_shapes.len(),
+                actual: params.len(),
+            });
+        }
+        for (p, s) in params.iter().zip(&node.param_shapes) {
+            if p.shape() != s {
+                return Err(GraphError::BadParams {
+                    node: node.name.clone(),
+                    expected: s.num_elements(),
+                    actual: p.shape().num_elements(),
+                });
+            }
+        }
+        node.param_sig = hash_params(&params);
+        node.params = params;
+        Ok(())
     }
 
     /// Ids in topological order.

@@ -25,8 +25,13 @@
 //!   classification.
 //! * [`checkpoint`] — model (de)serialization with byte accounting, the
 //!   basis of the paper's checkpoint-IO measurements (Fig 11).
+//! * [`delta`] — splits a trained variant into a shared frozen base plus a
+//!   per-tenant delta (trainable params only), with content hashes for
+//!   dedup and a compact delta checkpoint format; the substrate of the
+//!   multi-tenant serving plane.
 
 pub mod checkpoint;
+pub mod delta;
 pub mod exec;
 pub mod graph;
 pub mod layer;
@@ -34,7 +39,11 @@ pub mod loss;
 pub mod optim;
 pub mod summary;
 
-pub use exec::{backward, forward, BatchInputs, ForwardResult};
+pub use delta::{apply_delta, base_signature, extract_delta, strip_trainable, GraphDelta};
+pub use exec::{
+    backward, forward, forward_batch_shared_trunk, forward_with_overrides, BatchInputs,
+    ForwardResult, ParamOverrides, TrunkGroup,
+};
 pub use graph::{GraphError, ModelGraph, Node, NodeId};
 pub use layer::{Activation, LayerKind};
 pub use loss::TaskKind;

@@ -27,6 +27,32 @@ pub mod bert;
 pub mod resnet;
 pub mod rnn;
 
+use nautilus_dnn::graph::{GraphError, ModelGraph};
+use nautilus_tensor::init::{randn, seeded_rng};
+
+/// Derives a per-tenant variant of `graph`: the frozen backbone is kept
+/// bit-identical (so every variant pairs with the same serving base — see
+/// `nautilus_dnn::delta::base_signature`) while every trainable node's
+/// parameters are re-drawn from `tenant_seed`. This stands in for the
+/// per-tenant fine-tuning a real deployment would run; what matters for
+/// the serving layer is the resulting shape of the artifact: one shared
+/// base plus a small tenant-specific delta.
+pub fn personalize(graph: &ModelGraph, tenant_seed: u64) -> Result<ModelGraph, GraphError> {
+    let mut g = graph.clone();
+    let mut rng = seeded_rng(tenant_seed ^ 0x7E4A_4751);
+    let ids: Vec<_> = g.ids().filter(|&id| g.node(id).trainable()).collect();
+    for id in ids {
+        let params = g
+            .node(id)
+            .param_shapes
+            .iter()
+            .map(|s| randn(s.clone(), 0.02, &mut rng))
+            .collect();
+        g.set_node_params(id, params)?;
+    }
+    Ok(g)
+}
+
 /// Whether to build graphs with real parameters or shapes only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuildScale {
@@ -46,4 +72,38 @@ pub(crate) fn shapes_only_sig(seed: u64, tag: &str) -> u64 {
     seed.hash(&mut h);
     tag.hash(&mut h);
     h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_dnn::delta::base_signature;
+
+    #[test]
+    fn personalize_keeps_base_and_redraws_trainables() {
+        let cfg = bert::BertConfig::tiny(8, 50);
+        let base = bert::adapter_model(&cfg, 2, 8, 9, BuildScale::Real).unwrap();
+        let a = personalize(&base, 1).unwrap();
+        let b = personalize(&base, 2).unwrap();
+        // Same base pairing signature across tenants...
+        assert_eq!(base_signature(&base), base_signature(&a));
+        assert_eq!(base_signature(&a), base_signature(&b));
+        // ...but distinct trainable parameters per tenant seed, and
+        // deterministic per seed.
+        let trainable_params = |g: &ModelGraph| -> Vec<_> {
+            g.ids()
+                .filter(|&id| g.node(id).trainable())
+                .flat_map(|id| g.node(id).params.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(trainable_params(&a), trainable_params(&b));
+        let a2 = personalize(&base, 1).unwrap();
+        assert_eq!(trainable_params(&a), trainable_params(&a2));
+        // Frozen weights are untouched.
+        for (na, nb) in base.nodes().iter().zip(a.nodes()) {
+            if na.frozen {
+                assert_eq!(na.params, nb.params);
+            }
+        }
+    }
 }

@@ -1,22 +1,23 @@
 //! Dynamic micro-batching: fuse concurrent prediction requests into one
-//! forward pass.
+//! forward pass — across tenants.
 //!
 //! Requests enqueue a record and block on a reply channel; a single
 //! batcher thread collects up to `max_batch` records — waiting at most
-//! `max_delay_us` for stragglers once the first record arrives — stacks
-//! them into one batched tensor, runs
-//! [`forward_batch`](nautilus_dnn::exec::forward_batch), and scatters the
-//! output rows back to the callers. Each request is pinned at submit time
-//! to the model it was shape-validated against, so a hot swap never tears
-//! an in-flight request: a batch that spans a swap is grouped by model
-//! version, one forward per group. `forward_batch` pins kernel dispatch
-//! to per-record work, so a record's result is **bit-identical** whether
-//! it rode in a batch of 1 or of `max_batch` — batching is purely a
-//! throughput optimization, never a numerics change.
+//! `max_delay_us` for stragglers once the first record arrives — and runs
+//! them grouped by *shared base*: all records whose variants ride the same
+//! frozen base share **one** trunk forward over the union batch
+//! ([`forward_batch_shared_trunk`]), then each tenant's adapter/head
+//! suffix runs on its own row slice — the serving dual of the paper's
+//! FUSE optimization. Each request is pinned at submit time to the
+//! artifact it was shape-validated against, so a hot swap never tears an
+//! in-flight request. Kernel dispatch is pinned to per-record work, so a
+//! record's result is **bit-identical** whether it rode alone, in a
+//! single-tenant batch, or in a shared-trunk batch with other tenants —
+//! batching is purely a throughput optimization, never a numerics change.
 
-use crate::registry::{ModelArtifact, ModelRegistry};
+use crate::registry::{BaseModel, ModelArtifact, ModelRegistry, RegistryError};
 use nautilus_core::config::ServingConfig;
-use nautilus_dnn::exec::{forward_batch, BatchInputs};
+use nautilus_dnn::exec::{forward_batch_shared_trunk, TrunkGroup};
 use nautilus_tensor::Tensor;
 use nautilus_util::telemetry;
 use std::sync::mpsc;
@@ -27,10 +28,14 @@ use std::time::{Duration, Instant};
 /// One answered prediction.
 #[derive(Debug, Clone)]
 pub struct PredictOutput {
-    /// Registry version of the model that answered.
+    /// Tenant that answered.
+    pub model_id: String,
+    /// Per-tenant version of the model that answered.
     pub version: u64,
-    /// Size of the batch the record rode in (diagnostics).
+    /// Records of *this tenant* fused into the suffix pass (diagnostics).
     pub batch_size: usize,
+    /// Records across all tenants that shared the base-trunk forward.
+    pub trunk_batch: usize,
     /// Output head values for this record.
     pub values: Vec<f32>,
 }
@@ -38,8 +43,8 @@ pub struct PredictOutput {
 /// Why a prediction failed.
 #[derive(Debug, Clone)]
 pub enum PredictError {
-    /// No model published yet.
-    NoModel,
+    /// No variant published under the requested id.
+    UnknownModel(String),
     /// Record length does not match the model's input shape.
     BadShape {
         /// Elements received.
@@ -47,6 +52,8 @@ pub enum PredictError {
         /// Elements the model expects.
         want: usize,
     },
+    /// The registry failed to produce the artifact (bad id, store IO).
+    Registry(String),
     /// Forward execution failed.
     Exec(String),
     /// The batcher shut down before answering.
@@ -56,10 +63,11 @@ pub enum PredictError {
 impl std::fmt::Display for PredictError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PredictError::NoModel => write!(f, "no model published"),
+            PredictError::UnknownModel(id) => write!(f, "no model published under '{id}'"),
             PredictError::BadShape { got, want } => {
                 write!(f, "record has {got} elements, model expects {want}")
             }
+            PredictError::Registry(m) => write!(f, "registry: {m}"),
             PredictError::Exec(m) => write!(f, "forward failed: {m}"),
             PredictError::Shutdown => write!(f, "server shutting down"),
         }
@@ -69,10 +77,10 @@ impl std::fmt::Display for PredictError {
 struct Pending {
     record: Vec<f32>,
     /// The artifact this record was shape-validated against in
-    /// [`MicroBatcher::predict`]. The batch runs against this exact model:
-    /// a hot swap between validation and execution must neither fail the
-    /// request (new shape ≠ validated shape) nor answer it with a model
-    /// it was never validated for.
+    /// [`MicroBatcher::predict`]. The batch runs against this exact
+    /// variant: a hot swap between validation and execution must neither
+    /// fail the request (new shape ≠ validated shape) nor answer it with
+    /// a model it was never validated for.
     artifact: Arc<ModelArtifact>,
     reply: mpsc::Sender<Result<PredictOutput, PredictError>>,
 }
@@ -114,13 +122,18 @@ impl MicroBatcher {
         MicroBatcher { inner, worker: Some(worker) }
     }
 
-    /// Submits one record and blocks until its prediction (or failure)
-    /// comes back. Shape validation happens up front against the current
-    /// model so bad requests never occupy batch slots; the validated
-    /// artifact is pinned into the queue entry so a concurrent hot swap
-    /// cannot change which model answers.
-    pub fn predict(&self, record: Vec<f32>) -> Result<PredictOutput, PredictError> {
-        let artifact = self.inner.registry.current().ok_or(PredictError::NoModel)?;
+    /// Submits one record for tenant `id` and blocks until its prediction
+    /// (or failure) comes back. Shape validation happens up front against
+    /// the tenant's current variant — faulting it in from the delta store
+    /// if it was evicted — so bad requests never occupy batch slots; the
+    /// validated artifact is pinned into the queue entry so a concurrent
+    /// hot swap or eviction cannot change which model answers.
+    pub fn predict(&self, id: &str, record: Vec<f32>) -> Result<PredictOutput, PredictError> {
+        let artifact = match self.inner.registry.get(id) {
+            Ok(a) => a,
+            Err(RegistryError::UnknownModel(m)) => return Err(PredictError::UnknownModel(m)),
+            Err(e) => return Err(PredictError::Registry(e.to_string())),
+        };
         if record.len() != artifact.record_elems {
             return Err(PredictError::BadShape {
                 got: record.len(),
@@ -137,6 +150,13 @@ impl MicroBatcher {
         }
         self.inner.cv.notify_all();
         rx.recv().unwrap_or(Err(PredictError::Shutdown))
+    }
+
+    /// Submits one record for the registry's default tenant.
+    #[deprecated(note = "use the tenant-keyed `predict(id, record)`")]
+    pub fn predict_default(&self, record: Vec<f32>) -> Result<PredictOutput, PredictError> {
+        let id = self.inner.registry.default_id().as_str().to_string();
+        self.predict(&id, record)
     }
 
     /// Drains the queue (answering everything still enqueued) and joins
@@ -191,36 +211,60 @@ fn batcher_loop(inner: &Inner) {
 }
 
 fn run_batch(batch: Vec<Pending>) {
-    // Each request runs against the artifact it was shape-validated with.
-    // A hot swap while requests sat in the queue can leave the batch
-    // spanning model versions; stacking those into one tensor would mix
-    // shapes (and answer with a version the request never saw), so group
-    // by pinned artifact and run one forward per group, in arrival order.
-    let mut groups: Vec<(Arc<ModelArtifact>, Vec<Pending>)> = Vec::new();
+    // Group by shared base first (one trunk forward per base), then by
+    // pinned artifact within the base (one suffix pass per variant), both
+    // in arrival order. Requests for variants of *different* bases — or
+    // spanning a hot swap that changed the architecture — never mix.
+    type TenantGroup = (Arc<ModelArtifact>, Vec<Pending>);
+    let mut base_groups: Vec<(Arc<BaseModel>, Vec<TenantGroup>)> = Vec::new();
     for p in batch {
-        match groups.iter_mut().find(|(a, _)| a.version == p.artifact.version) {
+        let base = Arc::clone(&p.artifact.base);
+        let idx = match base_groups.iter().position(|(b, _)| Arc::ptr_eq(b, &base)) {
+            Some(i) => i,
+            None => {
+                base_groups.push((base, Vec::new()));
+                base_groups.len() - 1
+            }
+        };
+        let tenants = &mut base_groups[idx].1;
+        match tenants.iter_mut().find(|(a, _)| Arc::ptr_eq(a, &p.artifact)) {
             Some((_, g)) => g.push(p),
-            None => groups.push((Arc::clone(&p.artifact), vec![p])),
+            None => tenants.push((Arc::clone(&p.artifact), vec![p])),
         }
     }
-    for (artifact, group) in groups {
-        let n = group.len();
-        let _sp = telemetry::span("serve", "serve.batch");
-        let t0 = Instant::now();
-        match forward_rows(&artifact, &group) {
-            Ok(rows) => {
-                telemetry::SERVE_BATCHES.add(1);
-                telemetry::SERVE_BATCH_RECORDS.add(n as u64);
-                telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
+    for (base, tenants) in base_groups {
+        run_base_group(&base, tenants);
+    }
+}
+
+/// One shared-trunk execution: all of one base's pendings, any tenants.
+fn run_base_group(base: &BaseModel, tenants: Vec<(Arc<ModelArtifact>, Vec<Pending>)>) {
+    let total: usize = tenants.iter().map(|(_, g)| g.len()).sum();
+    let _sp = telemetry::span("serve", "serve.batch");
+    let t0 = Instant::now();
+    match forward_shared(base, &tenants, total) {
+        Ok(per_tenant_rows) => {
+            telemetry::SERVE_BATCHES.add(1);
+            telemetry::SERVE_BATCH_RECORDS.add(total as u64);
+            if tenants.len() > 1 {
+                telemetry::SERVE_TRUNK_SHARED_RECORDS.add(total as u64);
+            }
+            telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
+            for ((artifact, group), rows) in tenants.into_iter().zip(per_tenant_rows) {
+                let k = group.len();
                 for (p, values) in group.into_iter().zip(rows) {
                     let _ = p.reply.send(Ok(PredictOutput {
+                        model_id: artifact.id.as_str().to_string(),
                         version: artifact.version,
-                        batch_size: n,
+                        batch_size: k,
+                        trunk_batch: total,
                         values,
                     }));
                 }
             }
-            Err(e) => {
+        }
+        Err(e) => {
+            for (_, group) in tenants {
                 for p in group {
                     let _ = p.reply.send(Err(e.clone()));
                 }
@@ -229,33 +273,44 @@ fn run_batch(batch: Vec<Pending>) {
     }
 }
 
-/// Stacks the batch, runs one forward, splits the output per record.
-fn forward_rows(
-    artifact: &ModelArtifact,
-    batch: &[Pending],
-) -> Result<Vec<Vec<f32>>, PredictError> {
-    let n = batch.len();
-    let per = artifact.record_elems;
-    let mut data = Vec::with_capacity(n * per);
-    for p in batch {
-        data.extend_from_slice(&p.record);
+/// Stacks all tenants' records, runs one trunk pass + per-tenant
+/// suffixes, splits each tenant's output rows per record.
+fn forward_shared(
+    base: &BaseModel,
+    tenants: &[(Arc<ModelArtifact>, Vec<Pending>)],
+    total: usize,
+) -> Result<Vec<Vec<Vec<f32>>>, PredictError> {
+    let per = base.record_elems;
+    let mut data = Vec::with_capacity(total * per);
+    for (_, group) in tenants {
+        for p in group {
+            data.extend_from_slice(&p.record);
+        }
     }
-    let stacked = Tensor::from_vec(artifact.record_shape.with_batch(n), data)
+    let stacked = Tensor::from_vec(base.record_shape.with_batch(total), data)
         .map_err(|e| PredictError::Exec(e.to_string()))?;
-    let mut inputs = BatchInputs::new();
-    inputs.insert(artifact.input, stacked);
-    let fwd = forward_batch(&artifact.graph, &inputs, n)
+    let groups: Vec<TrunkGroup<'_>> = tenants
+        .iter()
+        .map(|(a, g)| TrunkGroup { rows: g.len(), overrides: Some(&a.overrides) })
+        .collect();
+    let outs = forward_batch_shared_trunk(&base.graph, base.input, base.output, stacked, &groups)
         .map_err(|e| PredictError::Exec(e.to_string()))?;
-    let out = fwd.output(artifact.output);
-    let out_data = out.data();
-    let out_per = out_data.len() / n.max(1);
-    Ok((0..n).map(|i| out_data[i * out_per..(i + 1) * out_per].to_vec()).collect())
+    Ok(outs
+        .iter()
+        .zip(tenants)
+        .map(|(out, (_, group))| {
+            let k = group.len();
+            let out_data = out.data();
+            let out_per = out_data.len() / k.max(1);
+            (0..k).map(|i| out_data[i * out_per..(i + 1) * out_per].to_vec()).collect()
+        })
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nautilus_dnn::exec::forward;
+    use nautilus_dnn::exec::{forward, BatchInputs};
     use nautilus_dnn::graph::ParamInit;
     use nautilus_dnn::layer::{Activation, LayerKind};
     use nautilus_dnn::ModelGraph;
@@ -288,6 +343,43 @@ mod tests {
         g
     }
 
+    /// Frozen trunk shared by every seed; trainable adapter+head per seed.
+    fn adapter_variant(tenant_seed: u64, in_dim: usize, out_dim: usize) -> ModelGraph {
+        let mut frozen_rng = seeded_rng(500);
+        let mut rng = seeded_rng(tenant_seed);
+        let mut g = ModelGraph::new();
+        let inp = g.add_input("in", [in_dim]);
+        let trunk = g
+            .add_layer(
+                "trunk",
+                LayerKind::Dense { in_dim, out_dim: in_dim, act: Activation::Gelu },
+                &[inp],
+                true,
+                ParamInit::Seeded(&mut frozen_rng),
+            )
+            .unwrap();
+        let ad = g
+            .add_layer(
+                "adapter",
+                LayerKind::Adapter { dim: in_dim, bottleneck: 4 },
+                &[trunk],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        let o = g
+            .add_layer(
+                "head",
+                LayerKind::Dense { in_dim, out_dim, act: Activation::None },
+                &[ad],
+                false,
+                ParamInit::Seeded(&mut rng),
+            )
+            .unwrap();
+        g.add_output(o).unwrap();
+        g
+    }
+
     fn solo_forward(g: &ModelGraph, record: &[f32]) -> Vec<f32> {
         let inp = g.input_ids()[0];
         let t = Tensor::from_vec(
@@ -309,7 +401,7 @@ mod tests {
     fn concurrent_predictions_are_bit_identical_to_solo() {
         let g = model(7, 32, 5);
         let registry = Arc::new(ModelRegistry::new());
-        registry.publish(g.clone()).unwrap();
+        registry.publish("default", g.clone()).unwrap();
         let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(8, 20_000)));
 
         let mut rng = seeded_rng(99);
@@ -322,7 +414,7 @@ mod tests {
             .cloned()
             .map(|r| {
                 let b = Arc::clone(&batcher);
-                std::thread::spawn(move || b.predict(r).expect("prediction succeeds"))
+                std::thread::spawn(move || b.predict("default", r).expect("prediction succeeds"))
             })
             .collect();
         let outputs: Vec<PredictOutput> =
@@ -332,6 +424,7 @@ mod tests {
         for (r, out) in records.iter().zip(&outputs) {
             assert_eq!(out.values, solo_forward(&g, r), "batched != solo");
             assert_eq!(out.version, 1);
+            assert_eq!(out.model_id, "default");
             saw_real_batch |= out.batch_size > 1;
         }
         // With a 20ms door and 16 concurrent submitters, at least one
@@ -339,17 +432,63 @@ mod tests {
         assert!(saw_real_batch, "batching never fused any requests");
     }
 
+    /// Three tenants on one base submitting concurrently: every answer is
+    /// bit-identical to solo serving of that tenant's full variant, and at
+    /// least one batch shares the trunk across tenants.
+    #[test]
+    fn cross_tenant_batches_share_trunk_and_stay_bit_identical() {
+        let variants: Vec<ModelGraph> =
+            (0..3).map(|i| adapter_variant(700 + i, 16, 4)).collect();
+        let registry = Arc::new(ModelRegistry::new());
+        for (i, g) in variants.iter().enumerate() {
+            registry.publish(&format!("user-{i}"), g.clone()).unwrap();
+        }
+        let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(16, 20_000)));
+
+        let mut rng = seeded_rng(321);
+        let jobs: Vec<(usize, Vec<f32>)> = (0..12)
+            .map(|j| (j % 3, (0..16).map(|_| rng.gen_f32() * 2.0 - 1.0).collect()))
+            .collect();
+        let handles: Vec<_> = jobs
+            .iter()
+            .cloned()
+            .map(|(t, r)| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    b.predict(&format!("user-{t}"), r).expect("prediction succeeds")
+                })
+            })
+            .collect();
+        let outputs: Vec<PredictOutput> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let mut saw_shared_trunk = false;
+        for ((t, r), out) in jobs.iter().zip(&outputs) {
+            assert_eq!(
+                out.values,
+                solo_forward(&variants[*t], r),
+                "tenant {t}: shared-trunk result != solo serving"
+            );
+            assert_eq!(out.model_id, format!("user-{t}"));
+            saw_shared_trunk |= out.trunk_batch > out.batch_size;
+        }
+        assert!(saw_shared_trunk, "no batch ever shared a trunk across tenants");
+    }
+
     #[test]
     fn predict_validates_shape_and_missing_model() {
         let registry = Arc::new(ModelRegistry::new());
         let batcher = MicroBatcher::start(Arc::clone(&registry), &cfg(4, 100));
-        assert!(matches!(batcher.predict(vec![0.0; 4]), Err(PredictError::NoModel)));
-        registry.publish(model(1, 6, 2)).unwrap();
         assert!(matches!(
-            batcher.predict(vec![0.0; 4]),
+            batcher.predict("nobody", vec![0.0; 4]),
+            Err(PredictError::UnknownModel(_))
+        ));
+        registry.publish("m", model(1, 6, 2)).unwrap();
+        assert!(matches!(
+            batcher.predict("m", vec![0.0; 4]),
             Err(PredictError::BadShape { got: 4, want: 6 })
         ));
-        let out = batcher.predict(vec![0.5; 6]).unwrap();
+        let out = batcher.predict("m", vec![0.5; 6]).unwrap();
         assert_eq!(out.values.len(), 2);
     }
 
@@ -361,25 +500,25 @@ mod tests {
         let g1 = model(31, 6, 2);
         let g2 = model(32, 9, 3);
         let registry = Arc::new(ModelRegistry::new());
-        registry.publish(g1.clone()).unwrap();
+        registry.publish("m", g1.clone()).unwrap();
         // A long door so both requests land in the same batch window.
         let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(8, 300_000)));
 
         let r1 = vec![0.25f32; 6];
         let b1 = Arc::clone(&batcher);
         let rec1 = r1.clone();
-        let h1 = std::thread::spawn(move || b1.predict(rec1));
+        let h1 = std::thread::spawn(move || b1.predict("m", rec1));
         // Wait until the first request is queued (validated against v1),
         // then swap to a model with a different input shape and submit a
         // second request validated against v2.
         while batcher.inner.state.lock().unwrap().queue.len() < 1 {
             std::thread::yield_now();
         }
-        registry.publish(g2.clone()).unwrap();
+        registry.publish("m", g2.clone()).unwrap();
         let r2 = vec![-0.5f32; 9];
         let b2 = Arc::clone(&batcher);
         let rec2 = r2.clone();
-        let h2 = std::thread::spawn(move || b2.predict(rec2));
+        let h2 = std::thread::spawn(move || b2.predict("m", rec2));
 
         let o1 = h1.join().unwrap().expect("v1 request must survive the swap");
         let o2 = h2.join().unwrap().expect("v2 request must succeed");
@@ -392,13 +531,13 @@ mod tests {
     #[test]
     fn shutdown_drains_pending_work() {
         let registry = Arc::new(ModelRegistry::new());
-        registry.publish(model(2, 8, 3)).unwrap();
+        registry.publish("m", model(2, 8, 3)).unwrap();
         // A wide-open door: requests would sit for 10s without the drain.
         let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg(64, 10_000_000)));
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let b = Arc::clone(&batcher);
-                std::thread::spawn(move || b.predict(vec![i as f32; 8]))
+                std::thread::spawn(move || b.predict("m", vec![i as f32; 8]))
             })
             .collect();
         // Give the submitters a moment to enqueue, then drain.

@@ -1,0 +1,245 @@
+//! Content-addressed delta checkpoint store.
+//!
+//! Evicted variants persist as a per-tenant *manifest* (node indices +
+//! per-tensor content hashes) plus shared *blobs* — one file per distinct
+//! tensor, named by content hash. Structurally identical delta tensors
+//! across tenants land on the same blob, so disk usage scales with unique
+//! content, not tenant count (NeurStore-style tensor-level dedup).
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! blobs/<hash-hex>.t        one serialized tensor per distinct hash
+//! manifests/<id>.json       tenant manifest (version, base sig, layout)
+//! ```
+
+use nautilus_dnn::delta::{tensor_hash, DeltaEntry, GraphDelta};
+use nautilus_tensor::ser;
+use nautilus_util::{json, json_struct};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Delta store errors (IO, malformed manifests, corrupt blobs).
+#[derive(Debug)]
+pub struct StoreError(pub String);
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "delta store: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn store_err(e: impl std::fmt::Display) -> StoreError {
+    StoreError(e.to_string())
+}
+
+struct Manifest {
+    version: u32,
+    model_version: u64,
+    base_sig: u64,
+    nodes: Vec<usize>,
+    counts: Vec<usize>,
+    hashes: Vec<u64>,
+}
+
+json_struct!(Manifest { version, model_version, base_sig, nodes, counts, hashes });
+
+/// Outcome of persisting one delta.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StorePut {
+    /// Blobs newly written by this put.
+    pub blobs_written: usize,
+    /// Blobs already present (deduplicated against earlier puts).
+    pub blobs_reused: usize,
+    /// Bytes newly written (blobs only, excluding the manifest).
+    pub bytes_written: u64,
+}
+
+/// A directory-backed, content-addressed store for variant deltas.
+#[derive(Debug)]
+pub struct DeltaStore {
+    root: PathBuf,
+    blobs_written: AtomicU64,
+    blobs_reused: AtomicU64,
+    blob_bytes_written: AtomicU64,
+}
+
+impl DeltaStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("blobs")).map_err(store_err)?;
+        std::fs::create_dir_all(root.join("manifests")).map_err(store_err)?;
+        Ok(DeltaStore {
+            root,
+            blobs_written: AtomicU64::new(0),
+            blobs_reused: AtomicU64::new(0),
+            blob_bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn blob_path(&self, hash: u64) -> PathBuf {
+        self.root.join("blobs").join(format!("{hash:016x}.t"))
+    }
+
+    fn manifest_path(&self, id: &str) -> PathBuf {
+        self.root.join("manifests").join(format!("{id}.json"))
+    }
+
+    /// Persists `delta` for tenant `id` at `model_version`, deduplicating
+    /// blobs against everything already stored.
+    pub fn put(
+        &self,
+        id: &str,
+        model_version: u64,
+        delta: &GraphDelta,
+    ) -> Result<StorePut, StoreError> {
+        let mut result = StorePut::default();
+        let mut nodes = Vec::with_capacity(delta.entries.len());
+        let mut counts = Vec::with_capacity(delta.entries.len());
+        let mut hashes = Vec::new();
+        for e in &delta.entries {
+            nodes.push(e.node);
+            counts.push(e.params.len());
+            for t in &e.params {
+                let h = tensor_hash(t);
+                hashes.push(h);
+                let path = self.blob_path(h);
+                if path.exists() {
+                    result.blobs_reused += 1;
+                    self.blobs_reused.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                // Write-then-rename so a crashed put never leaves a torn
+                // blob under its final content-addressed name.
+                let bytes = ser::encode(t);
+                let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+                std::fs::write(&tmp, &bytes).map_err(store_err)?;
+                std::fs::rename(&tmp, &path).map_err(store_err)?;
+                result.blobs_written += 1;
+                result.bytes_written += bytes.len() as u64;
+                self.blobs_written.fetch_add(1, Ordering::Relaxed);
+                self.blob_bytes_written.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let manifest =
+            Manifest { version: 1, model_version, base_sig: delta.base_sig, nodes, counts, hashes };
+        let bytes = json::to_vec(&manifest);
+        let path = self.manifest_path(id);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &bytes).map_err(store_err)?;
+        std::fs::rename(&tmp, &path).map_err(store_err)?;
+        Ok(result)
+    }
+
+    /// Loads tenant `id`'s delta, verifying every blob's content hash.
+    /// Returns the model version recorded at [`DeltaStore::put`] time.
+    pub fn get(&self, id: &str) -> Result<(u64, GraphDelta), StoreError> {
+        let bytes = std::fs::read(self.manifest_path(id)).map_err(store_err)?;
+        let manifest: Manifest =
+            json::from_slice(&bytes).map_err(|e| store_err(format!("manifest for '{id}': {e}")))?;
+        if manifest.version != 1 {
+            return Err(StoreError(format!("unsupported manifest version {}", manifest.version)));
+        }
+        if manifest.nodes.len() != manifest.counts.len()
+            || manifest.hashes.len() != manifest.counts.iter().sum::<usize>()
+        {
+            return Err(StoreError(format!("inconsistent manifest for '{id}'")));
+        }
+        let mut entries = Vec::with_capacity(manifest.nodes.len());
+        let mut hi = 0usize;
+        for (&node, &count) in manifest.nodes.iter().zip(&manifest.counts) {
+            let mut params = Vec::with_capacity(count);
+            for _ in 0..count {
+                let h = manifest.hashes[hi];
+                hi += 1;
+                let blob = std::fs::read(self.blob_path(h)).map_err(store_err)?;
+                let t = ser::decode(&blob).map_err(store_err)?;
+                if tensor_hash(&t) != h {
+                    return Err(StoreError(format!("blob {h:016x} failed content verification")));
+                }
+                params.push(t);
+            }
+            entries.push(DeltaEntry { node, params });
+        }
+        Ok((manifest.model_version, GraphDelta { base_sig: manifest.base_sig, entries }))
+    }
+
+    /// Whether a manifest exists for tenant `id`.
+    pub fn contains(&self, id: &str) -> bool {
+        self.manifest_path(id).exists()
+    }
+
+    /// Lifetime counters: `(blobs_written, blobs_reused, blob_bytes_written)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.blobs_written.load(Ordering::Relaxed),
+            self.blobs_reused.load(Ordering::Relaxed),
+            self.blob_bytes_written.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nautilus_tensor::Tensor;
+
+    fn delta(vals: &[f32]) -> GraphDelta {
+        GraphDelta {
+            base_sig: 0xBA5E,
+            entries: vec![DeltaEntry {
+                node: 2,
+                params: vec![Tensor::from_vec([vals.len()], vals.to_vec()).unwrap()],
+            }],
+        }
+    }
+
+    fn tmp_store(tag: &str) -> DeltaStore {
+        let dir = std::env::temp_dir()
+            .join(format!("nautilus-deltastore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DeltaStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip_and_dedup() {
+        let s = tmp_store("rt");
+        let d = delta(&[1.0, 2.0, 3.0]);
+        let put = s.put("tenant-a", 3, &d).unwrap();
+        assert_eq!(put.blobs_written, 1);
+        // Identical content under a different tenant: blob is reused.
+        let put2 = s.put("tenant-b", 1, &d).unwrap();
+        assert_eq!(put2.blobs_written, 0);
+        assert_eq!(put2.blobs_reused, 1);
+        let (v, back) = s.get("tenant-a").unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(back.base_sig, d.base_sig);
+        assert_eq!(back.entries[0].params, d.entries[0].params);
+        assert!(s.contains("tenant-b"));
+        assert!(!s.contains("tenant-c"));
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn corrupted_blob_is_rejected() {
+        let s = tmp_store("corrupt");
+        let d = delta(&[4.0, 5.0]);
+        s.put("t", 1, &d).unwrap();
+        let h = tensor_hash(&d.entries[0].params[0]);
+        let path = s.blob_path(h);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.get("t").is_err());
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+}

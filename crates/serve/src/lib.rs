@@ -1,44 +1,62 @@
 #![warn(missing_docs)]
 
-//! Online inference serving for trained Nautilus models.
+//! Online multi-tenant inference serving for trained Nautilus models.
 //!
 //! The paper's workflow ends at model selection; this crate closes the
-//! loop for the system reproduction: the best trained model a
-//! [`ModelSelection`](nautilus_core::session::ModelSelection) exports is
-//! published to a [`registry::ModelRegistry`] and served over a minimal
-//! HTTP/1.1 loopback endpoint ([`server::Server`]).
+//! loop for the system reproduction: trained models are published into a
+//! tenant-keyed [`registry::ModelRegistry`] and served over a minimal
+//! HTTP/1.1 loopback endpoint ([`server::Server`]). Variants that share
+//! a frozen base (adapter fine-tunes of one backbone) keep the base
+//! weights resident **once** and carry only their per-tenant deltas.
 //!
 //! Design points:
 //!
-//! * **Versioned hot swap** — [`registry::ModelRegistry::publish`]
-//!   atomically replaces the current model without dropping in-flight
-//!   requests: each request pins the `Arc` of the artifact it started
-//!   with, so a swap mid-request is torn nowhere.
-//! * **Dynamic micro-batching** — concurrent predictions are fused into
-//!   one `forward_batch` call ([`batcher::MicroBatcher`]), amortizing
-//!   per-forward overhead. Batched results are **bit-identical** to
-//!   single-request execution (the kernel-dispatch pinning in
+//! * **Many models, one base** — [`registry::ModelRegistry::publish`]
+//!   splits each incoming graph into its frozen base (deduplicated by
+//!   [`nautilus_dnn::delta::base_signature`] and held in one `Arc` across
+//!   all variants) and a trainable delta (adapters + heads), with
+//!   structurally identical delta tensors interned once. Per-tenant hot
+//!   swap stays atomic: each request pins the `Arc` of the artifact it
+//!   started with.
+//! * **Cold-variant eviction** — with a configured
+//!   [`deltastore::DeltaStore`], least-recently-used deltas spill to a
+//!   content-addressed on-disk store (shared blobs, per-tenant
+//!   manifests) and fault back in transparently on the next request.
+//! * **Cross-tenant micro-batching** — concurrent predictions fuse into
+//!   one batch ([`batcher::MicroBatcher`]); records whose variants share
+//!   a base run **one** trunk forward over the union batch
+//!   ([`nautilus_dnn::exec::forward_batch_shared_trunk`]) with per-tenant
+//!   suffix passes — the serving dual of the paper's FUSE optimization.
+//!   Results stay **bit-identical** to solo single-model execution (the
+//!   kernel-dispatch pinning in
 //!   `nautilus_tensor::ops::with_batch_invariant_dispatch` guarantees the
-//!   same kernels run regardless of batch size).
+//!   same kernels run regardless of batch composition).
+//! * **Tenant routing** — `POST /predict/<id>` (or `X-Model-Id` header),
+//!   `GET /model/<id>`, `GET /models`; `/stats` reports per-tenant
+//!   prediction counts and the registry's logical-vs-stored dedup ratio.
 //! * **Bounded queues + load shedding** — the accept queue is bounded
 //!   (`SystemConfig::serving.queue_limit`); overload is answered with
 //!   `503` + `Retry-After` instead of unbounded buffering, and slow
 //!   clients get `408` instead of pinning a handler thread.
-//! * **Serving telemetry** — spans `serve.request`/`serve.batch`,
-//!   counters `serve.requests`/`serve.shed`/`serve.batches`/
-//!   `serve.batch_size`, and log2-bucketed latency histograms
-//!   `serve.request_us`/`serve.batch_us` (p50/p95/p99 in the telemetry
-//!   summary table and Chrome trace export).
+//! * **Serving telemetry** — spans `serve.request`/`serve.batch`/
+//!   `serve.evict`/`serve.fault_in`, counters `serve.requests`/
+//!   `serve.shed`/`serve.batches`/`serve.evictions`/`serve.fault_ins`/
+//!   `serve.trunk_shared_records`, and log2-bucketed latency histograms
+//!   `serve.request_us`/`serve.batch_us`.
 //!
 //! Everything is `std`-only: the HTTP parser, JSON codec, thread pool,
 //! and telemetry all come from in-tree substrates.
 
 pub mod batcher;
+pub mod deltastore;
 pub mod http;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{MicroBatcher, PredictOutput};
+pub use batcher::{MicroBatcher, PredictError, PredictOutput};
+pub use deltastore::{DeltaStore, StoreError, StorePut};
 pub use http::{Request, Response};
-pub use registry::{ModelArtifact, ModelRegistry, RegistryError};
+pub use registry::{
+    BaseModel, ModelArtifact, ModelId, ModelRegistry, ModelSummary, RegistryError, RegistryStats,
+};
 pub use server::{Server, ServerStatsSnapshot};

@@ -18,7 +18,7 @@
 
 use crate::batcher::{MicroBatcher, PredictError};
 use crate::http::{self, Limits, ReadError, Request, Response};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RegistryError};
 use nautilus_core::config::ServingConfig;
 use nautilus_util::json::Json;
 use nautilus_util::telemetry;
@@ -38,6 +38,10 @@ struct ServerStats {
     shed: AtomicU64,
     client_errors: AtomicU64,
     server_errors: AtomicU64,
+    /// Successful predictions per tenant (reported under
+    /// `/stats.tenants`; kept out of [`ServerStatsSnapshot`] so the
+    /// snapshot stays `Copy`).
+    per_tenant: Mutex<std::collections::BTreeMap<String, u64>>,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -258,49 +262,63 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     finish(stream, &response);
 }
 
+/// The tenant a request addresses: the path suffix (`/predict/<id>`,
+/// `/model/<id>`) wins, then the `X-Model-Id` header, then the
+/// registry's default tenant.
+fn tenant_of<'a>(req: &'a Request, prefix: &str, shared: &'a Shared) -> &'a str {
+    if let Some(rest) = req.path.strip_prefix(prefix) {
+        if let Some(id) = rest.strip_prefix('/') {
+            if !id.is_empty() {
+                return id;
+            }
+        }
+    }
+    match req.header("x-model-id") {
+        Some(id) if !id.is_empty() => id,
+        _ => shared.registry.default_id().as_str(),
+    }
+}
+
 fn route(req: &Request, shared: &Shared) -> Response {
     let _sp = telemetry::span("serve", "serve.request");
     let t0 = Instant::now();
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     telemetry::SERVE_REQUESTS.add(1);
     let resp = match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => predict(req, shared),
-        ("GET", "/healthz") => Response::json(
-            200,
-            &Json::obj([
-                ("status", Json::Str("ok".into())),
-                ("model_version", Json::Int(shared.registry.version() as i128)),
-            ]),
-        ),
-        ("GET", "/stats") => {
-            let s = shared.stats.snapshot();
+        ("POST", p) if p == "/predict" || p.starts_with("/predict/") => {
+            predict(req, tenant_of(req, "/predict", shared), shared)
+        }
+        ("GET", "/healthz") => {
+            let s = shared.registry.stats();
             Response::json(
                 200,
                 &Json::obj([
-                    ("requests", Json::Int(s.requests as i128)),
-                    ("predictions", Json::Int(s.predictions as i128)),
-                    ("shed", Json::Int(s.shed as i128)),
-                    ("client_errors", Json::Int(s.client_errors as i128)),
-                    ("server_errors", Json::Int(s.server_errors as i128)),
+                    ("status", Json::Str("ok".into())),
+                    ("resident_variants", Json::Int(s.resident_variants as i128)),
+                    ("evicted_variants", Json::Int(s.evicted_variants as i128)),
                 ]),
             )
         }
-        ("GET", "/model") => match shared.registry.current() {
-            Some(a) => Response::json(
-                200,
-                &Json::obj([
-                    ("version", Json::Int(a.version as i128)),
-                    (
-                        "input_shape",
-                        Json::Arr(
-                            a.record_shape.0.iter().map(|&d| Json::Int(d as i128)).collect(),
-                        ),
-                    ),
-                    ("input_elements", Json::Int(a.record_elems as i128)),
-                ]),
-            ),
-            None => Response::error(404, "no model published"),
-        },
+        ("GET", "/stats") => stats(shared),
+        ("GET", "/models") => {
+            let rows = shared
+                .registry
+                .list()
+                .into_iter()
+                .map(|m| {
+                    Json::obj([
+                        ("id", Json::Str(m.id.as_str().into())),
+                        ("version", Json::Int(m.version as i128)),
+                        ("resident", Json::Bool(m.resident)),
+                        ("delta_bytes", Json::Int(m.delta_bytes as i128)),
+                    ])
+                })
+                .collect();
+            Response::json(200, &Json::obj([("models", Json::Arr(rows))]))
+        }
+        ("GET", p) if p == "/model" || p.starts_with("/model/") => {
+            model_meta(tenant_of(req, "/model", shared), shared)
+        }
         ("POST" | "GET", _) => Response::error(404, "unknown endpoint"),
         _ => Response::error(405, "method not allowed"),
     };
@@ -308,9 +326,77 @@ fn route(req: &Request, shared: &Shared) -> Response {
     resp
 }
 
-/// `POST /predict` with body `{"inputs": [f32...]}` → `{"model_version",
-/// "batch_size", "outputs": [f32...]}`.
-fn predict(req: &Request, shared: &Shared) -> Response {
+/// `GET /stats`: request counters, per-tenant prediction counts, and the
+/// registry's residency/dedup accounting.
+fn stats(shared: &Shared) -> Response {
+    let s = shared.stats.snapshot();
+    let r = shared.registry.stats();
+    let tenants: Vec<Json> = shared
+        .stats
+        .per_tenant
+        .lock()
+        .expect("per-tenant stats lock")
+        .iter()
+        .map(|(id, n)| {
+            Json::obj([
+                ("id", Json::Str(id.clone())),
+                ("predictions", Json::Int(*n as i128)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::obj([
+            ("requests", Json::Int(s.requests as i128)),
+            ("predictions", Json::Int(s.predictions as i128)),
+            ("shed", Json::Int(s.shed as i128)),
+            ("client_errors", Json::Int(s.client_errors as i128)),
+            ("server_errors", Json::Int(s.server_errors as i128)),
+            ("tenants", Json::Arr(tenants)),
+            (
+                "registry",
+                Json::obj([
+                    ("resident_variants", Json::Int(r.resident_variants as i128)),
+                    ("evicted_variants", Json::Int(r.evicted_variants as i128)),
+                    ("bases", Json::Int(r.bases as i128)),
+                    ("bytes_logical", Json::Int(r.bytes_logical as i128)),
+                    ("bytes_stored", Json::Int(r.bytes_stored as i128)),
+                    ("unique_delta_entries", Json::Int(r.unique_delta_entries as i128)),
+                    ("dedup_ratio", Json::Num(r.dedup_ratio())),
+                    ("evictions", Json::Int(r.evictions as i128)),
+                    ("fault_ins", Json::Int(r.fault_ins as i128)),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// `GET /model[/<id>]`: shape and residency metadata for one tenant.
+fn model_meta(id: &str, shared: &Shared) -> Response {
+    match shared.registry.get(id) {
+        Ok(a) => Response::json(
+            200,
+            &Json::obj([
+                ("id", Json::Str(a.id.as_str().into())),
+                ("version", Json::Int(a.version as i128)),
+                (
+                    "input_shape",
+                    Json::Arr(a.record_shape.0.iter().map(|&d| Json::Int(d as i128)).collect()),
+                ),
+                ("input_elements", Json::Int(a.record_elems as i128)),
+                ("delta_bytes", Json::Int(a.delta_bytes as i128)),
+                ("base_sig", Json::Str(format!("{:016x}", a.base.sig))),
+            ]),
+        ),
+        Err(RegistryError::UnknownModel(_)) => Response::error(404, "no model published"),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /predict[/<id>]` with body `{"inputs": [f32...]}` →
+/// `{"model_id", "model_version", "batch_size", "trunk_batch",
+/// "outputs": [f32...]}`.
+fn predict(req: &Request, id: &str, shared: &Shared) -> Response {
     let parsed: Result<Json, _> = nautilus_util::json::from_slice(&req.body);
     let Ok(body) = parsed else {
         return Response::error(400, "body is not valid JSON");
@@ -325,14 +411,23 @@ fn predict(req: &Request, shared: &Shared) -> Response {
             None => return Response::error(422, "'inputs' must be numbers"),
         }
     }
-    match shared.batcher.predict(record) {
+    match shared.batcher.predict(id, record) {
         Ok(out) => {
             shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            *shared
+                .stats
+                .per_tenant
+                .lock()
+                .expect("per-tenant stats lock")
+                .entry(out.model_id.clone())
+                .or_insert(0) += 1;
             Response::json(
                 200,
                 &Json::obj([
+                    ("model_id", Json::Str(out.model_id)),
                     ("model_version", Json::Int(out.version as i128)),
                     ("batch_size", Json::Int(out.batch_size as i128)),
+                    ("trunk_batch", Json::Int(out.trunk_batch as i128)),
                     (
                         "outputs",
                         Json::Arr(out.values.iter().map(|&x| Json::Num(x as f64)).collect()),
@@ -340,9 +435,12 @@ fn predict(req: &Request, shared: &Shared) -> Response {
                 ]),
             )
         }
-        Err(PredictError::NoModel) => Response::error(503, "no model published"),
+        Err(PredictError::UnknownModel(id)) => {
+            Response::error(404, &format!("no model published under '{id}'"))
+        }
         Err(e @ PredictError::BadShape { .. }) => Response::error(422, &e.to_string()),
         Err(PredictError::Shutdown) => Response::error(503, "server draining"),
+        Err(PredictError::Registry(m)) => Response::error(500, &m),
         Err(PredictError::Exec(m)) => Response::error(500, &m),
     }
 }
@@ -374,7 +472,7 @@ mod tests {
 
     fn start(cfg: &ServingConfig) -> (Server, String) {
         let registry = Arc::new(ModelRegistry::new());
-        registry.publish(model(5)).unwrap();
+        registry.publish("default", model(5)).unwrap();
         let server = Server::start(registry, cfg, 0).unwrap();
         let addr = server.addr().to_string();
         (server, addr)
@@ -392,11 +490,17 @@ mod tests {
 
         let (status, health) = get(&addr, "/healthz");
         assert_eq!(status, 200);
-        assert_eq!(health.get("model_version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(health.get("resident_variants").and_then(|v| v.as_u64()), Some(1));
 
         let (status, meta) = get(&addr, "/model");
         assert_eq!(status, 200);
         assert_eq!(meta.get("input_elements").and_then(|v| v.as_u64()), Some(8));
+        // The explicit-tenant path reaches the same variant.
+        let (status, meta) = get(&addr, "/model/default");
+        assert_eq!(status, 200);
+        assert_eq!(meta.get("version").and_then(|v| v.as_u64()), Some(1));
+        let (status, _) = get(&addr, "/model/nobody");
+        assert_eq!(status, 404);
 
         let body = br#"{"inputs": [1, 0.5, -1, 2, 0, 0.25, -0.5, 3]}"#;
         let (status, raw) =
@@ -405,6 +509,20 @@ mod tests {
         assert_eq!(status, 200, "{}", String::from_utf8_lossy(&raw));
         let out: Json = nautilus_util::json::from_slice(&raw).unwrap();
         assert_eq!(out.get("outputs").and_then(|v| v.as_arr()).map(|a| a.len()), Some(3));
+        assert_eq!(out.get("model_id").and_then(|v| v.as_str()), Some("default"));
+
+        let (status, listing) = get(&addr, "/models");
+        assert_eq!(status, 200);
+        assert_eq!(listing.get("models").and_then(|v| v.as_arr()).map(|a| a.len()), Some(1));
+
+        let (status, st) = get(&addr, "/stats");
+        assert_eq!(status, 200);
+        let reg = st.get("registry").expect("registry block in /stats");
+        assert_eq!(reg.get("resident_variants").and_then(|v| v.as_u64()), Some(1));
+        assert!(reg.get("dedup_ratio").and_then(|v| v.as_f64()).is_some());
+        let tenants = st.get("tenants").and_then(|v| v.as_arr()).expect("tenants");
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].get("predictions").and_then(|v| v.as_u64()), Some(1));
 
         let (status, _) = get(&addr, "/nope");
         assert_eq!(status, 404);
@@ -412,6 +530,44 @@ mod tests {
         let stats = server.shutdown();
         assert!(stats.requests >= 4);
         assert_eq!(stats.predictions, 1);
+    }
+
+    /// Two tenants behind one endpoint: path routing reaches the right
+    /// variant, and an unknown tenant is a 404, not a 503.
+    #[test]
+    fn routes_predictions_per_tenant() {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("alice", model(11)).unwrap();
+        registry.publish("bob", model(22)).unwrap();
+        let server = Server::start(registry, &ServingConfig::default(), 0).unwrap();
+        let addr = server.addr().to_string();
+
+        let body = br#"{"inputs": [1, 2, 3, 4, 5, 6, 7, 8]}"#;
+        let mut outs = Vec::new();
+        for tenant in ["alice", "bob"] {
+            let (status, raw) = http::request(
+                &addr,
+                "POST",
+                &format!("/predict/{tenant}"),
+                Some(body),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{}", String::from_utf8_lossy(&raw));
+            let out: Json = nautilus_util::json::from_slice(&raw).unwrap();
+            assert_eq!(out.get("model_id").and_then(|v| v.as_str()), Some(tenant));
+            outs.push(out.get("outputs").unwrap().to_string());
+        }
+        assert_ne!(outs[0], outs[1], "different tenants must answer differently");
+
+        let (status, raw) =
+            http::request(&addr, "POST", "/predict/nobody", Some(body), Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(status, 404, "{}", String::from_utf8_lossy(&raw));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.predictions, 2);
+        assert_eq!(stats.client_errors, 1);
     }
 
     #[test]

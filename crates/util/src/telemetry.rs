@@ -535,6 +535,13 @@ declare_counters! {
     /// Records carried by those micro-batches (mean batch size =
     /// `serve.batch_size / serve.batches`).
     SERVE_BATCH_RECORDS => "serve.batch_size";
+    /// Variant deltas evicted from the registry to the delta store.
+    SERVE_EVICTIONS => "serve.evictions";
+    /// Variant deltas faulted back in from the delta store.
+    SERVE_FAULT_INS => "serve.fault_ins";
+    /// Records served through a shared base-trunk forward pass alongside
+    /// at least one other tenant's records.
+    SERVE_TRUNK_SHARED_RECORDS => "serve.trunk_shared_records";
     /// FLOPs executed/charged by the backend.
     FLOPS => "flops";
     /// Bytes read from disk (page-cache misses).

@@ -56,7 +56,7 @@ fn main() -> Result<(), NautilusError> {
     checkpoint::save(&exported, &ckpt).map_err(|e| NautilusError::Other(e.to_string()))?;
     let registry = Arc::new(ModelRegistry::new());
     let version = registry
-        .publish_from_checkpoint(&ckpt)
+        .publish_from_checkpoint("default", &ckpt)
         .map_err(|e| NautilusError::Other(e.to_string()))?;
     println!("exported candidate #{ci}, checkpointed to {}, published as v{version}", ckpt.display());
 
@@ -83,7 +83,7 @@ fn main() -> Result<(), NautilusError> {
     // --- Concurrent clients; verify every answer bit-for-bit ---
     const CLIENTS: usize = 8;
     const REQUESTS_PER_CLIENT: usize = 4;
-    let art = registry.current().expect("model published");
+    let art = registry.get("default").expect("model published");
     let record_elems = art.record_elems;
 
     let expect = |record: &[f32]| -> Vec<f32> {

@@ -177,7 +177,7 @@ impl Gen for Interleaving {
 fn batcher_outputs_match_serial_execution_for_any_interleaving() {
     let g = model(0xBA7C, 16, 4);
     let registry = Arc::new(ModelRegistry::new());
-    registry.publish(g.clone()).unwrap();
+    registry.publish("default", g.clone()).unwrap();
     let g = Arc::new(g);
 
     prop_check(0x5E27_0002, 24, &Interleaving, |case| {
@@ -198,7 +198,7 @@ fn batcher_outputs_match_serial_execution_for_any_interleaving() {
                 let r = r.clone();
                 std::thread::spawn(move || {
                     std::thread::sleep(Duration::from_micros(delay));
-                    b.predict(r)
+                    b.predict("default", r)
                 })
             })
             .collect();
@@ -241,7 +241,7 @@ fn hot_swap_under_concurrent_requests_never_tears() {
         .collect();
 
     let registry = Arc::new(ModelRegistry::new());
-    registry.publish_from_checkpoint(&dir.join("v0.bin")).unwrap();
+    registry.publish_from_checkpoint("default", &dir.join("v0.bin")).unwrap();
     let cfg = ServingConfig {
         max_batch: 4,
         max_delay_us: 500,
@@ -308,7 +308,9 @@ fn hot_swap_under_concurrent_requests_never_tears() {
     // Hot-swap through the remaining versions while clients hammer.
     for seed in 1..VERSIONS as u64 {
         std::thread::sleep(Duration::from_millis(30));
-        let v = registry.publish_from_checkpoint(&dir.join(format!("v{seed}.bin"))).unwrap();
+        let v = registry
+            .publish_from_checkpoint("default", &dir.join(format!("v{seed}.bin")))
+            .unwrap();
         assert_eq!(v, seed + 1);
     }
     std::thread::sleep(Duration::from_millis(30));
@@ -323,6 +325,137 @@ fn hot_swap_under_concurrent_requests_never_tears() {
 }
 
 // ---------------------------------------------------------------------
+// Integration: 16 adapter variants of one frozen base served from one
+// registry — the base is resident exactly once (Arc identity), the
+// stored footprint is a fraction of the logical one, and every tenant's
+// answer is bit-identical to solo single-model serving.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sixteen_variants_share_one_resident_base_and_stay_bit_identical() {
+    use nautilus_repro::models::{bert, personalize, BuildScale};
+    const VARIANTS: usize = 16;
+    let cfg = bert::BertConfig::tiny(8, 50);
+    let template = bert::adapter_model(&cfg, 2, 8, 9, BuildScale::Real).unwrap();
+    let variants: Vec<ModelGraph> =
+        (0..VARIANTS as u64).map(|t| personalize(&template, t).unwrap()).collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    for (t, g) in variants.iter().enumerate() {
+        registry.publish(&format!("tenant-{t}"), g.clone()).unwrap();
+    }
+
+    // The frozen base is one Arc shared by every artifact.
+    let first = registry.get("tenant-0").unwrap();
+    for t in 1..VARIANTS {
+        let a = registry.get(&format!("tenant-{t}")).unwrap();
+        assert!(
+            Arc::ptr_eq(&first.base, &a.base),
+            "tenant-{t} holds a separate copy of the base"
+        );
+    }
+
+    // Stored-bytes accounting agrees: 16 logical models, ~1 base stored.
+    let stats = registry.stats();
+    assert_eq!(stats.resident_variants, VARIANTS);
+    assert_eq!(stats.bases, 1);
+    assert!(
+        stats.dedup_ratio() >= 5.0,
+        "dedup ratio {:.2} below the 5x gate (logical {} / stored {})",
+        stats.dedup_ratio(),
+        stats.bytes_logical,
+        stats.bytes_stored
+    );
+
+    // Batched, cross-tenant serving answers bit-identically to solo
+    // forwards over each tenant's full standalone graph.
+    let cfg = ServingConfig { max_batch: 32, max_delay_us: 20_000, ..ServingConfig::default() };
+    let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg));
+    let record: Vec<f32> = (0..8).map(|i| (i % 50) as f32).collect();
+    let handles: Vec<_> = (0..VARIANTS)
+        .map(|t| {
+            let b = Arc::clone(&batcher);
+            let r = record.clone();
+            std::thread::spawn(move || b.predict(&format!("tenant-{t}"), r).unwrap())
+        })
+        .collect();
+    for (t, h) in handles.into_iter().enumerate() {
+        let out = h.join().unwrap();
+        assert_eq!(
+            out.values,
+            solo_forward(&variants[t], &record),
+            "tenant-{t}: multi-tenant serving diverged from solo"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integration (delta round-trip): export → delta checkpoint → evict →
+// fault-in → predict, bit-identical to the never-evicted artifact, while
+// a *different* tenant is concurrently hot-swapped.
+// ---------------------------------------------------------------------
+
+#[test]
+fn evicted_variant_faults_in_bit_identical_under_concurrent_hot_swaps() {
+    use nautilus_repro::models::{bert, personalize, BuildScale};
+    let dir = std::env::temp_dir().join(format!("nautilus-serve-delta-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = bert::BertConfig::tiny(8, 50);
+    let template = bert::adapter_model(&cfg, 2, 8, 9, BuildScale::Real).unwrap();
+    let stable = personalize(&template, 7).unwrap();
+
+    let serving = nautilus_repro::core::config::SystemConfig::builder()
+        .serve_delta_store_dir(dir.to_str().unwrap())
+        .build()
+        .serving
+        .clone();
+    let registry = Arc::new(ModelRegistry::with_config(&serving).unwrap());
+    registry.publish("stable", stable.clone()).unwrap();
+    registry.publish("churner", personalize(&template, 1000).unwrap()).unwrap();
+
+    let record: Vec<f32> = (0..8).map(|i| (i * 3 % 50) as f32).collect();
+    let want = solo_forward(&stable, &record);
+
+    // Baseline: never-evicted prediction matches solo execution.
+    let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &ServingConfig::default()));
+    assert_eq!(batcher.predict("stable", record.clone()).unwrap().values, want);
+
+    // Hammer hot swaps of the *other* tenant while "stable" round-trips
+    // through the delta store.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn = {
+        let registry = Arc::clone(&registry);
+        let template = template.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut v = 1u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                v += 1;
+                registry.publish("churner", personalize(&template, 1000 + v).unwrap()).unwrap();
+            }
+        })
+    };
+
+    for round in 0..5 {
+        registry.evict("stable").unwrap();
+        let listed = registry.list();
+        let row = listed.iter().find(|m| m.id.as_str() == "stable").unwrap();
+        assert!(!row.resident, "round {round}: evict left the variant resident");
+        // The next predict faults the delta back in transparently.
+        let out = batcher.predict("stable", record.clone()).unwrap();
+        assert_eq!(out.values, want, "round {round}: fault-in changed the answer");
+        assert_eq!(out.version, 1, "round {round}: fault-in bumped the version");
+    }
+    let stats = registry.stats();
+    assert!(stats.evictions >= 5 && stats.fault_ins >= 5, "{stats:?}");
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    churn.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
 // Integration: overload. A burst larger than the bounded queue gets some
 // 503s with Retry-After, zero unanswered connections, and a clean drain.
 // ---------------------------------------------------------------------
@@ -331,7 +464,7 @@ fn hot_swap_under_concurrent_requests_never_tears() {
 fn overload_sheds_cleanly_and_answers_every_connection() {
     const BURST: usize = 24;
     let registry = Arc::new(ModelRegistry::new());
-    registry.publish(model(77, 8, 2)).unwrap();
+    registry.publish("default", model(77, 8, 2)).unwrap();
     // One handler + a wide-open batching door make each prediction slow
     // (~40ms), so a burst must pile up on the 2-slot accept queue.
     let cfg = ServingConfig {
@@ -386,7 +519,7 @@ fn overload_sheds_cleanly_and_answers_every_connection() {
 fn stalled_client_gets_request_timeout() {
     use std::io::{Read, Write};
     let registry = Arc::new(ModelRegistry::new());
-    registry.publish(model(9, 8, 2)).unwrap();
+    registry.publish("default", model(9, 8, 2)).unwrap();
     let cfg = ServingConfig { request_timeout_ms: 150, ..ServingConfig::default() };
     let server = Server::start(registry, &cfg, 0).unwrap();
 
