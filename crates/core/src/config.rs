@@ -197,6 +197,72 @@ impl Default for ServingConfig {
     }
 }
 
+/// Knobs for the live observability plane: metric recording for the
+/// server's `/metrics` exposition, the health watchdog's sampling tick
+/// and SLO thresholds, and the structured event log.
+///
+/// SLO thresholds follow the convention `0` = "not enforced": the
+/// watchdog still samples and exposes its rolling windows, but never
+/// flips `/healthz` to `degraded` on that signal. This keeps default
+/// deployments (and the existing test matrix) healthy unless an operator
+/// opts into a budget.
+#[derive(Debug, Clone)]
+pub struct ObservabilityConfig {
+    /// Record counters/gauges/histograms while the server runs (powers
+    /// `/metrics` and the `/stats` latency block). Metric recording is
+    /// independent of span tracing, so this does not grow trace buffers.
+    pub metrics: bool,
+    /// Health-watchdog sampling period, milliseconds. `0` disables the
+    /// watchdog thread entirely (`/healthz` then reports instantaneous
+    /// component state only).
+    pub watchdog_tick_ms: u64,
+    /// Rolling-window length, in ticks, over which SLO signals are
+    /// evaluated; health recovers after one clean window.
+    pub watchdog_window: usize,
+    /// Degrade when the micro-batcher queue depth exceeds this at any
+    /// sampled tick in the window. `0` = not enforced.
+    pub slo_queue_depth: usize,
+    /// Degrade when the windowed p99 of `serve.batch_us` exceeds this,
+    /// microseconds. `0` = not enforced.
+    pub slo_batch_p99_us: u64,
+    /// Degrade when more than this many requests were shed within the
+    /// window. `0` = not enforced.
+    pub slo_shed_per_window: u64,
+    /// Structured event-log destination: a file path, or `stderr`/`-`
+    /// for standard error. `None` leaves the log to the `NAUTILUS_LOG`
+    /// environment variable.
+    pub log: Option<String>,
+    /// Minimum event level written to the log: `debug`, `info`, `warn`,
+    /// or `error`.
+    pub log_level: String,
+}
+
+json_struct!(ObservabilityConfig {
+    metrics,
+    watchdog_tick_ms,
+    watchdog_window,
+    slo_queue_depth,
+    slo_batch_p99_us,
+    slo_shed_per_window,
+    log,
+    log_level
+});
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            metrics: true,
+            watchdog_tick_ms: 100,
+            watchdog_window: 10,
+            slo_queue_depth: 0,
+            slo_batch_p99_us: 0,
+            slo_shed_per_window: 0,
+            log: None,
+            log_level: "info".to_string(),
+        }
+    }
+}
+
 /// Full system configuration (paper §3: budgets, expected maximum records,
 /// throughput values; all user-overridable).
 #[derive(Debug, Clone)]
@@ -237,6 +303,9 @@ pub struct SystemConfig {
     /// Feature-store I/O pipeline knobs (prefetch, write-behind,
     /// calibration).
     pub io: IoConfig,
+    /// Live observability knobs (`/metrics`, health watchdog SLOs,
+    /// structured event log).
+    pub observability: ObservabilityConfig,
 }
 
 json_struct!(SystemConfig {
@@ -252,7 +321,8 @@ json_struct!(SystemConfig {
     threads,
     trace,
     serving,
-    io
+    io,
+    observability
 });
 
 impl Default for SystemConfig {
@@ -271,6 +341,7 @@ impl Default for SystemConfig {
             trace: None,
             serving: ServingConfig::default(),
             io: IoConfig::default(),
+            observability: ObservabilityConfig::default(),
         }
     }
 }
@@ -501,6 +572,60 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Replaces the whole observability configuration.
+    pub fn observability(mut self, v: ObservabilityConfig) -> Self {
+        self.cfg.observability = v;
+        self
+    }
+
+    /// Record live metrics while the server runs (powers `/metrics`).
+    pub fn obs_metrics(mut self, v: bool) -> Self {
+        self.cfg.observability.metrics = v;
+        self
+    }
+
+    /// Health-watchdog sampling period, milliseconds (`0` disables).
+    pub fn obs_watchdog_tick_ms(mut self, v: u64) -> Self {
+        self.cfg.observability.watchdog_tick_ms = v;
+        self
+    }
+
+    /// Rolling-window length, in watchdog ticks.
+    pub fn obs_watchdog_window(mut self, v: usize) -> Self {
+        self.cfg.observability.watchdog_window = v;
+        self
+    }
+
+    /// SLO: maximum tolerated micro-batcher queue depth (`0` = off).
+    pub fn obs_slo_queue_depth(mut self, v: usize) -> Self {
+        self.cfg.observability.slo_queue_depth = v;
+        self
+    }
+
+    /// SLO: maximum tolerated windowed batch-latency p99, µs (`0` = off).
+    pub fn obs_slo_batch_p99_us(mut self, v: u64) -> Self {
+        self.cfg.observability.slo_batch_p99_us = v;
+        self
+    }
+
+    /// SLO: maximum tolerated shed requests per window (`0` = off).
+    pub fn obs_slo_shed_per_window(mut self, v: u64) -> Self {
+        self.cfg.observability.slo_shed_per_window = v;
+        self
+    }
+
+    /// Structured event-log destination (path, or `stderr`/`-`).
+    pub fn obs_log(mut self, dest: impl Into<String>) -> Self {
+        self.cfg.observability.log = Some(dest.into());
+        self
+    }
+
+    /// Minimum event level written to the log.
+    pub fn obs_log_level(mut self, level: impl Into<String>) -> Self {
+        self.cfg.observability.log_level = level.into();
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> SystemConfig {
         self.cfg
@@ -632,6 +757,50 @@ mod tests {
         assert!(!back.prefetch && back.calibrate);
         assert_eq!(back.io_threads, 5);
         assert_eq!(back.read_delay_ms, 7);
+    }
+
+    #[test]
+    fn observability_knobs_build_and_round_trip() {
+        use nautilus_util::json::{FromJson, ToJson};
+        let cfg = SystemConfig::builder()
+            .obs_metrics(false)
+            .obs_watchdog_tick_ms(25)
+            .obs_watchdog_window(6)
+            .obs_slo_queue_depth(4)
+            .obs_slo_batch_p99_us(50_000)
+            .obs_slo_shed_per_window(2)
+            .obs_log("/tmp/events.jsonl")
+            .obs_log_level("warn")
+            .build();
+        assert!(!cfg.observability.metrics);
+        assert_eq!(cfg.observability.watchdog_tick_ms, 25);
+        assert_eq!(cfg.observability.watchdog_window, 6);
+        assert_eq!(cfg.observability.slo_queue_depth, 4);
+        assert_eq!(cfg.observability.slo_batch_p99_us, 50_000);
+        assert_eq!(cfg.observability.slo_shed_per_window, 2);
+        assert_eq!(cfg.observability.log.as_deref(), Some("/tmp/events.jsonl"));
+        assert_eq!(cfg.observability.log_level, "warn");
+
+        let bytes = nautilus_util::json::to_vec(&cfg.observability.to_json());
+        let back =
+            ObservabilityConfig::from_json(&nautilus_util::json::from_slice(&bytes).unwrap())
+                .expect("observability config round-trips through json");
+        assert!(!back.metrics);
+        assert_eq!(back.watchdog_tick_ms, 25);
+        assert_eq!(back.slo_queue_depth, 4);
+        assert_eq!(back.log.as_deref(), Some("/tmp/events.jsonl"));
+    }
+
+    #[test]
+    fn observability_defaults_record_metrics_but_enforce_no_slos() {
+        let o = ObservabilityConfig::default();
+        assert!(o.metrics, "metrics power /metrics and must default on");
+        assert!(o.watchdog_tick_ms > 0 && o.watchdog_window > 0);
+        assert_eq!(
+            (o.slo_queue_depth, o.slo_batch_p99_us, o.slo_shed_per_window),
+            (0, 0, 0),
+            "SLO budgets are opt-in: default deployments never self-degrade"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod trainer;
 pub mod workloads;
 
 pub use backend::BackendKind;
-pub use config::{HardwareProfile, PlannerCosts, SystemConfig, SystemConfigBuilder};
+pub use config::{
+    HardwareProfile, ObservabilityConfig, PlannerCosts, SystemConfig, SystemConfigBuilder,
+};
 pub use error::NautilusError;
 pub use metrics::{CycleReport, RunStats};
 pub use session::{ModelSelection, Strategy};

@@ -28,7 +28,7 @@ use nautilus_dnn::checkpoint::checkpoint_bytes;
 use nautilus_dnn::graph::GraphError;
 use nautilus_dnn::{ModelGraph, NodeId};
 use nautilus_store::{IoCalibration, IoPolicy, SharedIoStats, StoreError, TensorStore};
-use nautilus_util::telemetry;
+use nautilus_util::{eventlog, telemetry};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -194,6 +194,7 @@ impl ModelSelection {
         std::fs::create_dir_all(&workdir)
             .map_err(|e| SessionError::Invalid(format!("workdir: {e}")))?;
         telemetry::init_from_env();
+        eventlog::init_from_env();
         if let Some(path) = &config.trace {
             telemetry::enable_to(path.clone());
         }
@@ -244,6 +245,25 @@ impl ModelSelection {
             match nautilus_store::calibrate::probe(&workdir, config.io.calibrate_probe_bytes) {
                 Ok(cal) => {
                     config.planner.disk_bytes_per_sec = cal.seq_read_bytes_per_sec;
+                    if telemetry::metrics_enabled() {
+                        telemetry::CALIBRATED_SEQ_READ_BPS
+                            .set(cal.seq_read_bytes_per_sec as i64);
+                        telemetry::CALIBRATED_RAND_READ_BPS
+                            .set(cal.rand_read_bytes_per_sec as i64);
+                        telemetry::CALIBRATED_WRITE_BPS.set(cal.write_bytes_per_sec as i64);
+                    }
+                    eventlog::info(
+                        "io.calibration",
+                        &[
+                            ("seq_read_bps", eventlog::Value::F64(cal.seq_read_bytes_per_sec)),
+                            (
+                                "rand_read_bps",
+                                eventlog::Value::F64(cal.rand_read_bytes_per_sec),
+                            ),
+                            ("write_bps", eventlog::Value::F64(cal.write_bytes_per_sec)),
+                            ("probe_bytes", eventlog::Value::U64(cal.probe_bytes)),
+                        ],
+                    );
                     Some(cal)
                 }
                 // A failed probe (exotic filesystem, no space) is not

@@ -147,9 +147,16 @@ impl MicroBatcher {
                 return Err(PredictError::Shutdown);
             }
             st.queue.push(Pending { record, artifact, reply: tx });
+            telemetry::SERVE_BATCH_QUEUE_DEPTH.set(st.queue.len() as i64);
         }
         self.inner.cv.notify_all();
         rx.recv().unwrap_or(Err(PredictError::Shutdown))
+    }
+
+    /// Requests currently waiting in the batch queue — sampled by the
+    /// health watchdog and reported by `/healthz`.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().expect("batcher lock").queue.len()
     }
 
     /// Submits one record for the registry's default tenant.
@@ -205,6 +212,7 @@ fn batcher_loop(inner: &Inner) {
         }
         let n = st.queue.len().min(inner.max_batch);
         let batch: Vec<Pending> = st.queue.drain(..n).collect();
+        telemetry::SERVE_BATCH_QUEUE_DEPTH.set(st.queue.len() as i64);
         drop(st);
         run_batch(batch);
     }

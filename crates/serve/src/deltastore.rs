@@ -85,6 +85,14 @@ impl DeltaStore {
         &self.root
     }
 
+    /// Cheap writability probe for health checks: the blob directory must
+    /// exist and not be read-only.
+    pub fn writable(&self) -> bool {
+        std::fs::metadata(self.root.join("blobs"))
+            .map(|m| m.is_dir() && !m.permissions().readonly())
+            .unwrap_or(false)
+    }
+
     fn blob_path(&self, hash: u64) -> PathBuf {
         self.root.join("blobs").join(format!("{hash:016x}.t"))
     }

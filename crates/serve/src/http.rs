@@ -272,6 +272,16 @@ impl Response {
         Response { status, headers: Vec::new(), body: value.to_string().into_bytes() }
     }
 
+    /// A response with an explicit content type (suppresses the
+    /// `application/json` default).
+    pub fn text(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type", content_type.to_string())],
+            body: body.into(),
+        }
+    }
+
     /// A JSON error body `{"error": message}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(status, &Json::obj([("error", Json::Str(message.into()))]))
@@ -289,7 +299,9 @@ impl Response {
         out.extend_from_slice(
             format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status)).as_bytes(),
         );
-        out.extend_from_slice(b"Content-Type: application/json\r\n");
+        if !self.headers.iter().any(|(k, _)| k.eq_ignore_ascii_case("Content-Type")) {
+            out.extend_from_slice(b"Content-Type: application/json\r\n");
+        }
         out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());

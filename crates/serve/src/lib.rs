@@ -42,7 +42,18 @@
 //!   `serve.evict`/`serve.fault_in`, counters `serve.requests`/
 //!   `serve.shed`/`serve.batches`/`serve.evictions`/`serve.fault_ins`/
 //!   `serve.trunk_shared_records`, and log2-bucketed latency histograms
-//!   `serve.request_us`/`serve.batch_us`.
+//!   `serve.request_us`/`serve.batch_us` (also recorded per tenant and
+//!   endpoint as bounded-cardinality labeled families).
+//! * **Observability plane** — `GET /metrics` renders every counter,
+//!   gauge, and histogram in Prometheus text format; `GET /healthz`
+//!   aggregates per-component readiness (registry residency vs cap,
+//!   delta-store writability, queue depths, pool liveness, watchdog
+//!   verdict) into `ok`/`degraded` (`200`/`503`); a watchdog thread
+//!   samples queue depths, shed rate, and batch-latency p99 into rolling
+//!   windows and degrades health while an
+//!   [`nautilus_core::config::ObservabilityConfig`] SLO is breached;
+//!   discrete transitions (publish, evict, fault-in, shed, SLO breach)
+//!   go to the structured `nautilus_util::eventlog`.
 //!
 //! Everything is `std`-only: the HTTP parser, JSON codec, thread pool,
 //! and telemetry all come from in-tree substrates.

@@ -28,7 +28,7 @@ use nautilus_dnn::delta::{
 use nautilus_dnn::exec::ParamOverrides;
 use nautilus_dnn::{ModelGraph, NodeId};
 use nautilus_tensor::Shape;
-use nautilus_util::telemetry;
+use nautilus_util::{eventlog, telemetry};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -350,6 +350,34 @@ impl ModelRegistry {
         &self.default_id
     }
 
+    /// The residency cap (`usize::MAX` when eviction is disabled).
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Whether the delta store accepts writes; `None` when no store is
+    /// configured (eviction disabled, which is healthy by definition).
+    pub fn store_writable(&self) -> Option<bool> {
+        self.store.as_ref().map(|s| s.writable())
+    }
+
+    /// Refreshes the registry-owned gauges (resident variants, bytes the
+    /// delta store has persisted) after a mutation. `inner` must be held.
+    fn refresh_gauges(&self, inner: &Inner) {
+        if !telemetry::metrics_enabled() {
+            return;
+        }
+        let resident = inner
+            .variants
+            .values()
+            .filter(|s| matches!(s.state, VariantState::Resident { .. }))
+            .count();
+        telemetry::SERVE_RESIDENT_VARIANTS.set(resident as i64);
+        if let Some(store) = &self.store {
+            telemetry::SERVE_DELTA_STORE_BYTES.set(store.counters().2 as i64);
+        }
+    }
+
     fn validate(graph: &ModelGraph) -> Result<(NodeId, NodeId, Shape), RegistryError> {
         let inputs = graph.input_ids();
         if inputs.len() != 1 {
@@ -437,6 +465,7 @@ impl ModelRegistry {
             last_used: self.clock.fetch_add(1, Ordering::Relaxed),
             delta_bytes,
         };
+        let tenant = id.0.clone();
         if let Some(old) = inner.variants.insert(id, slot) {
             if let VariantState::Resident { pool_keys, .. } = old.state {
                 for (h, arc) in &pool_keys {
@@ -445,6 +474,15 @@ impl ModelRegistry {
             }
         }
         self.enforce_capacity(&mut inner)?;
+        self.refresh_gauges(&inner);
+        eventlog::info(
+            "serve.publish",
+            &[
+                ("tenant", eventlog::Value::Str(&tenant)),
+                ("version", eventlog::Value::U64(version)),
+                ("delta_bytes", eventlog::Value::U64(delta_bytes as u64)),
+            ],
+        );
         Ok(version)
     }
 
@@ -525,6 +563,15 @@ impl ModelRegistry {
         inner.fault_ins += 1;
         telemetry::SERVE_FAULT_INS.add(1);
         self.enforce_capacity(inner)?;
+        self.refresh_gauges(inner);
+        eventlog::info(
+            "serve.fault_in",
+            &[
+                ("tenant", eventlog::Value::Str(id.as_str())),
+                ("version", eventlog::Value::U64(version)),
+                ("delta_bytes", eventlog::Value::U64(delta_bytes as u64)),
+            ],
+        );
         Ok(artifact)
     }
 
@@ -564,6 +611,15 @@ impl ModelRegistry {
         slot.state = VariantState::Evicted { base_sig: artifact.base.sig };
         inner.evictions += 1;
         telemetry::SERVE_EVICTIONS.add(1);
+        self.refresh_gauges(inner);
+        eventlog::info(
+            "serve.evict",
+            &[
+                ("tenant", eventlog::Value::Str(id.as_str())),
+                ("version", eventlog::Value::U64(artifact.version)),
+                ("delta_bytes", eventlog::Value::U64(artifact.delta_bytes as u64)),
+            ],
+        );
         Ok(())
     }
 

@@ -19,9 +19,9 @@
 use crate::batcher::{MicroBatcher, PredictError};
 use crate::http::{self, Limits, ReadError, Request, Response};
 use crate::registry::{ModelRegistry, RegistryError};
-use nautilus_core::config::ServingConfig;
+use nautilus_core::config::{ObservabilityConfig, ServingConfig};
 use nautilus_util::json::Json;
-use nautilus_util::telemetry;
+use nautilus_util::{eventlog, telemetry};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,6 +81,13 @@ struct Shared {
     cv: Condvar,
     stop: AtomicBool,
     stats: ServerStats,
+    obs: ObservabilityConfig,
+    /// Set by the watchdog while any rolling-window SLO is breached;
+    /// `/healthz` reports `degraded` (503) while it holds.
+    degraded: AtomicBool,
+    /// Human-readable descriptions of the currently breached SLOs
+    /// (empty when healthy); written by the watchdog, read by `/healthz`.
+    breaches: Mutex<Vec<String>>,
 }
 
 /// A running inference server bound to a loopback port.
@@ -89,16 +96,42 @@ pub struct Server {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     handler_threads: Vec<JoinHandle<()>>,
+    watchdog_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `127.0.0.1:0` (or `127.0.0.1:port`) and starts the accept,
-    /// handler, and batcher threads.
+    /// handler, and batcher threads, with default observability (metric
+    /// recording on, watchdog sampling, no SLOs enforced).
     pub fn start(
         registry: Arc<ModelRegistry>,
         cfg: &ServingConfig,
         port: u16,
     ) -> std::io::Result<Server> {
+        Self::start_with(registry, cfg, &ObservabilityConfig::default(), port)
+    }
+
+    /// [`Server::start`] with an explicit observability plane: metric
+    /// recording, event-log destination, and the health watchdog's tick,
+    /// window, and SLO thresholds all come from `obs`.
+    pub fn start_with(
+        registry: Arc<ModelRegistry>,
+        cfg: &ServingConfig,
+        obs: &ObservabilityConfig,
+        port: u16,
+    ) -> std::io::Result<Server> {
+        if obs.metrics {
+            telemetry::enable_metrics();
+        }
+        let level = eventlog::Level::parse(&obs.log_level).unwrap_or(eventlog::Level::Info);
+        match obs.log.as_deref() {
+            Some("stderr") | Some("-") => eventlog::init_stderr(level),
+            Some(path) => eventlog::init_file(std::path::Path::new(path), level)?,
+            None => {
+                eventlog::init_from_env();
+            }
+        }
+
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -111,6 +144,9 @@ impl Server {
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             stats: ServerStats::default(),
+            obs: obs.clone(),
+            degraded: AtomicBool::new(false),
+            breaches: Mutex::new(Vec::new()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -127,7 +163,24 @@ impl Server {
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
-        Ok(Server { addr, shared, accept_thread: Some(accept_thread), handler_threads })
+        let watchdog_thread = if obs.watchdog_tick_ms > 0 {
+            let w_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("nautilus-serve-watchdog".into())
+                    .spawn(move || watchdog_loop(&w_shared))?,
+            )
+        } else {
+            None
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+            watchdog_thread,
+        })
     }
 
     /// The bound address (`127.0.0.1:port`).
@@ -164,6 +217,10 @@ impl Server {
         for h in self.handler_threads.drain(..) {
             let _ = h.join();
         }
+        // The watchdog notices `stop` within one tick.
+        if let Some(h) = self.watchdog_thread.take() {
+            let _ = h.join();
+        }
         // MicroBatcher::drop flushes pending predictions; nothing is
         // enqueued anymore because all handlers have exited.
     }
@@ -192,8 +249,99 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             continue;
         }
         q.push_back(stream);
+        if telemetry::metrics_enabled() {
+            telemetry::SERVE_CONN_QUEUE_DEPTH.set(q.len() as i64);
+        }
         drop(q);
         shared.cv.notify_one();
+    }
+}
+
+/// Pushes `v` into a rolling window of at most `cap` samples.
+fn push_window<T>(w: &mut VecDeque<T>, cap: usize, v: T) {
+    if w.len() >= cap {
+        w.pop_front();
+    }
+    w.push_back(v);
+}
+
+/// The health watchdog: every `watchdog_tick_ms` it samples the
+/// connection and batcher queue depths (publishing them as gauges), the
+/// shed counter, and the `serve.batch_us` histogram into rolling windows
+/// of `watchdog_window` ticks, then evaluates the configured SLOs over
+/// those windows. `/healthz` flips to `degraded` while any SLO is
+/// breached; because the window is a rolling max/delta, health recovers
+/// one clean window after the signal subsides.
+fn watchdog_loop(shared: &Shared) {
+    let obs = &shared.obs;
+    let tick = Duration::from_millis(obs.watchdog_tick_ms.max(1));
+    let window = obs.watchdog_window.max(1);
+    let mut depths: VecDeque<usize> = VecDeque::with_capacity(window);
+    let mut sheds: VecDeque<u64> = VecDeque::with_capacity(window + 1);
+    let mut hists: VecDeque<[u64; telemetry::HIST_BUCKETS]> =
+        VecDeque::with_capacity(window + 1);
+    sheds.push_back(shared.stats.shed.load(Ordering::Relaxed));
+    hists.push_back(telemetry::SERVE_BATCH_US.bucket_counts());
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+
+        let conn_depth = shared.queue.lock().expect("server queue").len();
+        let batch_depth = shared.batcher.queue_depth();
+        if telemetry::metrics_enabled() {
+            telemetry::SERVE_CONN_QUEUE_DEPTH.set(conn_depth as i64);
+            telemetry::SERVE_BATCH_QUEUE_DEPTH.set(batch_depth as i64);
+        }
+        push_window(&mut depths, window, conn_depth + batch_depth);
+        // Cumulative signals keep window+1 snapshots so back-front spans
+        // exactly `window` ticks.
+        push_window(&mut sheds, window + 1, shared.stats.shed.load(Ordering::Relaxed));
+        push_window(&mut hists, window + 1, telemetry::SERVE_BATCH_US.bucket_counts());
+
+        let mut breaches = Vec::new();
+        if obs.slo_queue_depth > 0 {
+            let worst = depths.iter().copied().max().unwrap_or(0);
+            if worst > obs.slo_queue_depth {
+                breaches
+                    .push(format!("queue depth {worst} > slo {}", obs.slo_queue_depth));
+            }
+        }
+        if obs.slo_shed_per_window > 0 && sheds.len() >= 2 {
+            let shed = sheds.back().unwrap() - sheds.front().unwrap();
+            if shed > obs.slo_shed_per_window {
+                breaches.push(format!(
+                    "shed {shed}/window > slo {}",
+                    obs.slo_shed_per_window
+                ));
+            }
+        }
+        if obs.slo_batch_p99_us > 0 && hists.len() >= 2 {
+            let newest = hists.back().unwrap();
+            let oldest = hists.front().unwrap();
+            let mut delta = [0u64; telemetry::HIST_BUCKETS];
+            for (d, (n, o)) in delta.iter_mut().zip(newest.iter().zip(oldest.iter())) {
+                *d = n.saturating_sub(*o);
+            }
+            let p99 = telemetry::Histogram::quantile_from_counts(
+                &delta,
+                telemetry::SERVE_BATCH_US.max(),
+                0.99,
+            );
+            if p99 > obs.slo_batch_p99_us {
+                breaches
+                    .push(format!("batch p99 {p99}us > slo {}us", obs.slo_batch_p99_us));
+            }
+        }
+
+        let was = shared.degraded.swap(!breaches.is_empty(), Ordering::Relaxed);
+        if !breaches.is_empty() && !was {
+            eventlog::warn(
+                "serve.slo_breach",
+                &[("detail", eventlog::Value::Str(&breaches.join("; ")))],
+            );
+        } else if breaches.is_empty() && was {
+            eventlog::info("serve.slo_recover", &[]);
+        }
+        *shared.breaches.lock().expect("breach list") = breaches;
     }
 }
 
@@ -202,6 +350,10 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 fn shed(stream: TcpStream, shared: &Shared) {
     shared.stats.shed.fetch_add(1, Ordering::Relaxed);
     telemetry::SERVE_SHED.add(1);
+    eventlog::warn(
+        "serve.shed",
+        &[("queue_limit", eventlog::Value::U64(shared.queue_limit as u64))],
+    );
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let resp = Response::error(503, "server overloaded").with_header("Retry-After", "1");
@@ -279,6 +431,28 @@ fn tenant_of<'a>(req: &'a Request, prefix: &str, shared: &'a Shared) -> &'a str 
     }
 }
 
+/// Bounded-cardinality endpoint label for the `serve.request_us` and
+/// `serve.errors` metric families: known routes by name, anything else
+/// `"other"` (raw paths must never become label values).
+fn endpoint_of(req: &Request) -> &'static str {
+    let p = req.path.as_str();
+    if p == "/predict" || p.starts_with("/predict/") {
+        "predict"
+    } else if p == "/healthz" {
+        "healthz"
+    } else if p == "/stats" {
+        "stats"
+    } else if p == "/metrics" {
+        "metrics"
+    } else if p == "/models" {
+        "models"
+    } else if p == "/model" || p.starts_with("/model/") {
+        "model"
+    } else {
+        "other"
+    }
+}
+
 fn route(req: &Request, shared: &Shared) -> Response {
     let _sp = telemetry::span("serve", "serve.request");
     let t0 = Instant::now();
@@ -288,17 +462,12 @@ fn route(req: &Request, shared: &Shared) -> Response {
         ("POST", p) if p == "/predict" || p.starts_with("/predict/") => {
             predict(req, tenant_of(req, "/predict", shared), shared)
         }
-        ("GET", "/healthz") => {
-            let s = shared.registry.stats();
-            Response::json(
-                200,
-                &Json::obj([
-                    ("status", Json::Str("ok".into())),
-                    ("resident_variants", Json::Int(s.resident_variants as i128)),
-                    ("evicted_variants", Json::Int(s.evicted_variants as i128)),
-                ]),
-            )
-        }
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/metrics") => Response::text(
+            200,
+            "text/plain; version=0.0.4",
+            telemetry::prometheus_text(),
+        ),
         ("GET", "/stats") => stats(shared),
         ("GET", "/models") => {
             let rows = shared
@@ -322,12 +491,127 @@ fn route(req: &Request, shared: &Shared) -> Response {
         ("POST" | "GET", _) => Response::error(404, "unknown endpoint"),
         _ => Response::error(405, "method not allowed"),
     };
-    telemetry::SERVE_REQUEST_US.record(t0.elapsed().as_micros() as u64);
+    let us = t0.elapsed().as_micros() as u64;
+    telemetry::SERVE_REQUEST_US.record(us);
+    if telemetry::metrics_enabled() {
+        let endpoint = endpoint_of(req);
+        if endpoint == "predict" {
+            let tenant = tenant_of(req, "/predict", shared);
+            telemetry::histogram_with(
+                "serve.request_us",
+                &[("tenant", tenant), ("endpoint", endpoint)],
+            )
+            .record(us);
+        } else {
+            telemetry::histogram_with("serve.request_us", &[("endpoint", endpoint)])
+                .record(us);
+        }
+        if resp.status >= 400 {
+            let status = resp.status.to_string();
+            telemetry::counter_with(
+                "serve.errors",
+                &[("endpoint", endpoint), ("status", &status)],
+            )
+            .add(1);
+        }
+    }
     resp
 }
 
-/// `GET /stats`: request counters, per-tenant prediction counts, and the
-/// registry's residency/dedup accounting.
+/// `GET /healthz`: per-component readiness (registry residency vs cap,
+/// delta-store writability, queue depths vs the shed limit, worker-pool
+/// liveness, and the watchdog's SLO verdict) aggregated into one
+/// `ok|degraded` status — `200` when ok, `503` when degraded. The
+/// pre-observability top-level keys are kept for compatibility.
+fn health(shared: &Shared) -> Response {
+    let s = shared.registry.stats();
+    let max_resident = shared.registry.max_resident();
+    let registry_ok = s.resident_variants <= max_resident;
+    let store_writable = shared.registry.store_writable();
+    let store_ok = store_writable.unwrap_or(true);
+    let conn_depth = shared.queue.lock().expect("server queue").len();
+    let batch_depth = shared.batcher.queue_depth();
+    let batcher_ok = conn_depth + batch_depth <= shared.queue_limit;
+    let workers = nautilus_util::pool::num_threads();
+    let pool_ok = workers > 0;
+    let breaches = shared.breaches.lock().expect("breach list").clone();
+    let watchdog_ok = breaches.is_empty() && !shared.degraded.load(Ordering::Relaxed);
+    let ok = registry_ok && store_ok && batcher_ok && pool_ok && watchdog_ok;
+    let verdict = |ok: bool| Json::Str(if ok { "ok" } else { "degraded" }.into());
+    let body = Json::obj([
+        ("status", verdict(ok)),
+        ("resident_variants", Json::Int(s.resident_variants as i128)),
+        ("evicted_variants", Json::Int(s.evicted_variants as i128)),
+        (
+            "components",
+            Json::obj([
+                (
+                    "registry",
+                    Json::obj([
+                        ("status", verdict(registry_ok)),
+                        ("resident_variants", Json::Int(s.resident_variants as i128)),
+                        (
+                            "max_resident_variants",
+                            if max_resident == usize::MAX {
+                                Json::Null
+                            } else {
+                                Json::Int(max_resident as i128)
+                            },
+                        ),
+                    ]),
+                ),
+                (
+                    "delta_store",
+                    Json::obj([
+                        ("status", verdict(store_ok)),
+                        ("configured", Json::Bool(store_writable.is_some())),
+                        ("writable", store_writable.map_or(Json::Null, Json::Bool)),
+                    ]),
+                ),
+                (
+                    "batcher",
+                    Json::obj([
+                        ("status", verdict(batcher_ok)),
+                        ("conn_queue_depth", Json::Int(conn_depth as i128)),
+                        ("batch_queue_depth", Json::Int(batch_depth as i128)),
+                        ("queue_limit", Json::Int(shared.queue_limit as i128)),
+                    ]),
+                ),
+                (
+                    "pool",
+                    Json::obj([
+                        ("status", verdict(pool_ok)),
+                        ("workers", Json::Int(workers as i128)),
+                    ]),
+                ),
+                (
+                    "watchdog",
+                    Json::obj([
+                        ("status", verdict(watchdog_ok)),
+                        ("enabled", Json::Bool(shared.obs.watchdog_tick_ms > 0)),
+                        ("breaches", Json::Arr(breaches.into_iter().map(Json::Str).collect())),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    Response::json(if ok { 200 } else { 503 }, &body)
+}
+
+/// Live summary of one latency histogram for the `/stats` block.
+fn latency_json(h: &'static telemetry::Histogram) -> Json {
+    let s = h.summarize();
+    Json::obj([
+        ("count", Json::Int(s.count as i128)),
+        ("p50_us", Json::Int(s.p50 as i128)),
+        ("p95_us", Json::Int(s.p95 as i128)),
+        ("p99_us", Json::Int(s.p99 as i128)),
+        ("max_us", Json::Int(s.max as i128)),
+    ])
+}
+
+/// `GET /stats`: request counters, per-tenant prediction counts, live
+/// latency summaries, and the registry's residency/dedup accounting.
 fn stats(shared: &Shared) -> Response {
     let s = shared.stats.snapshot();
     let r = shared.registry.stats();
@@ -353,6 +637,13 @@ fn stats(shared: &Shared) -> Response {
             ("client_errors", Json::Int(s.client_errors as i128)),
             ("server_errors", Json::Int(s.server_errors as i128)),
             ("tenants", Json::Arr(tenants)),
+            (
+                "latency",
+                Json::obj([
+                    ("request_us", latency_json(&telemetry::SERVE_REQUEST_US)),
+                    ("batch_us", latency_json(&telemetry::SERVE_BATCH_US)),
+                ]),
+            ),
             (
                 "registry",
                 Json::obj([

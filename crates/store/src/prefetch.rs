@@ -19,7 +19,7 @@
 
 use crate::tensor_store::{ChunkRef, StoreError, TensorStore};
 use nautilus_tensor::{ser, Shape, Tensor};
-use nautilus_util::telemetry;
+use nautilus_util::{eventlog, telemetry};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -330,6 +330,10 @@ impl<'s> EpochPrefetcher<'s> {
             telemetry::PREFETCH_HITS.add(1);
         } else {
             telemetry::PREFETCH_STALLS.add(1);
+            eventlog::warn(
+                "prefetch.stall",
+                &[("train", eventlog::Value::Bool(train))],
+            );
         }
         // The stall span makes "trainer blocked on I/O" visible in traces.
         let _sp = (!ready).then(|| telemetry::span("store", "prefetch.wait"));
@@ -515,6 +519,13 @@ fn write_worker(shared: &WbShared) {
         };
         let mut st = lock_ok(&shared.state);
         if let Err(e) = result {
+            eventlog::error(
+                "write_behind.error",
+                &[
+                    ("path", eventlog::Value::Str(&path.display().to_string())),
+                    ("error", eventlog::Value::Str(&e.to_string())),
+                ],
+            );
             st.first_error.get_or_insert_with(|| format!("{}: {e}", path.display()));
         }
         st.in_flight -= 1;

@@ -236,10 +236,23 @@ impl TensorStore {
         self.wb.drain()
     }
 
+    /// Publishes the cache model's occupancy as the `pagecache.used_bytes`
+    /// gauge; callers pass the still-held lock to avoid a second acquire.
+    fn publish_cache_gauge(cache: &PageCacheModel) {
+        if telemetry::metrics_enabled() {
+            telemetry::PAGECACHE_USED_BYTES.set(cache.used() as i64);
+        }
+    }
+
     /// Splits a finished chunk read into cached vs disk bytes through the
     /// page-cache model and records both into the shared counters.
     pub(crate) fn account_chunk_read(&self, chunk_key: &str, bytes: u64) {
-        let outcome = self.cache_lock().read(chunk_key, bytes);
+        let outcome = {
+            let mut cache = self.cache_lock();
+            let o = cache.read(chunk_key, bytes);
+            Self::publish_cache_gauge(&cache);
+            o
+        };
         if outcome.miss_bytes > 0 {
             telemetry::PAGECACHE_MISSES.add(1);
             self.io.record_disk_read(outcome.miss_bytes);
@@ -293,7 +306,11 @@ impl TensorStore {
         entry.chunks.push(ChunkMeta { file, records: batch.shape().dim(0), bytes: n });
         entry.records += batch.shape().dim(0);
         entry.bytes += n;
-        self.cache_lock().write(&chunk_key, n);
+        {
+            let mut cache = self.cache_lock();
+            cache.write(&chunk_key, n);
+            Self::publish_cache_gauge(&cache);
+        }
         self.io.record_write(n);
         self.persist_manifest()?;
         Ok(n)
@@ -384,7 +401,11 @@ impl TensorStore {
             entry.chunks.push(ChunkMeta { file, records: batch.shape().dim(0), bytes: n });
             entry.records += batch.shape().dim(0);
             entry.bytes += n;
-            self.cache_lock().write(&chunk_key, n);
+            {
+                let mut cache = self.cache_lock();
+                cache.write(&chunk_key, n);
+                Self::publish_cache_gauge(&cache);
+            }
             self.io.record_write(n);
             if let Some(data) = payload {
                 self.wb.enqueue(path, data, self.policy.io_threads);
@@ -558,6 +579,7 @@ impl TensorStore {
             for c in &meta.chunks {
                 cache.invalidate(&format!("{}/{}", meta.dir, c.file));
             }
+            Self::publish_cache_gauge(&cache);
         }
         let dir = self.root.join(&meta.dir);
         if dir.exists() {

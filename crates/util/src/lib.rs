@@ -25,9 +25,14 @@
 //!   `scratch.misses` telemetry.
 //! - [`telemetry`] — tracing + metrics substrate: RAII spans with
 //!   thread-local parent stacks and per-thread ring buffers, named atomic
-//!   counters, Chrome trace-event JSON export and per-span summaries;
-//!   gated by `NAUTILUS_TRACE` with a single relaxed atomic load on the
-//!   disabled path.
+//!   counters/gauges/histograms with bounded-cardinality labeled
+//!   families, Chrome trace-event JSON export, per-span summaries, and a
+//!   Prometheus text exposition encoder; gated by `NAUTILUS_TRACE` (or
+//!   metrics-only via `telemetry::enable_metrics`) with a single relaxed
+//!   atomic load on the disabled path.
+//! - [`eventlog`] — structured JSON-line event log for discrete state
+//!   transitions (publishes, evictions, stalls, shedding, SLO breaches):
+//!   leveled, per-event rate-limited, gated by `NAUTILUS_LOG`.
 //!
 //! Policy: no crate in this workspace may depend on anything outside the
 //! workspace (`scripts/verify.sh` enforces this). See DESIGN.md.
@@ -36,6 +41,7 @@
 
 pub mod bench;
 pub mod bytesio;
+pub mod eventlog;
 pub mod json;
 pub mod pool;
 pub mod prop;

@@ -165,7 +165,16 @@ fn worker_loop(p: &'static Pool, idx: usize) {
             telemetry::POOL_PARKS.add(1);
             c_parks.add(1);
             c_depth.set(guard.len() as u64);
+            // Balance the parked-workers gauge around the wait; capture
+            // the switch once so a mid-wait enable cannot unbalance it.
+            let track = telemetry::metrics_enabled();
+            if track {
+                telemetry::POOL_PARKED_WORKERS.add(1);
+            }
             let _ = p.work_cvar.wait_timeout(guard, Duration::from_millis(10)).unwrap();
+            if track {
+                telemetry::POOL_PARKED_WORKERS.add(-1);
+            }
         }
     }
 }

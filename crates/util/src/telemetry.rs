@@ -17,11 +17,26 @@
 //! 3. **Exporters** — [`export_to`] writes Chrome trace-event JSON
 //!    (loadable in Perfetto / `chrome://tracing`) via the in-tree
 //!    [`crate::json`] module; [`summary`] aggregates per-span-name
-//!    count/total/mean/max for terminal tables.
+//!    count/total/mean/max for terminal tables; [`prometheus_text`]
+//!    renders counters, gauges, and histograms in the Prometheus text
+//!    exposition format for live scraping.
 //!
-//! Collection is **off by default** and gated by the `NAUTILUS_TRACE`
-//! environment variable (a path for the trace file — see
-//! [`init_from_env`]) or programmatic [`enable`]/[`enable_to`]. The
+//! Beyond counters there are [`Gauge`]s (set/add of an `i64` level:
+//! queue depths, resident bytes, parked workers) and log2-bucketed
+//! [`Histogram`]s, plus **labeled metric families**: [`counter_with`] /
+//! [`histogram_with`] intern one metric per distinct label set (e.g.
+//! `serve.request_us{endpoint="predict",tenant="alice"}`), canonicalized
+//! by sorting label keys and bounded to [`MAX_LABEL_SETS`] sets per base
+//! name — overflow label sets collapse into a `_other` series so a
+//! hostile tenant-id stream cannot grow memory without bound.
+//!
+//! Collection is **off by default**. Two independent switches exist:
+//! *tracing* (span buffering toward a Chrome trace, gated by the
+//! `NAUTILUS_TRACE` environment variable — see [`init_from_env`] — or
+//! [`enable`]/[`enable_to`]) and *metrics* (counter/gauge/histogram
+//! recording, additionally switchable alone via [`enable_metrics`] so a
+//! long-running server can serve `/metrics` without accumulating span
+//! events). [`enable`] turns both on; [`disable`] turns both off. The
 //! disabled path of every instrumentation site is a single relaxed atomic
 //! load; no clocks are read and no allocation happens, so instrumented
 //! hot loops cost the same as untraced ones (the `telemetry` bench group
@@ -34,21 +49,32 @@
 use crate::json::Json;
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Per-thread ring capacity (events) before draining into the collector.
 const RING_CAP: usize = 4096;
 
-/// Global collection switch. Every instrumentation site loads this once
+/// Span-collection (tracing) switch. Every span site loads this once
 /// (relaxed) and bails when false — that load *is* the disabled-path cost.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// True when span/counter collection is active.
+/// Metric-recording switch (counters/gauges/histograms). Independent of
+/// [`ENABLED`] so a server can expose live `/metrics` without buffering
+/// span events; [`enable`] sets both, [`enable_metrics`] just this one.
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+/// True when span (trace) collection is active.
 #[inline(always)]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when metric recording (counters/gauges/histograms) is active.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
 }
 
 /// A finished span, in collector form.
@@ -87,6 +113,10 @@ struct Global {
     histograms: Mutex<Vec<&'static Histogram>>,
     /// Interned dynamically named histograms (name → leaked static).
     interned_hists: Mutex<Vec<(&'static str, &'static Histogram)>>,
+    /// Registered gauges, in registration order.
+    gauges: Mutex<Vec<&'static Gauge>>,
+    /// Interned dynamically named gauges (name → leaked static).
+    interned_gauges: Mutex<Vec<(&'static str, &'static Gauge)>>,
     next_tid: AtomicU64,
     /// Trace-file destination configured via env/`enable_to`.
     out_path: Mutex<Option<PathBuf>>,
@@ -102,6 +132,8 @@ fn global() -> &'static Global {
         interned: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
         interned_hists: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
+        interned_gauges: Mutex::new(Vec::new()),
         next_tid: AtomicU64::new(1),
         out_path: Mutex::new(None),
     })
@@ -298,20 +330,20 @@ impl Counter {
         self.name
     }
 
-    /// Adds `n` (no-op while collection is disabled).
+    /// Adds `n` (no-op while metric recording is disabled).
     #[inline]
     pub fn add(&'static self, n: u64) {
-        if !enabled() {
+        if !metrics_enabled() {
             return;
         }
         self.value.fetch_add(n, Ordering::Relaxed);
         self.ensure_registered();
     }
 
-    /// Gauge-style overwrite (no-op while collection is disabled).
+    /// Gauge-style overwrite (no-op while metric recording is disabled).
     #[inline]
     pub fn set(&'static self, v: u64) {
-        if !enabled() {
+        if !metrics_enabled() {
             return;
         }
         self.value.store(v, Ordering::Relaxed);
@@ -330,6 +362,109 @@ impl Counter {
     }
 }
 
+/// A named level metric: an `i64` that can go up and down (queue depths,
+/// resident-variant counts, cache occupancy, parked workers). Same
+/// lifecycle as [`Counter`]: declare as a `static` (or intern via
+/// [`gauge`]), relaxed atomics throughout, no-op while metric recording
+/// is disabled, first touch while enabled registers it for export.
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new gauge; `const` so it can back a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, value: AtomicI64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// The gauge's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Overwrites the level (no-op while metric recording is disabled).
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Adds `delta` (may be negative; no-op while metric recording is
+    /// disabled).
+    #[inline]
+    pub fn add(&'static self, delta: i64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+        self.ensure_registered();
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            global().gauges.lock().unwrap().push(self);
+        }
+    }
+}
+
+macro_rules! declare_gauges {
+    ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
+        $($(#[$doc])* pub static $ident: Gauge = Gauge::new($name);)*
+        /// Every predeclared gauge, so exports list them (zeros included)
+        /// even when a subsystem never ran.
+        fn predeclared_gauges() -> Vec<&'static Gauge> {
+            vec![$(&$ident),*]
+        }
+    };
+}
+
+declare_gauges! {
+    /// Accepted connections waiting in the server's admission queue.
+    SERVE_CONN_QUEUE_DEPTH => "serve.conn_queue_depth";
+    /// Requests waiting in the micro-batcher's queue.
+    SERVE_BATCH_QUEUE_DEPTH => "serve.batch_queue_depth";
+    /// Variant deltas currently resident in the model registry.
+    SERVE_RESIDENT_VARIANTS => "serve.resident_variants";
+    /// Bytes of evicted variant deltas held by the on-disk delta store.
+    SERVE_DELTA_STORE_BYTES => "serve.delta_store_bytes";
+    /// Bytes currently occupied in the modeled page cache.
+    PAGECACHE_USED_BYTES => "pagecache.used_bytes";
+    /// Pool workers currently parked waiting for work.
+    POOL_PARKED_WORKERS => "pool.parked_workers";
+    /// Measured sequential-read bandwidth from the last I/O calibration
+    /// probe, bytes/s (0 until a probe has run).
+    CALIBRATED_SEQ_READ_BPS => "calibrate.seq_read_bytes_per_sec";
+    /// Measured random-read bandwidth from the last I/O calibration
+    /// probe, bytes/s.
+    CALIBRATED_RAND_READ_BPS => "calibrate.rand_read_bytes_per_sec";
+    /// Measured write bandwidth from the last I/O calibration probe,
+    /// bytes/s.
+    CALIBRATED_WRITE_BPS => "calibrate.write_bytes_per_sec";
+}
+
+/// Interns a dynamically named gauge, returning a `'static` handle (the
+/// gauge analogue of [`counter`]).
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut interned = global().interned_gauges.lock().unwrap();
+    if let Some(&(_, g)) = interned.iter().find(|(n, _)| *n == name) {
+        return g;
+    }
+    let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new(leaked_name)));
+    interned.push((leaked_name, g));
+    g
+}
+
 macro_rules! declare_counters {
     ($($(#[$doc:meta])* $ident:ident => $name:literal;)*) => {
         $($(#[$doc])* pub static $ident: Counter = Counter::new($name);)*
@@ -344,11 +479,12 @@ macro_rules! declare_counters {
 /// Number of log2 buckets: index 0 holds zeros, index `i >= 1` holds
 /// samples in `[2^(i-1), 2^i - 1]`, up to index 64 for values with the
 /// high bit set.
-const HIST_BUCKETS: usize = 65;
+pub const HIST_BUCKETS: usize = 65;
 
 /// Aggregate view of one [`Histogram`], as used by [`summary_table`] and
-/// the trace export. Quantiles are bucket upper bounds (conservative for
-/// a log2-bucketed histogram); an empty histogram reports all zeros.
+/// the trace export. Quantiles interpolate linearly within the containing
+/// log2 bucket (capped at the exact recorded max); an empty histogram
+/// reports all zeros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Histogram name.
@@ -408,8 +544,7 @@ impl Histogram {
         }
     }
 
-    /// Inclusive upper bound of bucket `i` (the quantile estimate reported
-    /// for samples landing there).
+    /// Inclusive upper bound of bucket `i`.
     pub fn bucket_upper_bound(i: usize) -> u64 {
         match i {
             0 => 0,
@@ -418,10 +553,20 @@ impl Histogram {
         }
     }
 
-    /// Records `v` (no-op while collection is disabled).
+    /// Inclusive lower bound of bucket `i` (the smallest sample that can
+    /// land there).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => 1u64 << 63,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records `v` (no-op while metric recording is disabled).
     #[inline]
     pub fn record(&'static self, v: u64) {
-        if !enabled() {
+        if !metrics_enabled() {
             return;
         }
         self.observe(v);
@@ -443,26 +588,66 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Quantile estimate for `q` in `[0, 1]`: the upper bound of the
-    /// bucket containing the `ceil(q · count)`-th smallest sample.
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A relaxed snapshot of the per-bucket counts. Consumers that need a
+    /// self-consistent view (cumulative Prometheus buckets, windowed
+    /// delta quantiles) take one snapshot and derive everything from it.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: finds the bucket containing
+    /// the `ceil(q · count)`-th smallest sample and interpolates linearly
+    /// within it (the upper bound is capped at the exact recorded max, so
+    /// top-quantile estimates never exceed any observed sample).
     /// Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count();
+        Self::quantile_from_counts(&self.bucket_counts(), self.max.load(Ordering::Relaxed), q)
+    }
+
+    /// The quantile estimator over an explicit bucket snapshot — shared
+    /// by [`Histogram::quantile`] and consumers computing quantiles over
+    /// *windowed deltas* of two snapshots (the serving watchdog).
+    pub fn quantile_from_counts(counts: &[u64; HIST_BUCKETS], max: u64, q: f64) -> u64 {
+        let count: u64 = counts.iter().sum();
         if count == 0 {
             return 0;
         }
         let target = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // The top bucket's estimate is the exact max (tighter than
-                // u64::MAX and exact whenever the max landed there).
-                let max = self.max.load(Ordering::Relaxed);
-                return Self::bucket_upper_bound(i).min(max);
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let lower = Self::bucket_lower_bound(i);
+                // Cap at the exact max: tighter than the bucket bound for
+                // the top bucket, exact whenever every sample in the
+                // bucket equals the max. `.max(lower)` guards the racy
+                // case where `max` lags a concurrent record.
+                let upper = Self::bucket_upper_bound(i).min(max).max(lower);
+                let frac = (target - seen) as f64 / c as f64;
+                // Saturate + clamp: `(upper - lower) as f64` can round up
+                // past the true width for the widest buckets.
+                let step = ((upper - lower) as f64 * frac).round() as u64;
+                return lower.saturating_add(step).min(upper);
+            }
+            seen += c;
         }
-        self.max.load(Ordering::Relaxed)
+        max
     }
 
     /// Aggregated view (count, p50/p95/p99, exact max); all zeros when no
@@ -599,11 +784,128 @@ pub fn counter(name: &str) -> &'static Counter {
     c
 }
 
-/// Enables collection without configuring a trace-file destination
-/// (export manually via [`export_to`]).
+/// Cardinality bound for labeled metric families: at most this many
+/// distinct label sets are interned per base name; further new label
+/// sets collapse into one overflow series whose label values are all
+/// `"_other"`. Keeps an unbounded tenant-id stream from growing the
+/// metric table (and the `/metrics` payload) without limit.
+pub const MAX_LABEL_SETS: usize = 64;
+
+/// Inert sinks handed out by `*_with` while metric recording is disabled
+/// so the disabled path does no formatting, locking, or interning. They
+/// carry an empty name and are filtered from every export (recording into
+/// them is already a no-op while disabled; the filter covers the race
+/// where metrics get enabled between lookup and record).
+static DISABLED_COUNTER: Counter = Counter::new("");
+static DISABLED_HISTOGRAM: Histogram = Histogram::new("");
+
+fn escape_label_value(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Canonical interned name for `base` + `labels`: keys sorted, values
+/// escaped, rendered as `base{k="v",k2="v2"}` — exactly the label block
+/// the Prometheus encoder re-emits.
+fn labeled_name(base: &str, labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by_key(|&(k, _)| k);
+    let mut s = String::with_capacity(base.len() + 16 * sorted.len() + 2);
+    s.push_str(base);
+    s.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        escape_label_value(&mut s, v);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+/// Looks up or creates the interned member for one label set, enforcing
+/// the per-family cardinality bound. Generic over the metric kind so
+/// counters and histograms share one implementation.
+fn intern_labeled<'a, T>(
+    interned: &mut Vec<(&'static str, &'static T)>,
+    base: &str,
+    labels: &[(&str, &str)],
+    make: fn(&'static str) -> T,
+) -> &'static T {
+    let name = labeled_name(base, labels);
+    if let Some(&(_, m)) = interned.iter().find(|(n, _)| *n == name) {
+        return m;
+    }
+    let mut prefix = String::with_capacity(base.len() + 1);
+    prefix.push_str(base);
+    prefix.push('{');
+    let live = interned.iter().filter(|(n, _)| n.starts_with(prefix.as_str())).count();
+    let final_name = if live >= MAX_LABEL_SETS {
+        let capped: Vec<(&str, &str)> = labels.iter().map(|&(k, _)| (k, "_other")).collect();
+        let capped_name = labeled_name(base, &capped);
+        if let Some(&(_, m)) = interned.iter().find(|(n, _)| *n == capped_name) {
+            return m;
+        }
+        capped_name
+    } else {
+        name
+    };
+    let leaked_name: &'static str = Box::leak(final_name.into_boxed_str());
+    let m: &'static T = Box::leak(Box::new(make(leaked_name)));
+    interned.push((leaked_name, m));
+    m
+}
+
+/// One member of a labeled counter family, e.g.
+/// `counter_with("serve.errors", &[("tenant", id), ("code", "4xx")])`.
+/// Label order does not matter (keys are sorted into a canonical name);
+/// at most [`MAX_LABEL_SETS`] distinct label sets per base name, beyond
+/// which an `_other` overflow series absorbs new sets. Returns an inert
+/// unregistered counter while metric recording is disabled.
+pub fn counter_with(base: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    if !metrics_enabled() {
+        return &DISABLED_COUNTER;
+    }
+    let mut interned = global().interned.lock().unwrap();
+    intern_labeled(&mut interned, base, labels, Counter::new)
+}
+
+/// One member of a labeled histogram family, e.g.
+/// `histogram_with("serve.request_us", &[("endpoint", "predict"), ("tenant", id)])`.
+/// Same canonicalization and cardinality bound as [`counter_with`].
+pub fn histogram_with(base: &str, labels: &[(&str, &str)]) -> &'static Histogram {
+    if !metrics_enabled() {
+        return &DISABLED_HISTOGRAM;
+    }
+    let mut interned = global().interned_hists.lock().unwrap();
+    intern_labeled(&mut interned, base, labels, Histogram::new)
+}
+
+/// Enables both trace collection and metric recording, without
+/// configuring a trace-file destination (export manually via
+/// [`export_to`]).
 pub fn enable() {
     let _ = global();
+    METRICS.store(true, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Enables metric recording only (counters/gauges/histograms — the
+/// `/metrics` plane) without buffering span events, so a long-running
+/// server pays no trace memory. A later [`enable`] upgrades to full
+/// tracing; [`disable`] turns both off.
+pub fn enable_metrics() {
+    let _ = global();
+    METRICS.store(true, Ordering::Relaxed);
 }
 
 /// Enables collection and remembers `path` as the trace destination for
@@ -613,9 +915,11 @@ pub fn enable_to(path: impl Into<PathBuf>) {
     enable();
 }
 
-/// Disables collection. Already-buffered events are kept.
+/// Disables trace collection and metric recording. Already-buffered
+/// events and metric values are kept.
 pub fn disable() {
     ENABLED.store(false, Ordering::Relaxed);
+    METRICS.store(false, Ordering::Relaxed);
 }
 
 /// The configured trace destination, if any.
@@ -652,6 +956,9 @@ pub fn reset() {
     for h in g.histograms.lock().unwrap().iter() {
         h.reset();
     }
+    for gg in g.gauges.lock().unwrap().iter() {
+        gg.value.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Snapshot of everything collected so far (drained + live rings),
@@ -669,7 +976,7 @@ fn snapshot_events() -> Vec<Event> {
 fn registered_counters() -> Vec<&'static Counter> {
     let mut out = predeclared();
     for c in global().counters.lock().unwrap().iter() {
-        if !out.iter().any(|p| std::ptr::eq(*p, *c)) {
+        if !c.name().is_empty() && !out.iter().any(|p| std::ptr::eq(*p, *c)) {
             out.push(c);
         }
     }
@@ -679,11 +986,27 @@ fn registered_counters() -> Vec<&'static Counter> {
 fn registered_histograms() -> Vec<&'static Histogram> {
     let mut out = predeclared_histograms();
     for h in global().histograms.lock().unwrap().iter() {
-        if !out.iter().any(|p| std::ptr::eq(*p, *h)) {
+        if !h.name().is_empty() && !out.iter().any(|p| std::ptr::eq(*p, *h)) {
             out.push(h);
         }
     }
     out
+}
+
+fn registered_gauges() -> Vec<&'static Gauge> {
+    let mut out = predeclared_gauges();
+    for g in global().gauges.lock().unwrap().iter() {
+        if !g.name().is_empty() && !out.iter().any(|p| std::ptr::eq(*p, *g)) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Every registered gauge with its current level (predeclared ones
+/// included), for status endpoints.
+pub fn gauge_values() -> Vec<(&'static str, i64)> {
+    registered_gauges().iter().map(|g| (g.name(), g.get())).collect()
 }
 
 /// Aggregated view of every registered histogram (predeclared ones
@@ -761,6 +1084,14 @@ pub fn summary_table() -> String {
             out.push_str(&format!("{:<40} {:>20}\n", c.name(), c.get()));
         }
     }
+    let gauges: Vec<_> =
+        registered_gauges().into_iter().filter(|g| g.get() != 0).collect();
+    if !gauges.is_empty() {
+        out.push_str(&format!("{:<40} {:>20}\n", "gauge", "value"));
+        for g in gauges {
+            out.push_str(&format!("{:<40} {:>20}\n", g.name(), g.get()));
+        }
+    }
     let hists: Vec<_> =
         histogram_summaries().into_iter().filter(|h| h.count > 0).collect();
     if !hists.is_empty() {
@@ -773,6 +1104,124 @@ pub fn summary_table() -> String {
                 "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
                 h.name, h.count, h.p50, h.p95, h.p99, h.max
             ));
+        }
+    }
+    out
+}
+
+/// Maps a dotted metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other invalid characters
+/// become underscores.
+fn sanitize_metric_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (i, ch) in s.chars().enumerate() {
+        let valid = ch.is_ascii_alphabetic()
+            || ch == '_'
+            || ch == ':'
+            || (i > 0 && ch.is_ascii_digit());
+        out.push(if valid { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Splits an interned name into `(base, label_block)`:
+/// `serve.request_us{tenant="a"}` → `("serve.request_us", Some("tenant=\"a\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) if name.ends_with('}') => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Groups registered metrics by base name (registration order preserved)
+/// so each Prometheus family is emitted contiguously under one `# TYPE`.
+fn group_by_base<T>(items: Vec<T>, name_of: fn(&T) -> &'static str) -> Vec<(String, Vec<T>)> {
+    let mut groups: Vec<(String, Vec<T>)> = Vec::new();
+    for item in items {
+        let (base, _) = split_labels(name_of(&item));
+        let sane = sanitize_metric_name(base);
+        match groups.iter_mut().find(|(b, _)| *b == sane) {
+            Some((_, members)) => members.push(item),
+            None => groups.push((sane, vec![item])),
+        }
+    }
+    groups
+}
+
+fn push_series(out: &mut String, sane: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>, value: &str) {
+    out.push_str(sane);
+    out.push_str(suffix);
+    match (labels, extra) {
+        (None, None) => {}
+        (l, e) => {
+            out.push('{');
+            if let Some(l) = l {
+                out.push_str(l);
+            }
+            if let Some(e) = e {
+                if l.is_some() {
+                    out.push(',');
+                }
+                out.push_str(e);
+            }
+            out.push('}');
+        }
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders every registered counter, gauge, and histogram in the
+/// Prometheus text exposition format (`text/plain; version=0.0.4`):
+/// counters and gauges as single series, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`, label blocks
+/// carried over from [`counter_with`]/[`histogram_with`] names.
+///
+/// Consistency under concurrent recording: each histogram's buckets are
+/// snapshotted once and every derived series (`_bucket`, `+Inf`,
+/// `_count`) is computed from that one snapshot, so cumulative bucket
+/// counts are monotone and the `+Inf` bucket always equals `_count`
+/// (`_sum` is a separate relaxed load and may lead by in-flight
+/// samples). Empty buckets below the maximum populated one are elided —
+/// Prometheus histograms permit arbitrary bucket layouts.
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for (sane, members) in group_by_base(registered_counters(), |c| c.name()) {
+        out.push_str(&format!("# TYPE {sane} counter\n"));
+        for c in members {
+            let (_, labels) = split_labels(c.name());
+            push_series(&mut out, &sane, "", labels, None, &c.get().to_string());
+        }
+    }
+    for (sane, members) in group_by_base(registered_gauges(), |g| g.name()) {
+        out.push_str(&format!("# TYPE {sane} gauge\n"));
+        for g in members {
+            let (_, labels) = split_labels(g.name());
+            push_series(&mut out, &sane, "", labels, None, &g.get().to_string());
+        }
+    }
+    for (sane, members) in group_by_base(registered_histograms(), |h| h.name()) {
+        out.push_str(&format!("# TYPE {sane} histogram\n"));
+        for h in members {
+            let (_, labels) = split_labels(h.name());
+            let counts = h.bucket_counts();
+            let total: u64 = counts.iter().sum();
+            let mut cum = 0u64;
+            for (i, &c) in counts.iter().enumerate().take(HIST_BUCKETS - 1) {
+                if c == 0 {
+                    continue;
+                }
+                cum += c;
+                let le = format!("le=\"{}\"", Histogram::bucket_upper_bound(i));
+                push_series(&mut out, &sane, "_bucket", labels, Some(&le), &cum.to_string());
+            }
+            push_series(&mut out, &sane, "_bucket", labels, Some("le=\"+Inf\""), &total.to_string());
+            push_series(&mut out, &sane, "_sum", labels, None, &h.sum().to_string());
+            push_series(&mut out, &sane, "_count", labels, None, &total.to_string());
         }
     }
     out
@@ -826,6 +1275,15 @@ fn trace_json() -> Json {
             ("ts", Json::Int(last_ts as i128)),
             ("pid", Json::Int(1)),
             ("args", Json::obj([("value", Json::Int(c.get() as i128))])),
+        ]));
+    }
+    for g in registered_gauges() {
+        trace_events.push(Json::obj([
+            ("name", Json::Str(g.name().to_string())),
+            ("ph", Json::Str("C".into())),
+            ("ts", Json::Int(last_ts as i128)),
+            ("pid", Json::Int(1)),
+            ("args", Json::obj([("value", Json::Int(g.get() as i128))])),
         ]));
     }
     // Histograms export as counter events whose args carry the quantile
@@ -983,10 +1441,85 @@ mod tests {
         assert!(table.contains("t.outer") && table.contains("flops"));
         assert!(table.contains("serve.request_us"), "histogram row in table:\n{table}");
 
+        // Gauges: set/add (negative deltas included), registration, table.
+        SERVE_BATCH_QUEUE_DEPTH.set(4);
+        POOL_PARKED_WORKERS.add(2);
+        POOL_PARKED_WORKERS.add(-1);
+        assert_eq!(SERVE_BATCH_QUEUE_DEPTH.get(), 4);
+        assert_eq!(POOL_PARKED_WORKERS.get(), 1);
+        let dg = gauge("test.dynamic_gauge");
+        dg.set(-7);
+        assert!(std::ptr::eq(dg, gauge("test.dynamic_gauge")), "gauge interning is stable");
+        assert!(summary_table().contains("serve.batch_queue_depth"));
+
+        // Labeled families: canonical label order, stable interning.
+        let lc = counter_with("test.errors", &[("tenant", "alice"), ("code", "4xx")]);
+        lc.add(2);
+        assert!(
+            std::ptr::eq(lc, counter_with("test.errors", &[("code", "4xx"), ("tenant", "alice")])),
+            "label order canonicalized"
+        );
+        let lh = histogram_with("test.lat_us", &[("tenant", "bob")]);
+        lh.record(7);
+        lh.record(100);
+
+        // Cardinality bound: past MAX_LABEL_SETS distinct sets, new label
+        // sets collapse into one `_other` overflow series.
+        for i in 0..MAX_LABEL_SETS {
+            counter_with("test.card", &[("t", &format!("t{i}"))]).add(1);
+        }
+        let over_a = counter_with("test.card", &[("t", "overflow-a")]);
+        let over_b = counter_with("test.card", &[("t", "overflow-b")]);
+        assert!(std::ptr::eq(over_a, over_b), "overflow sets share one series");
+        assert_eq!(over_a.name(), "test.card{t=\"_other\"}");
+
+        // Prometheus exposition: families typed once, labels carried
+        // through, cumulative buckets with +Inf == _count.
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE flops counter"), "typed counter family:\n{text}");
+        assert!(text.contains("\nflops 7\n"));
+        assert!(text.contains("# TYPE serve_batch_queue_depth gauge"));
+        assert!(text.contains("\nserve_batch_queue_depth 4\n"));
+        assert!(text.contains("test_errors{code=\"4xx\",tenant=\"alice\"} 2"));
+        assert!(text.contains("# TYPE test_lat_us histogram"));
+        assert!(text.contains("test_lat_us_bucket{tenant=\"bob\",le=\"7\"} 1"));
+        assert!(text.contains("test_lat_us_bucket{tenant=\"bob\",le=\"127\"} 2"));
+        assert!(text.contains("test_lat_us_bucket{tenant=\"bob\",le=\"+Inf\"} 2"));
+        assert!(text.contains("test_lat_us_sum{tenant=\"bob\"} 107"));
+        assert!(text.contains("test_lat_us_count{tenant=\"bob\"} 2"));
+        assert_eq!(
+            text.matches("# TYPE test_card counter").count(),
+            1,
+            "one TYPE line per family"
+        );
+
         disable();
         reset();
         assert_eq!(SERVE_REQUEST_US.count(), 0, "reset clears histograms");
+        assert_eq!(SERVE_BATCH_QUEUE_DEPTH.get(), 0, "reset clears gauges");
+        SERVE_BATCH_QUEUE_DEPTH.set(9);
+        assert_eq!(SERVE_BATCH_QUEUE_DEPTH.get(), 0, "disabled gauge must not record");
+        assert!(
+            std::ptr::eq(counter_with("test.errors", &[("tenant", "x")]), &DISABLED_COUNTER),
+            "disabled families return the inert sink"
+        );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exposition_name_and_label_helpers() {
+        assert_eq!(sanitize_metric_name("serve.request_us"), "serve_request_us");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a-b/c"), "a_b_c");
+        assert_eq!(split_labels("plain"), ("plain", None));
+        assert_eq!(
+            split_labels("base{tenant=\"a\",code=\"4xx\"}"),
+            ("base", Some("tenant=\"a\",code=\"4xx\""))
+        );
+        assert_eq!(
+            labeled_name("m", &[("b", "2"), ("a", "x\"y\\z")]),
+            "m{a=\"x\\\"y\\\\z\",b=\"2\"}"
+        );
     }
 
     #[test]
@@ -1002,12 +1535,26 @@ mod tests {
         assert_eq!(Histogram::bucket_index(8), 4);
         assert_eq!(Histogram::bucket_index((1 << 32) - 1), 32);
         assert_eq!(Histogram::bucket_index(1 << 32), 33);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
         assert_eq!(Histogram::bucket_index(u64::MAX), 64);
         assert_eq!(Histogram::bucket_upper_bound(0), 0);
         assert_eq!(Histogram::bucket_upper_bound(1), 1);
         assert_eq!(Histogram::bucket_upper_bound(2), 3);
         assert_eq!(Histogram::bucket_upper_bound(10), 1023);
         assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_lower_bound(1), 1);
+        assert_eq!(Histogram::bucket_lower_bound(2), 2);
+        assert_eq!(Histogram::bucket_lower_bound(10), 512);
+        assert_eq!(Histogram::bucket_lower_bound(64), 1u64 << 63);
+        // Every bucket's bounds nest: lower(i) == upper(i-1) + 1.
+        for i in 1..=64usize {
+            assert_eq!(
+                Histogram::bucket_lower_bound(i),
+                Histogram::bucket_upper_bound(i - 1).wrapping_add(1),
+                "bucket {i} bounds are contiguous"
+            );
+        }
 
         // Empty histogram: all-zero summary that formats cleanly.
         let empty = Histogram::new("test.empty_hist");
@@ -1020,18 +1567,50 @@ mod tests {
         );
         assert!(row.starts_with("test.empty_hist"));
 
-        // Quantiles over 1..=100: estimates are bucket upper bounds,
-        // capped at the exact max.
+        // Quantiles over 1..=100: within-bucket linear interpolation puts
+        // the estimates near the true order statistics instead of jumping
+        // to the containing power-of-two bound.
         let h = Histogram::new("test.quantiles");
         for v in 1..=100u64 {
             h.observe(v);
         }
         assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
         assert_eq!(h.quantile(0.0), 1, "lowest sample sits in bucket [1,1]");
-        assert_eq!(h.quantile(0.5), 63, "50th sample lands in bucket [32,63]");
-        assert_eq!(h.quantile(1.0), 100, "top bucket reports the exact max");
+        assert_eq!(h.quantile(0.5), 50, "rank 50 of 19/32 through bucket [32,63]");
+        assert_eq!(h.quantile(0.95), 95, "rank 95 interpolated in bucket [64,100]");
+        assert_eq!(h.quantile(0.99), 99, "rank 99 interpolated in bucket [64,100]");
+        assert_eq!(h.quantile(1.0), 100, "top of the top bucket is the exact max");
         let s = h.summarize();
         assert_eq!(s.max, 100);
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        // Monotone in q.
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantile must be monotone in q");
+            prev = v;
+        }
+
+        // Exact powers of two: a single-valued bucket where the value is
+        // both the max and the lower bound collapses to the exact value.
+        let p = Histogram::new("test.pow2");
+        for _ in 0..5 {
+            p.observe(8);
+        }
+        assert_eq!(p.quantile(0.5), 8, "max-capping pins single-valued buckets");
+        assert_eq!(p.quantile(1.0), 8);
+
+        // Zeros-only and extreme values.
+        let z = Histogram::new("test.zeros");
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(1.0), 0);
+        let m = Histogram::new("test.extreme");
+        m.observe(1);
+        m.observe(u64::MAX);
+        assert_eq!(m.quantile(0.0), 1);
+        assert_eq!(m.quantile(1.0), u64::MAX, "top bucket interpolates up to the max");
     }
 }

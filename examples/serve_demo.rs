@@ -60,15 +60,16 @@ fn main() -> Result<(), NautilusError> {
         .map_err(|e| NautilusError::Other(e.to_string()))?;
     println!("exported candidate #{ci}, checkpointed to {}, published as v{version}", ckpt.display());
 
-    // --- Serve over loopback with micro-batching ---
-    let cfg = SystemConfig::builder()
+    // --- Serve over loopback with micro-batching + observability ---
+    let sys = SystemConfig::builder()
         .serve_max_batch(8)
         .serve_max_delay_us(2_000)
         .serve_queue_limit(64)
         .serve_handler_threads(4)
-        .build()
-        .serving;
-    let server = Server::start(Arc::clone(&registry), &cfg, 0)
+        .obs_watchdog_tick_ms(20)
+        .build();
+    let cfg = sys.serving;
+    let server = Server::start_with(Arc::clone(&registry), &cfg, &sys.observability, 0)
         .map_err(|e| NautilusError::Other(format!("server: {e}")))?;
     let addr = server.addr().to_string();
     println!("serving on http://{addr} (max_batch {}, max_delay {}us)", cfg.max_batch, cfg.max_delay_us);
@@ -148,6 +149,23 @@ fn main() -> Result<(), NautilusError> {
     let (_, body) = http::request(&addr, "GET", "/stats", None, Duration::from_secs(5))
         .map_err(|e| NautilusError::Other(format!("stats: {e}")))?;
     println!("GET /stats   -> {}", String::from_utf8_lossy(&body).trim());
+
+    // --- Scrape the Prometheus exposition; optionally keep it for the
+    // verification harness (`NAUTILUS_RESULTS` set by scripts/verify.sh).
+    let (status, metrics) = http::request(&addr, "GET", "/metrics", None, Duration::from_secs(5))
+        .map_err(|e| NautilusError::Other(format!("metrics: {e}")))?;
+    let metrics = String::from_utf8_lossy(&metrics).into_owned();
+    println!(
+        "GET /metrics -> {status} ({} bytes, {} series)",
+        metrics.len(),
+        metrics.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count()
+    );
+    if let Ok(dir) = std::env::var("NAUTILUS_RESULTS") {
+        let path = std::path::Path::new(&dir).join("METRICS_serve.txt");
+        std::fs::write(&path, &metrics)
+            .map_err(|e| NautilusError::Other(format!("metrics dump: {e}")))?;
+        println!("exposition written to {}", path.display());
+    }
 
     let final_stats = server.shutdown();
     println!(

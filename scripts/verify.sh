@@ -321,6 +321,7 @@ EOF
 # The example asserts bit-identity and zero server errors itself; the
 # trace must carry serving spans, counters, and latency histograms.
 NAUTILUS_TRACE="$PWD/results/TRACE_serve.json" \
+NAUTILUS_RESULTS="$PWD/results" \
     cargo run --release --offline --example serve_demo
 python3 - results/TRACE_serve.json <<'EOF'
 import json, sys
@@ -348,6 +349,98 @@ batches = counters["serve.batches"]["args"]["value"]
 assert batches > 0 and batched >= batches, "batcher never fused work"
 print(f"serve trace gate: spans {sorted(s for s in spans if s.startswith('serve'))}, "
       f"{batched} records in {batches} batches, histograms ok")
+EOF
+
+# Observability gate: the Prometheus exposition scraped from the serve
+# demo's /metrics endpoint must be well-formed text format — unique
+# `# TYPE` lines, monotone cumulative histogram buckets whose `+Inf`
+# sample equals `_count`, and the expected serving families including
+# the watchdog-maintained queue-depth gauges and per-endpoint labeled
+# latency series.
+python3 - results/METRICS_serve.txt results/METRICS_serve.json <<'EOF'
+import json, re, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+text = open(src).read()
+assert text.strip(), "empty /metrics exposition"
+
+NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+types = {}
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        name, kind = line[len("# TYPE "):].split(" ")
+        assert NAME.match(name), f"bad metric name {name!r}"
+        assert kind in ("counter", "gauge", "histogram"), f"bad kind {kind!r}"
+        assert name not in types, f"duplicate # TYPE for {name}"
+        types[name] = kind
+
+series = []
+for line in text.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    head, value = line.rsplit(" ", 1)
+    value = float(value)
+    if "{" in head:
+        name, rest = head.split("{", 1)
+        labels = dict(
+            kv.split("=", 1) for kv in rest.rstrip("}").split(",") if kv
+        )
+        labels = {k: v.strip('"') for k, v in labels.items()}
+    else:
+        name, labels = head, {}
+    assert NAME.match(name), f"bad sample name {name!r}"
+    series.append((name, labels, value))
+
+by_name = {}
+for name, labels, value in series:
+    by_name.setdefault(name, []).append((labels, value))
+
+# Cumulative bucket checks per (family, label-set-minus-le).
+buckets = {}
+for name, labels, value in series:
+    if name.endswith("_bucket"):
+        base = name[: -len("_bucket")]
+        key = (base, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+        buckets.setdefault(key, []).append((labels["le"], value))
+assert buckets, "exposition has no histogram buckets"
+for (base, key), rows in buckets.items():
+    vals = [v for _, v in rows]
+    assert vals == sorted(vals), f"non-cumulative buckets for {base} {key}"
+    assert rows[-1][0] == "+Inf", f"last bucket of {base} {key} must be +Inf"
+    counts = [
+        v for labels, v in by_name.get(f"{base}_count", [])
+        if tuple(sorted(labels.items())) == key
+    ]
+    assert counts and counts[0] == rows[-1][1], \
+        f"+Inf bucket != _count for {base} {key}"
+
+for want, kind in (
+    ("serve_requests", "counter"),
+    ("serve_request_us", "histogram"),
+    ("serve_conn_queue_depth", "gauge"),
+    ("serve_batch_queue_depth", "gauge"),
+):
+    assert types.get(want) == kind, \
+        f"missing {kind} {want!r} in exposition: {sorted(types)}"
+labeled = [
+    labels for labels, _ in by_name.get("serve_request_us_count", [])
+    if labels.get("endpoint")
+]
+assert labeled, "no per-endpoint serve_request_us series"
+
+out = {
+    "families": len(types),
+    "series": len(series),
+    "histogram_series": len(buckets),
+    "labeled_request_series": len(labeled),
+    "counters": sum(1 for k in types.values() if k == "counter"),
+    "gauges": sum(1 for k in types.values() if k == "gauge"),
+    "histograms": sum(1 for k in types.values() if k == "histogram"),
+}
+json.dump(out, open(dst, "w"), indent=2)
+print(f"metrics gate: {out['families']} families ({out['counters']} counters, "
+      f"{out['gauges']} gauges, {out['histograms']} histograms), "
+      f"{out['series']} series, buckets cumulative, +Inf == _count [ok]")
 EOF
 
 # End-to-end trace artifact: the quickstart example run under

@@ -533,3 +533,247 @@ fn stalled_client_gets_request_timeout() {
     assert_eq!(status, 408);
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Integration: the /metrics exposition stays well-formed Prometheus text
+// under concurrent load, with per-tenant histogram series.
+// ---------------------------------------------------------------------
+
+/// One exposition sample line parsed as (metric name, labels, value).
+fn parse_series(text: &str) -> Vec<(String, Vec<(String, String)>, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            assert_eq!(value, "+Inf", "unparseable sample value in {line:?}");
+            f64::INFINITY
+        });
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let rest = rest.strip_suffix('}').expect("label block closes");
+                let labels = rest
+                    .split(',')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').expect("label is k=\"v\"");
+                        let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+                        (k.to_string(), v.expect("label value quoted").to_string())
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+        };
+        out.push((name, labels, value));
+    }
+    out
+}
+
+#[test]
+fn metrics_exposition_is_well_formed_under_concurrent_load() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("alice", model(31, 8, 2)).unwrap();
+    registry.publish("bob", model(32, 8, 2)).unwrap();
+    let server = Server::start(registry, &ServingConfig::default(), 0).unwrap();
+    let addr = server.addr().to_string();
+    let body = br#"{"inputs": [1, 2, 3, 4, 5, 6, 7, 8]}"#;
+
+    // Four clients hammer two tenants while /metrics is scraped live.
+    let clients: Vec<_> = ["alice", "bob", "alice", "bob"]
+        .into_iter()
+        .map(|tenant| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let (status, _) = http::request(
+                        &addr,
+                        "POST",
+                        &format!("/predict/{tenant}"),
+                        Some(body),
+                        Duration::from_secs(10),
+                    )
+                    .unwrap();
+                    assert_eq!(status, 200);
+                }
+            })
+        })
+        .collect();
+    for _ in 0..5 {
+        let (status, _) =
+            http::request(&addr, "GET", "/metrics", None, Duration::from_secs(10)).unwrap();
+        assert_eq!(status, 200, "mid-load scrape must succeed");
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let (status, raw) =
+        http::request(&addr, "GET", "/metrics", None, Duration::from_secs(10)).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(raw).expect("exposition is UTF-8");
+
+    // Every `# TYPE` line is unique, names a valid identifier, and a
+    // known kind.
+    let mut seen_types = std::collections::BTreeMap::new();
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let mut parts = line["# TYPE ".len()..].split(' ');
+        let name = parts.next().unwrap();
+        let kind = parts.next().unwrap();
+        assert!(
+            name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name {name:?}"
+        );
+        assert!(["counter", "gauge", "histogram"].contains(&kind), "bad kind {kind:?}");
+        assert!(
+            seen_types.insert(name.to_string(), kind).is_none(),
+            "duplicate # TYPE for {name}"
+        );
+    }
+
+    // Histogram series: cumulative buckets are monotone in file order and
+    // the +Inf bucket equals the matching _count sample.
+    let series = parse_series(&text);
+    let mut last_bucket: std::collections::BTreeMap<String, f64> =
+        std::collections::BTreeMap::new();
+    for (name, labels, value) in &series {
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let key: String = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v},"))
+                .fold(format!("{base}|"), |acc, kv| acc + &kv);
+            let prev = last_bucket.entry(key.clone()).or_insert(0.0);
+            assert!(
+                *prev <= *value + 1e-9,
+                "bucket counts must be cumulative: {name} {labels:?}"
+            );
+            *prev = *value;
+            let le = &labels.iter().find(|(k, _)| k == "le").expect("bucket has le").1;
+            if le == "+Inf" {
+                let count = series
+                    .iter()
+                    .find(|(n, l, _)| {
+                        n == &format!("{base}_count")
+                            && l.iter().filter(|(k, _)| k != "le").eq(labels
+                                .iter()
+                                .filter(|(k, _)| k != "le"))
+                    })
+                    .unwrap_or_else(|| panic!("no _count for {base} {labels:?}"));
+                assert_eq!(*value, count.2, "+Inf bucket != _count for {base} {labels:?}");
+            }
+        }
+    }
+
+    // Per-tenant request-latency series exist for both tenants.
+    for tenant in ["alice", "bob"] {
+        assert!(
+            series.iter().any(|(n, l, v)| {
+                n == "serve_request_us_count"
+                    && l.contains(&("tenant".to_string(), tenant.to_string()))
+                    && *v >= 10.0
+            }),
+            "missing per-tenant series for {tenant}"
+        );
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Integration: the watchdog flips /healthz to degraded (503) while the
+// batcher queue is driven past its SLO threshold, then recovers.
+// ---------------------------------------------------------------------
+
+#[test]
+fn healthz_degrades_and_recovers_when_queue_slo_is_breached() {
+    use nautilus_repro::core::config::ObservabilityConfig;
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", model(55, 8, 2)).unwrap();
+    // A wide-open batching door (400ms) with many handler threads piles
+    // concurrent predictions up inside the batcher queue.
+    let cfg = ServingConfig {
+        max_batch: 64,
+        max_delay_us: 400_000,
+        handler_threads: 8,
+        queue_limit: 64,
+        request_timeout_ms: 10_000,
+        ..ServingConfig::default()
+    };
+    let obs = ObservabilityConfig {
+        watchdog_tick_ms: 5,
+        watchdog_window: 4,
+        slo_queue_depth: 2,
+        ..ObservabilityConfig::default()
+    };
+    let server = Server::start_with(registry, &cfg, &obs, 0).unwrap();
+    let addr = server.addr().to_string();
+    let body = br#"{"inputs": [1, 2, 3, 4, 5, 6, 7, 8]}"#;
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (status, _) = http::request(
+                    &addr,
+                    "POST",
+                    "/predict",
+                    Some(body),
+                    Duration::from_secs(20),
+                )
+                .unwrap();
+                assert_eq!(status, 200);
+            })
+        })
+        .collect();
+
+    // While the six predictions sit in the 400ms batching window, the
+    // watchdog must observe depth > 2 and flip health to degraded.
+    let mut saw_degraded = false;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        let (status, raw) =
+            http::request(&addr, "GET", "/healthz", None, Duration::from_secs(10)).unwrap();
+        if status == 503 {
+            let j: nautilus_util::json::Json =
+                nautilus_util::json::from_slice(&raw).unwrap();
+            assert_eq!(j.get("status").and_then(|v| v.as_str()), Some("degraded"));
+            let watchdog = j
+                .get("components")
+                .and_then(|c| c.get("watchdog"))
+                .expect("watchdog component");
+            assert_eq!(watchdog.get("status").and_then(|v| v.as_str()), Some("degraded"));
+            assert!(
+                watchdog.get("breaches").and_then(|b| b.as_arr()).map(|b| b.len())
+                    >= Some(1),
+                "degraded health must name its breach"
+            );
+            saw_degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_degraded, "watchdog never flagged the queue SLO breach");
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // Once the burst drains, one clean window restores health.
+    let mut recovered = false;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        let (status, raw) =
+            http::request(&addr, "GET", "/healthz", None, Duration::from_secs(10)).unwrap();
+        if status == 200 {
+            let j: nautilus_util::json::Json =
+                nautilus_util::json::from_slice(&raw).unwrap();
+            assert_eq!(j.get("status").and_then(|v| v.as_str()), Some("ok"));
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(recovered, "health never recovered after the queue drained");
+    server.shutdown();
+}
