@@ -94,6 +94,107 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm_fma(c: &mut Criterion) {
+    // Explicit-FMA microkernel vs the portable safe kernel, both serial so
+    // the ratio isolates the register kernel + blocking, not the pool.
+    // scripts/verify.sh gates fma >= 1.3x safe at 512^3 via
+    // results/BENCH_gemm_fma.json; the fma side is only registered when
+    // the host has AVX2+FMA (the gate skips when the id is absent).
+    use nautilus_tensor::ops::gemm::{self, KernelKind, MatRef};
+    let mut rng = seeded_rng(29);
+    let n = 512usize;
+    let a = randn([n, n], 1.0, &mut rng).into_vec();
+    let b = randn([n, n], 1.0, &mut rng).into_vec();
+    let mut out = vec![0.0f32; n * n];
+    let mut group = c.benchmark_group("gemm_fma");
+    group.sample_size(15);
+    group.bench_with_input(BenchmarkId::new("safe", n), &n, |bch, _| {
+        bch.iter(|| {
+            out.fill(0.0);
+            gemm::gemm_serial_with(
+                KernelKind::Safe,
+                n,
+                n,
+                n,
+                MatRef::row_major(&a, n),
+                MatRef::row_major(&b, n),
+                &mut out,
+            );
+        })
+    });
+    if gemm::fma_supported() {
+        group.bench_with_input(BenchmarkId::new("fma", n), &n, |bch, _| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm::gemm_serial_with(
+                    KernelKind::Fma,
+                    n,
+                    n,
+                    n,
+                    MatRef::row_major(&a, n),
+                    MatRef::row_major(&b, n),
+                    &mut out,
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_int8(c: &mut Criterion) {
+    // f32 vs int8 row-quantized serving forward on an MLP at micro-batch
+    // scale. Per-record work sits below the parallel-dispatch threshold
+    // (the serving regime), so f32 runs the naive/blocked f32 path while
+    // int8 runs the i32-accumulate dot kernels over 4x-smaller weights.
+    // scripts/verify.sh gates int8 >= 1.2x f32 via results/BENCH_int8.json.
+    use nautilus_dnn::exec::forward_batch;
+    use nautilus_dnn::graph::ParamInit;
+    use nautilus_dnn::layer::{Activation, LayerKind};
+    use nautilus_dnn::quant::{forward_batch_quantized, QuantizedModel};
+    use nautilus_dnn::ModelGraph;
+
+    const IN: usize = 256;
+    const HIDDEN: usize = 256;
+    const OUT: usize = 32;
+    const BATCH: usize = 8;
+
+    let mut rng = seeded_rng(31);
+    let mut g = ModelGraph::new();
+    let inp = g.add_input("features", [IN]);
+    let hidden = g
+        .add_layer(
+            "hidden",
+            LayerKind::Dense { in_dim: IN, out_dim: HIDDEN, act: Activation::Relu },
+            &[inp],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    let head = g
+        .add_layer(
+            "head",
+            LayerKind::Dense { in_dim: HIDDEN, out_dim: OUT, act: Activation::None },
+            &[hidden],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    g.add_output(head).unwrap();
+    let quant = QuantizedModel::from_graph(&g, None);
+
+    let mut stacked = BatchInputs::new();
+    stacked.insert(inp, randn([BATCH, IN], 1.0, &mut rng));
+
+    let mut group = c.benchmark_group("int8");
+    group.bench_function("f32_forward/8", |b| {
+        b.iter(|| forward_batch(&g, &stacked, BATCH).unwrap())
+    });
+    group.bench_function("int8_forward/8", |b| {
+        b.iter(|| forward_batch_quantized(&g, &stacked, BATCH, head, &quant, None).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     // Direct scatter loops vs the im2col + packed-GEMM lowering, recorded
     // for the verify report (informational; the hard gate lives on `gemm`).
@@ -454,6 +555,8 @@ criterion_group!(
     benches,
     bench_tensor_kernels,
     bench_gemm,
+    bench_gemm_fma,
+    bench_int8,
     bench_conv,
     bench_pool,
     bench_telemetry,

@@ -167,6 +167,12 @@ pub struct ServingConfig {
     /// Tenant id answered by the un-suffixed endpoints (`/predict`,
     /// `/model`) and by the deprecated single-slot registry calls.
     pub default_tenant: String,
+    /// Row-quantize published variants to int8 by default: dense-layer
+    /// weights get per-channel symmetric scales at publish time and the
+    /// serving forward runs the i32-accumulating int8 kernel. Off by
+    /// default — quantization trades a bounded logit delta for throughput,
+    /// and the determinism policy keeps every numerics change opt-in.
+    pub quantize_int8: bool,
 }
 
 json_struct!(ServingConfig {
@@ -178,7 +184,8 @@ json_struct!(ServingConfig {
     max_body_bytes,
     max_resident_variants,
     delta_store_dir,
-    default_tenant
+    default_tenant,
+    quantize_int8
 });
 
 impl Default for ServingConfig {
@@ -193,6 +200,7 @@ impl Default for ServingConfig {
             max_resident_variants: 64,
             delta_store_dir: None,
             default_tenant: "default".to_string(),
+            quantize_int8: false,
         }
     }
 }
@@ -298,6 +306,13 @@ pub struct SystemConfig {
     /// for the whole process and exports the trace there when the session
     /// drops. `NAUTILUS_TRACE` offers the same knob environmentally.
     pub trace: Option<String>,
+    /// GEMM microkernel preference for the real backend: `"safe"` (the
+    /// portable, bit-stable default) or `"fma"` (the explicit AVX2+FMA
+    /// microkernel, used only when the host supports it). Applied
+    /// process-wide when a session with a real backend is created;
+    /// `NAUTILUS_GEMM_KERNEL` overrides it environmentally. See DESIGN.md
+    /// "Determinism policy" for why FMA is opt-in.
+    pub gemm_kernel: String,
     /// Online inference server knobs (queue bounds, micro-batching).
     pub serving: ServingConfig,
     /// Feature-store I/O pipeline knobs (prefetch, write-behind,
@@ -320,6 +335,7 @@ json_struct!(SystemConfig {
     milp_time_limit_secs,
     threads,
     trace,
+    gemm_kernel,
     serving,
     io,
     observability
@@ -339,6 +355,7 @@ impl Default for SystemConfig {
             milp_time_limit_secs: 30,
             threads: 0,
             trace: None,
+            gemm_kernel: "safe".to_string(),
             serving: ServingConfig::default(),
             io: IoConfig::default(),
             observability: ObservabilityConfig::default(),
@@ -527,6 +544,18 @@ impl SystemConfigBuilder {
     /// Tenant id served by the un-suffixed `/predict` and `/model` routes.
     pub fn serve_default_tenant(mut self, id: impl Into<String>) -> Self {
         self.cfg.serving.default_tenant = id.into();
+        self
+    }
+
+    /// Row-quantize published variants to int8 for serving by default.
+    pub fn serve_quantize_int8(mut self, v: bool) -> Self {
+        self.cfg.serving.quantize_int8 = v;
+        self
+    }
+
+    /// GEMM microkernel preference: `"safe"` (default) or `"fma"`.
+    pub fn gemm_kernel(mut self, v: impl Into<String>) -> Self {
+        self.cfg.gemm_kernel = v.into();
         self
     }
 

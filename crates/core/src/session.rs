@@ -201,6 +201,17 @@ impl ModelSelection {
         let _sp_init = telemetry::span("core", "session.init");
         let io = SharedIoStats::new();
         let mut backend = Backend::new(backend_kind, config.hardware, io.clone());
+        if backend.is_real() {
+            // Per-backend GEMM kernel opt-in: only real execution computes,
+            // so only a real backend applies the preference. The
+            // NAUTILUS_GEMM_KERNEL env override still wins inside the
+            // dispatch layer, and unsupported hosts degrade to safe.
+            if let Some(kind) =
+                nautilus_tensor::ops::gemm::KernelKind::parse(&config.gemm_kernel)
+            {
+                nautilus_tensor::ops::gemm::set_kernel_preference(kind);
+            }
+        }
         let t_init = Instant::now();
 
         // Phase 1: original model checkpoints (all strategies).
@@ -1074,6 +1085,19 @@ impl ModelSelection {
             Some((ci, g)) => Ok((*ci, g.clone())),
             None => Err(SessionError::Invalid("no trained model yet".into())),
         }
+    }
+
+    /// [`export_best`] plus the int8 serving form: every dense layer of
+    /// the exported graph row-quantized (per-channel symmetric scales) at
+    /// export time, ready to hand to a quantized serving path — the same
+    /// representation `ModelRegistry::publish_with` builds when
+    /// `quantize_int8` is on.
+    pub fn export_best_quantized(
+        &self,
+    ) -> Result<(usize, ModelGraph, nautilus_dnn::QuantizedModel), SessionError> {
+        let (ci, g) = self.export_best()?;
+        let quant = nautilus_dnn::QuantizedModel::from_graph(&g, None);
+        Ok((ci, g, quant))
     }
 
     fn raw_record_bytes(&self) -> u64 {

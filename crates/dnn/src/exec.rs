@@ -63,7 +63,7 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-fn exec_err(node: &str, e: impl std::fmt::Display) -> ExecError {
+pub(crate) fn exec_err(node: &str, e: impl std::fmt::Display) -> ExecError {
     ExecError { node: node.to_string(), message: e.to_string() }
 }
 
@@ -496,7 +496,7 @@ struct BackwardOut {
     param_grads: Vec<Tensor>,
 }
 
-fn apply_act(act: Activation, pre: &Tensor) -> Tensor {
+pub(crate) fn apply_act(act: Activation, pre: &Tensor) -> Tensor {
     match act {
         Activation::None => pre.clone(),
         Activation::Relu => relu(pre),
@@ -515,7 +515,7 @@ fn act_backward(act: Activation, pre: &Tensor, grad: &Tensor) -> Result<Tensor, 
 }
 
 #[allow(clippy::too_many_lines)]
-fn run_forward(
+pub(crate) fn run_forward(
     node: &crate::graph::Node,
     params: &[Tensor],
     parents: &[&Tensor],

@@ -29,6 +29,9 @@
 //!   per-tenant delta (trainable params only), with content hashes for
 //!   dedup and a compact delta checkpoint format; the substrate of the
 //!   multi-tenant serving plane.
+//! * [`quant`] — int8 row-quantized serving forms of dense layers and a
+//!   quantized batch forward, compressing the hot serving path's compute
+//!   the way [`delta`] compresses its storage.
 
 pub mod checkpoint;
 pub mod delta;
@@ -37,6 +40,7 @@ pub mod graph;
 pub mod layer;
 pub mod loss;
 pub mod optim;
+pub mod quant;
 pub mod summary;
 
 pub use delta::{apply_delta, base_signature, extract_delta, strip_trainable, GraphDelta};
@@ -48,3 +52,4 @@ pub use graph::{GraphError, ModelGraph, Node, NodeId};
 pub use layer::{Activation, LayerKind};
 pub use loss::TaskKind;
 pub use optim::{Optimizer, OptimizerSpec};
+pub use quant::{forward_batch_quantized, QuantDense, QuantizedModel};

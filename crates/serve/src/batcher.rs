@@ -17,7 +17,8 @@
 
 use crate::registry::{BaseModel, ModelArtifact, ModelRegistry, RegistryError};
 use nautilus_core::config::ServingConfig;
-use nautilus_dnn::exec::{forward_batch_shared_trunk, TrunkGroup};
+use nautilus_dnn::exec::{forward_batch_shared_trunk, BatchInputs, TrunkGroup};
+use nautilus_dnn::quant::forward_batch_quantized;
 use nautilus_tensor::Tensor;
 use nautilus_util::telemetry;
 use std::sync::mpsc;
@@ -223,9 +224,20 @@ fn run_batch(batch: Vec<Pending>) {
     // pinned artifact within the base (one suffix pass per variant), both
     // in arrival order. Requests for variants of *different* bases — or
     // spanning a hot swap that changed the architecture — never mix.
+    // Variants published with int8 quantization peel off into per-tenant
+    // quantized passes: they trade the shared f32 trunk for the integer
+    // kernels, so they never join an f32 trunk group.
     type TenantGroup = (Arc<ModelArtifact>, Vec<Pending>);
     let mut base_groups: Vec<(Arc<BaseModel>, Vec<TenantGroup>)> = Vec::new();
+    let mut quant_groups: Vec<TenantGroup> = Vec::new();
     for p in batch {
+        if p.artifact.quant.is_some() {
+            match quant_groups.iter_mut().find(|(a, _)| Arc::ptr_eq(a, &p.artifact)) {
+                Some((_, g)) => g.push(p),
+                None => quant_groups.push((Arc::clone(&p.artifact), vec![p])),
+            }
+            continue;
+        }
         let base = Arc::clone(&p.artifact.base);
         let idx = match base_groups.iter().position(|(b, _)| Arc::ptr_eq(b, &base)) {
             Some(i) => i,
@@ -242,6 +254,61 @@ fn run_batch(batch: Vec<Pending>) {
     }
     for (base, tenants) in base_groups {
         run_base_group(&base, tenants);
+    }
+    for (artifact, group) in quant_groups {
+        run_quant_group(&artifact, group);
+    }
+}
+
+/// One int8 execution: a single quantized tenant's pendings, fused into
+/// one batch through [`forward_batch_quantized`].
+fn run_quant_group(artifact: &Arc<ModelArtifact>, group: Vec<Pending>) {
+    let quant = artifact.quant.as_ref().expect("routed on quant presence");
+    let k = group.len();
+    let _sp = telemetry::span("serve", "serve.batch");
+    let t0 = Instant::now();
+    let result = (|| -> Result<Tensor, PredictError> {
+        let per = artifact.record_elems;
+        let mut data = Vec::with_capacity(k * per);
+        for p in &group {
+            data.extend_from_slice(&p.record);
+        }
+        let stacked = Tensor::from_vec(artifact.record_shape.with_batch(k), data)
+            .map_err(|e| PredictError::Exec(e.to_string()))?;
+        let mut bi = BatchInputs::new();
+        bi.insert(artifact.input, stacked);
+        forward_batch_quantized(
+            &artifact.base.graph,
+            &bi,
+            k,
+            artifact.output,
+            quant,
+            Some(&artifact.overrides),
+        )
+        .map_err(|e| PredictError::Exec(e.to_string()))
+    })();
+    match result {
+        Ok(out) => {
+            telemetry::SERVE_BATCHES.add(1);
+            telemetry::SERVE_BATCH_RECORDS.add(k as u64);
+            telemetry::SERVE_BATCH_US.record(t0.elapsed().as_micros() as u64);
+            let out_data = out.data();
+            let out_per = out_data.len() / k.max(1);
+            for (i, p) in group.into_iter().enumerate() {
+                let _ = p.reply.send(Ok(PredictOutput {
+                    model_id: artifact.id.as_str().to_string(),
+                    version: artifact.version,
+                    batch_size: k,
+                    trunk_batch: k,
+                    values: out_data[i * out_per..(i + 1) * out_per].to_vec(),
+                }));
+            }
+        }
+        Err(e) => {
+            for p in group {
+                let _ = p.reply.send(Err(e.clone()));
+            }
+        }
     }
 }
 

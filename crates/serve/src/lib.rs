@@ -68,6 +68,7 @@ pub use batcher::{MicroBatcher, PredictError, PredictOutput};
 pub use deltastore::{DeltaStore, StoreError, StorePut};
 pub use http::{Request, Response};
 pub use registry::{
-    BaseModel, ModelArtifact, ModelId, ModelRegistry, ModelSummary, RegistryError, RegistryStats,
+    BaseModel, ModelArtifact, ModelId, ModelRegistry, ModelSummary, PublishOptions, RegistryError,
+    RegistryStats,
 };
 pub use server::{Server, ServerStatsSnapshot};

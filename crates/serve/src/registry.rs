@@ -26,6 +26,7 @@ use nautilus_dnn::delta::{
     GraphDelta,
 };
 use nautilus_dnn::exec::ParamOverrides;
+use nautilus_dnn::quant::QuantizedModel;
 use nautilus_dnn::{ModelGraph, NodeId};
 use nautilus_tensor::Shape;
 use nautilus_util::{eventlog, telemetry};
@@ -84,6 +85,22 @@ pub struct BaseModel {
     pub record_elems: usize,
     /// Resident frozen parameter bytes.
     pub frozen_bytes: usize,
+    /// Lazily built int8 form of the frozen dense trunk (see
+    /// [`BaseModel::frozen_quant`]).
+    frozen_quant: std::sync::OnceLock<Arc<QuantizedModel>>,
+}
+
+impl BaseModel {
+    /// The int8 serving form of the frozen dense trunk: quantized once
+    /// per base on first quantized publish, then shared (`Arc`) by every
+    /// tenant of the family — the compute analogue of the base's
+    /// one-resident-copy weight sharing.
+    pub fn frozen_quant(&self) -> Arc<QuantizedModel> {
+        Arc::clone(self.frozen_quant.get_or_init(|| {
+            let rg = self.graph.requires_grad();
+            Arc::new(QuantizedModel::from_graph_where(&self.graph, None, |id| !rg[id.index()]))
+        }))
+    }
 }
 
 /// One published, servable variant: a pinned base plus its delta.
@@ -109,6 +126,10 @@ pub struct ModelArtifact {
     pub input: NodeId,
     /// The base graph's output head.
     pub output: NodeId,
+    /// int8 serving form (frozen trunk + this tenant's quantized head)
+    /// when the variant was published with `quantize_int8`; `None` serves
+    /// the ordinary f32 path.
+    pub quant: Option<Arc<QuantizedModel>>,
 }
 
 impl ModelArtifact {
@@ -240,6 +261,9 @@ struct VariantSlot {
     /// LRU clock value of the last `get`.
     last_used: u64,
     delta_bytes: usize,
+    /// Whether this tenant was published with int8 quantization; sticky
+    /// across evict/fault-in so the rebuilt artifact serves identically.
+    quantize: bool,
 }
 
 #[derive(Debug, Default)]
@@ -298,6 +322,16 @@ impl RegistryStats {
     }
 }
 
+/// Per-publish knobs beyond the graph itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PublishOptions {
+    /// Serve this variant through the int8 row-quantized path: dense
+    /// weights are quantized once at publish (per-row symmetric scales)
+    /// and inference accumulates in i32. The frozen trunk's quantized form
+    /// is built once per base and shared across tenants.
+    pub quantize_int8: bool,
+}
+
 /// A tenant-keyed model store shared by the server's threads.
 #[derive(Debug)]
 pub struct ModelRegistry {
@@ -306,6 +340,7 @@ pub struct ModelRegistry {
     max_resident: usize,
     store: Option<DeltaStore>,
     default_id: ModelId,
+    default_quantize: bool,
 }
 
 impl Default for ModelRegistry {
@@ -324,6 +359,7 @@ impl ModelRegistry {
             max_resident: usize::MAX,
             store: None,
             default_id: ModelId("default".to_string()),
+            default_quantize: false,
         }
     }
 
@@ -342,6 +378,7 @@ impl ModelRegistry {
             max_resident: cfg.max_resident_variants.max(1),
             store,
             default_id: ModelId::new(cfg.default_tenant.clone())?,
+            default_quantize: cfg.quantize_int8,
         })
     }
 
@@ -378,6 +415,16 @@ impl ModelRegistry {
         }
     }
 
+    /// The int8 serving form for one tenant: the base's shared quantized
+    /// trunk merged with this tenant's freshly quantized head (the nodes
+    /// its delta overrides).
+    fn build_quant(base: &BaseModel, overrides: &ParamOverrides) -> Arc<QuantizedModel> {
+        let head = QuantizedModel::from_graph_where(&base.graph, Some(overrides), |id| {
+            overrides.contains_key(&id)
+        });
+        Arc::new(base.frozen_quant().merged_with(&head))
+    }
+
     fn validate(graph: &ModelGraph) -> Result<(NodeId, NodeId, Shape), RegistryError> {
         let inputs = graph.input_ids();
         if inputs.len() != 1 {
@@ -410,6 +457,17 @@ impl ModelRegistry {
     /// pool. The per-tenant swap is atomic; in-flight requests holding the
     /// previous artifact are unaffected.
     pub fn publish(&self, id: &str, graph: ModelGraph) -> Result<u64, RegistryError> {
+        self.publish_with(id, graph, PublishOptions { quantize_int8: self.default_quantize })
+    }
+
+    /// [`publish`](Self::publish) with explicit [`PublishOptions`] instead
+    /// of the registry-wide defaults.
+    pub fn publish_with(
+        &self,
+        id: &str,
+        graph: ModelGraph,
+        opts: PublishOptions,
+    ) -> Result<u64, RegistryError> {
         let id = ModelId::new(id)?;
         let (input, output, record_shape) = Self::validate(&graph)?;
         let delta = extract_delta(&graph)
@@ -431,6 +489,7 @@ impl ModelRegistry {
                     record_shape: record_shape.clone(),
                     record_elems,
                     frozen_bytes,
+                    frozen_quant: std::sync::OnceLock::new(),
                 });
                 inner.bases.insert(delta.base_sig, Arc::clone(&b));
                 b
@@ -448,6 +507,7 @@ impl ModelRegistry {
         }
 
         let version = inner.variants.get(&id).map_or(1, |s| s.version + 1);
+        let quant = opts.quantize_int8.then(|| Self::build_quant(&base, &overrides));
         let artifact = Arc::new(ModelArtifact {
             id: id.clone(),
             version,
@@ -458,12 +518,14 @@ impl ModelRegistry {
             record_elems,
             input,
             output,
+            quant,
         });
         let slot = VariantSlot {
             version,
             state: VariantState::Resident { artifact, pool_keys },
             last_used: self.clock.fetch_add(1, Ordering::Relaxed),
             delta_bytes,
+            quantize: opts.quantize_int8,
         };
         let tenant = id.0.clone();
         if let Some(old) = inner.variants.insert(id, slot) {
@@ -520,7 +582,9 @@ impl ModelRegistry {
         let store = self.store.as_ref().ok_or(RegistryError::NoStore)?;
         let (version, delta) =
             store.get(id.as_str()).map_err(|e| RegistryError::Store(e.to_string()))?;
-        let base_sig = match &inner.variants.get(id).expect("caller checked").state {
+        let slot = inner.variants.get(id).expect("caller checked");
+        let quantize = slot.quantize;
+        let base_sig = match &slot.state {
             VariantState::Evicted { base_sig } => *base_sig,
             VariantState::Resident { artifact, .. } => return Ok(Arc::clone(artifact)),
         };
@@ -544,6 +608,7 @@ impl ModelRegistry {
             overrides.insert(NodeId(e.node), Arc::clone(&arc));
             pool_keys.push((hash, arc));
         }
+        let quant = quantize.then(|| Self::build_quant(&base, &overrides));
         let artifact = Arc::new(ModelArtifact {
             id: id.clone(),
             version,
@@ -554,6 +619,7 @@ impl ModelRegistry {
             record_elems: base.record_elems,
             input: base.input,
             output: base.output,
+            quant,
         });
         let slot = inner.variants.get_mut(id).expect("caller checked");
         slot.state =

@@ -29,12 +29,33 @@
 use crate::ops::dispatch::effective_work;
 use crate::ops::gemm::{self, MatRef};
 use crate::{Tensor, TensorError};
-use nautilus_util::scratch;
+use nautilus_util::{scratch, telemetry};
 
 /// Multiply-add count at and above which [`matmul_ex`] lowers to the
-/// blocked packed GEMM engine; below it the naive loops win because the
-/// packing traffic is not amortized.
+/// blocked packed GEMM engine *when running the safe kernel*; below it the
+/// naive loops win because the packing traffic is not amortized. The live
+/// crossover is [`gemm_threshold`], which consults the resolved kernel —
+/// the FMA microkernel amortizes packing one octave sooner. This constant
+/// is kept as the documented safe-kernel value (and for callers sizing
+/// test workloads against the safe default).
 pub const GEMM_THRESHOLD: usize = 1 << 17;
+
+/// The multiply-add crossover the next [`matmul_ex`] call dispatches with:
+/// [`gemm::dispatch_threshold`] of the runtime-resolved kernel. Equals
+/// [`GEMM_THRESHOLD`] whenever the safe kernel is selected (validated by a
+/// unit test so the constant and the table cannot drift apart).
+pub fn gemm_threshold() -> usize {
+    gemm::dispatch_threshold(gemm::resolved_kernel())
+}
+
+/// Counts one kernel-dispatch decision in the labeled `gemm.kernel{path=}`
+/// family (`path` ∈ `naive` | `safe` | `fma` | `int8`), so `/metrics`
+/// shows which kernel actually served traffic.
+pub fn count_dispatch(path: &str) {
+    if telemetry::metrics_enabled() {
+        telemetry::counter_with("gemm.kernel", &[("path", path)]).add(1);
+    }
+}
 
 /// Which operands of [`matmul_ex`] are consumed transposed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -116,6 +137,8 @@ fn matmul_tb_rows(ad: &[f32], bd: &[f32], out: &mut [f32], n: usize, k: usize) {
 /// [`GEMM_THRESHOLD`] run on the blocked packed GEMM engine (parallel when
 /// large, bit-identical at any thread width).
 pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, TensorError> {
+    let kernel = gemm::resolved_kernel();
+    let threshold = gemm::dispatch_threshold(kernel);
     match (spec.transpose_a, spec.transpose_b) {
         (false, false) => {
             let (m, k, ad) = a.as_matrix();
@@ -127,9 +150,11 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(m * n);
-            if effective_work(m * k * n) >= GEMM_THRESHOLD {
-                gemm::gemm(m, k, n, MatRef::row_major(ad, k), MatRef::row_major(bd, n), &mut out);
+            if effective_work(m * k * n) >= threshold {
+                count_dispatch(kernel.as_str());
+                gemm::gemm_with(kernel, m, k, n, MatRef::row_major(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
+                count_dispatch("naive");
                 matmul_rows(ad, bd, &mut out, k, n);
             }
             Tensor::from_vec(a.shape().with_last_dim(n), out)
@@ -144,10 +169,12 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(k * n);
-            if effective_work(m * k * n) >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= threshold {
+                count_dispatch(kernel.as_str());
                 // Effective A' = aᵀ: (k, m) view over the (m, k) buffer.
-                gemm::gemm(k, m, n, MatRef::transposed(ad, k), MatRef::row_major(bd, n), &mut out);
+                gemm::gemm_with(kernel, k, m, n, MatRef::transposed(ad, k), MatRef::row_major(bd, n), &mut out);
             } else {
+                count_dispatch("naive");
                 matmul_ta_rows(ad, bd, &mut out, m, k, n);
             }
             Tensor::from_vec([k, n], out)
@@ -162,10 +189,12 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                 )));
             }
             let mut out = scratch::take_vec(m * k);
-            if effective_work(m * k * n) >= GEMM_THRESHOLD {
+            if effective_work(m * k * n) >= threshold {
+                count_dispatch(kernel.as_str());
                 // Effective B' = bᵀ: (n, k) buffer read as (n → k, cols).
-                gemm::gemm(m, n, k, MatRef::row_major(ad, n), MatRef::transposed(bd, n), &mut out);
+                gemm::gemm_with(kernel, m, n, k, MatRef::row_major(ad, n), MatRef::transposed(bd, n), &mut out);
             } else {
+                count_dispatch("naive");
                 matmul_tb_rows(ad, bd, &mut out, n, k);
             }
             Tensor::from_vec(a.shape().with_last_dim(k), out)
@@ -181,8 +210,10 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
             }
             let (m, k, n) = (ak, am, bm);
             let mut out = scratch::take_vec(m * n);
-            if effective_work(m * k * n) >= GEMM_THRESHOLD {
-                gemm::gemm(
+            if effective_work(m * k * n) >= threshold {
+                count_dispatch(kernel.as_str());
+                gemm::gemm_with(
+                    kernel,
                     m,
                     k,
                     n,
@@ -191,6 +222,7 @@ pub fn matmul_ex(a: &Tensor, b: &Tensor, spec: MatmulSpec) -> Result<Tensor, Ten
                     &mut out,
                 );
             } else {
+                count_dispatch("naive");
                 // Cᵀ = B · A: compute with the plain kernel, then transpose.
                 let mut c = vec![0.0f32; n * m];
                 matmul_rows(bd, ad, &mut c, bn, ak);
@@ -304,6 +336,19 @@ mod tests {
         let bt = t(&[2, 4], &[1.0, 2.0, 0.0, 1.0, 0.0, 1.0, 1.0, 3.0]);
         let got = matmul_ex(&a, &b, MatmulSpec { transpose_a: true, transpose_b: true }).unwrap();
         assert_eq!(got, matmul(&at, &bt).unwrap());
+    }
+
+    /// The documented safe-kernel constant and the live dispatch table
+    /// must agree, and the FMA crossover must sit below it (denser compute
+    /// amortizes packing sooner) — so `gemm_threshold()` never silently
+    /// drifts from what callers sized their workloads against.
+    #[test]
+    fn threshold_table_matches_legacy_constant_for_safe() {
+        assert_eq!(gemm::dispatch_threshold(gemm::KernelKind::Safe), GEMM_THRESHOLD);
+        assert!(gemm::dispatch_threshold(gemm::KernelKind::Fma) < GEMM_THRESHOLD);
+        let live = gemm_threshold();
+        let (kind, _) = gemm::kernel_info();
+        assert_eq!(live, gemm::dispatch_threshold(kind));
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod elementwise;
 pub mod gemm;
 pub mod matmul;
 pub mod nn;
+pub mod qgemm;
 pub mod reduce;
 
 pub use conv::{
@@ -21,6 +22,7 @@ pub use dispatch::with_batch_invariant_dispatch;
 pub use elementwise::{add, add_assign, axpy, hadamard, scale, sub};
 pub use gemm::MatRef;
 pub use matmul::{matmul, matmul_ex, matmul_ex_flops, matmul_ta, matmul_tb, MatmulSpec};
+pub use qgemm::{qgemm_dyn, quantize_rows, QuantizedMatrix};
 pub use nn::{
     cross_entropy_logits, gelu, gelu_backward, layer_norm, layer_norm_backward, relu,
     relu_backward, softmax_last, softmax_last_backward, tanh_act, tanh_backward,

@@ -12,6 +12,16 @@
 //!   every parallelism level (`with_parallelism_limit` 1/2/8), because the
 //!   pool only ever partitions output rows on MC-aligned boundaries and each
 //!   element is accumulated k-ascending by exactly one task.
+//! * **Kernel differential** (ISSUE 9) — on hosts with AVX2+FMA, the
+//!   explicit-FMA microkernel must agree with the safe kernel within the
+//!   same `1e-4` relative tolerance on every shape/transpose case, and be
+//!   bit-identical across pool widths 1/2/8 (same blocking ⇒ same partial
+//!   sums per element regardless of how rows are partitioned).
+//!
+//! `gemm::gemm` itself resolves its kernel from `NAUTILUS_GEMM_KERNEL`, so
+//! `verify.sh` runs this whole binary once per kernel path; the explicit
+//! `gemm_with` differential below runs whenever the CPU supports FMA, no
+//! matter the env.
 //!
 //! Everything lives in one `#[test]` so `NAUTILUS_THREADS` is set exactly
 //! once, before the pool's first use, in a binary no other test shares.
@@ -122,6 +132,38 @@ fn check_gemm(c: &GemmCase) -> Result<(), String> {
             out
         });
         prop_assert!(reference == got, "gemm bits diverged at limit {limit} for {c:?}");
+    }
+
+    // FMA-vs-safe differential, independent of NAUTILUS_GEMM_KERNEL: the
+    // explicit microkernel fuses the multiply-add (one rounding instead of
+    // two) and runs under auto-tuned blocking, so it may drift from the
+    // safe kernel only within rounding tolerance — while staying
+    // bit-identical to itself at every pool width.
+    if gemm::fma_supported() {
+        let safe = pool::with_parallelism_limit(1, || {
+            let mut out = vec![0.0f32; c.m * c.n];
+            gemm::gemm_with(gemm::KernelKind::Safe, c.m, c.k, c.n, aref, bref, &mut out);
+            out
+        });
+        // The default-resolved gemm above must be exactly one of the two
+        // explicit kernels (whichever NAUTILUS_GEMM_KERNEL picked).
+        if gemm::resolved_kernel() == gemm::KernelKind::Safe {
+            prop_assert!(safe == reference, "explicit Safe != default-resolved gemm for {c:?}");
+        }
+        let fma = pool::with_parallelism_limit(1, || {
+            let mut out = vec![0.0f32; c.m * c.n];
+            gemm::gemm_with(gemm::KernelKind::Fma, c.m, c.k, c.n, aref, bref, &mut out);
+            out
+        });
+        assert_close(&fma, &safe, "gemm[fma-vs-safe]", &format!("{c:?}"))?;
+        for limit in [2usize, 8] {
+            let got = pool::with_parallelism_limit(limit, || {
+                let mut out = vec![0.0f32; c.m * c.n];
+                gemm::gemm_with(gemm::KernelKind::Fma, c.m, c.k, c.n, aref, bref, &mut out);
+                out
+            });
+            prop_assert!(fma == got, "fma gemm bits diverged at limit {limit} for {c:?}");
+        }
     }
     Ok(())
 }

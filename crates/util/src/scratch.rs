@@ -9,6 +9,8 @@
 //! * [`take`] returns an RAII [`Scratch`] guard that recycles its buffer
 //!   into the arena on drop — the right shape for kernel-internal
 //!   temporaries (packing panels, column matrices).
+//! * [`take_aligned`] is [`take`] with the window lifted onto a 32-byte
+//!   boundary, for packed panels consumed by SIMD microkernels.
 //! * [`take_vec`] / [`recycle`] split the two halves apart for buffers
 //!   whose ownership must escape (e.g. a kernel output that becomes a
 //!   tensor's backing storage and is recycled later by the tensor's drop).
@@ -186,6 +188,60 @@ pub fn take(len: usize) -> Scratch {
     Scratch { buf: Some(take_vec(len)) }
 }
 
+/// SIMD vector alignment target for [`take_aligned`], in bytes (AVX2).
+pub const SIMD_ALIGN: usize = 32;
+
+/// RAII scratch buffer whose visible `[f32]` window starts on a
+/// [`SIMD_ALIGN`]-byte boundary. Deref yields exactly the requested
+/// length; the (at most `SIMD_ALIGN/4 - 1` element) alignment slack at
+/// the front of the backing allocation is hidden. Recycles on drop.
+pub struct AlignedScratch {
+    buf: Option<Vec<f32>>,
+    off: usize,
+    len: usize,
+}
+
+impl Deref for AlignedScratch {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        let b = self.buf.as_deref().expect("scratch buffer present");
+        &b[self.off..self.off + self.len]
+    }
+}
+
+impl DerefMut for AlignedScratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        let (off, len) = (self.off, self.len);
+        let b = self.buf.as_deref_mut().expect("scratch buffer present");
+        &mut b[off..off + len]
+    }
+}
+
+impl Drop for AlignedScratch {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            recycle(buf);
+        }
+    }
+}
+
+/// A zero-filled RAII scratch buffer of `len` elements whose first element
+/// sits on a [`SIMD_ALIGN`]-byte boundary, so vector kernels reading it in
+/// 32-byte lanes never take split-load penalties. Works by over-allocating
+/// `SIMD_ALIGN/4 - 1` elements and offsetting into the buffer; the offset
+/// is recomputed on every take because the arena may hand back a different
+/// allocation each time. Falls back to offset 0 (a plain, possibly
+/// unaligned window) in the degenerate case where the allocator returns a
+/// pointer that cannot be aligned — callers must still use unaligned loads
+/// for correctness and get alignment as a performance property.
+pub fn take_aligned(len: usize) -> AlignedScratch {
+    const SLACK: usize = SIMD_ALIGN / 4 - 1;
+    let buf = take_vec(len + SLACK);
+    let mis = buf.as_ptr().align_offset(SIMD_ALIGN);
+    let off = if mis <= SLACK { mis } else { 0 };
+    AlignedScratch { buf: Some(buf), off, len }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +293,28 @@ mod tests {
         assert!(retained <= MAX_BUFS, "retained {retained} > cap {MAX_BUFS}");
         let bytes = ARENA.with(|a| a.borrow().bytes);
         assert!(bytes <= MAX_BYTES);
+    }
+
+    #[test]
+    fn aligned_take_is_simd_aligned_and_zeroed() {
+        for len in [1usize, 7, MIN_POOL_LEN, MIN_POOL_LEN * 3 + 5] {
+            let s = take_aligned(len);
+            assert_eq!(s.len(), len);
+            assert_eq!(s.as_ptr() as usize % SIMD_ALIGN, 0, "len {len} window misaligned");
+            assert!(s.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn aligned_take_recycles_through_the_arena() {
+        let len = MIN_POOL_LEN * 2;
+        {
+            let _s = take_aligned(len);
+        }
+        let (h0, _) = thread_stats();
+        let _s2 = take_aligned(len);
+        let (h1, _) = thread_stats();
+        assert_eq!(h1 - h0, 1, "second aligned take must hit the arena");
     }
 
     #[test]

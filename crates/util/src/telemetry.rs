@@ -761,6 +761,10 @@ declare_counters! {
     GEMM_PACK_BYTES => "gemm.pack_bytes";
     /// Register-tile microkernel invocations in the blocked GEMM.
     GEMM_MICROKERNEL_CALLS => "gemm.microkernel_calls";
+    /// int8 row-quantized GEMM invocations (the serving quant path).
+    QGEMM_CALLS => "qgemm.calls";
+    /// Output rows produced by the int8 row-quantized GEMM.
+    QGEMM_ROWS => "qgemm.rows";
     /// Scratch-arena takes served by a recycled buffer.
     SCRATCH_HITS => "scratch.hits";
     /// Scratch-arena takes that fell through to a fresh allocation.

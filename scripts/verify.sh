@@ -52,6 +52,21 @@ fi
 cargo build --release --offline
 cargo test -q --offline
 
+# Kernel-dispatch coverage: the GEMM property suite must pass under both
+# kernel selections. `safe` re-proves the pinned deterministic path;
+# `fma` exercises the AVX2/FMA microkernel against the same oracles (the
+# differential test inside the suite compares the two directly). On
+# hardware without AVX2+FMA the fma run is skipped — dispatch sanitizes
+# the request down to `safe` there, so it would only repeat the first run.
+NAUTILUS_GEMM_KERNEL=safe \
+    cargo test -q --offline -p nautilus-tensor --test gemm_properties
+if grep -qm1 avx2 /proc/cpuinfo && grep -qm1 fma /proc/cpuinfo; then
+    NAUTILUS_GEMM_KERNEL=fma \
+        cargo test -q --offline -p nautilus-tensor --test gemm_properties
+else
+    echo "verify: skipping NAUTILUS_GEMM_KERNEL=fma property run (no AVX2+FMA)"
+fi
+
 # Pool perf baseline: quick-mode micro-bench of sequential vs pooled kernels
 # at sizes past the parallel-dispatch threshold. Emits BENCH_pool.json and
 # fails if the pooled path regresses past a noise allowance — on a 1-core
@@ -60,7 +75,7 @@ cargo test -q --offline
 # NAUTILUS_RESULTS must be absolute: cargo runs bench binaries from the
 # package directory, not the workspace root.
 NAUTILUS_BENCH_SAMPLES=9 NAUTILUS_RESULTS="$PWD/results" \
-    cargo bench --offline -p nautilus-bench --bench substrates -- gemm conv pool telemetry serve multitenant prefetch
+    cargo bench --offline -p nautilus-bench --bench substrates -- gemm conv pool telemetry serve multitenant prefetch int8
 python3 - results/bench-substrates.json results/BENCH_pool.json <<'EOF'
 import json, sys
 
@@ -180,6 +195,83 @@ for shape in ("4x8x16x16", "8x16x32x32"):
           f"im2col {lowered['median_ns']} ns, speedup {speedup:.2f}x [info]")
 json.dump(out, open(dst, "w"), indent=2)
 print(f"gemm gate: wrote {dst}")
+sys.exit(1 if failed else 0)
+EOF
+
+# FMA microkernel gate: on AVX2+FMA hardware the explicit 6x16 FMA tile
+# must beat the portable blocked kernel by >= 1.3x at 512^3 (both sides
+# single-task and packed, so the ratio is microkernel quality alone).
+# The bench registers the fma side only when the CPU supports it, so the
+# gate degrades to an informational skip on other hardware rather than
+# failing the run.
+python3 - results/bench-substrates.json results/BENCH_gemm_fma.json <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+results = {r["id"]: r for r in json.load(open(src))}
+
+if "gemm_fma/fma/512" not in results:
+    out = {"skipped": "no AVX2+FMA support detected by the bench harness"}
+    json.dump(out, open(dst, "w"), indent=2)
+    print("gemm_fma gate: fma kernel not benchable on this host [skipped]")
+    sys.exit(0)
+
+REQUIRED = 1.3
+safe, fma = results["gemm_fma/safe/512"], results["gemm_fma/fma/512"]
+safe_min, fma_min = min(safe["samples_ns"]), min(fma["samples_ns"])
+# Minimum samples: the noise-robust statistic for A/B timing; the
+# emitted JSON records medians alongside.
+speedup = safe_min / fma_min if fma_min else 0.0
+failed = speedup < REQUIRED
+status = "ok" if not failed else "TOO SLOW"
+out = {
+    "safe_ns": safe["median_ns"],
+    "fma_ns": fma["median_ns"],
+    "safe_min_ns": safe_min,
+    "fma_min_ns": fma_min,
+    "speedup": round(speedup, 3),
+    "required": REQUIRED,
+}
+print(f"gemm_fma gate: n=512: safe {safe['median_ns']} ns, fma "
+      f"{fma['median_ns']} ns (min {safe_min} vs {fma_min}), speedup "
+      f"{speedup:.2f}x (required {REQUIRED}) [{status}]")
+json.dump(out, open(dst, "w"), indent=2)
+print(f"gemm_fma gate: wrote {dst}")
+sys.exit(1 if failed else 0)
+EOF
+
+# Int8 serving gate: a batch-8 forward through the row-quantized int8
+# path must beat the f32 forward on the same model by >= 1.2x. The win
+# is integer dot products (madd on AVX2) plus halved weight traffic; it
+# does not depend on the pool, so it holds on a 1-core runner.
+python3 - results/bench-substrates.json results/BENCH_int8.json <<'EOF'
+import json, sys
+
+src, dst = sys.argv[1], sys.argv[2]
+results = {r["id"]: r for r in json.load(open(src))}
+
+REQUIRED = 1.2
+f32, i8 = results["int8/f32_forward/8"], results["int8/int8_forward/8"]
+f32_min, i8_min = min(f32["samples_ns"]), min(i8["samples_ns"])
+# Minimum samples: the noise-robust statistic for A/B timing; the
+# emitted JSON records medians alongside.
+speedup = f32_min / i8_min if i8_min else 0.0
+failed = speedup < REQUIRED
+status = "ok" if not failed else "TOO SLOW"
+out = {
+    "f32_ns": f32["median_ns"],
+    "int8_ns": i8["median_ns"],
+    "f32_min_ns": f32_min,
+    "int8_min_ns": i8_min,
+    "batch_size": 8,
+    "speedup": round(speedup, 3),
+    "required": REQUIRED,
+}
+print(f"int8 gate: batch-8 f32 {f32['median_ns']} ns, int8 "
+      f"{i8['median_ns']} ns (min {f32_min} vs {i8_min}), speedup "
+      f"{speedup:.2f}x (required {REQUIRED}) [{status}]")
+json.dump(out, open(dst, "w"), indent=2)
+print(f"int8 gate: wrote {dst}")
 sys.exit(1 if failed else 0)
 EOF
 

@@ -777,3 +777,90 @@ fn healthz_degrades_and_recovers_when_queue_slo_is_breached() {
     assert!(recovered, "health never recovered after the queue drained");
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Integration: int8 row-quantized serving. A tenant published with
+// `quantize_int8` serves through the integer kernels; its logits must
+// stay within the quantization error budget of the f32 path, and its
+// argmax must agree wherever the f32 margin exceeds that budget.
+// ---------------------------------------------------------------------
+
+/// Frozen Gelu trunk + trainable linear head, the transfer-learning shape
+/// quantized serving is built for: the trunk quantizes once per base, the
+/// head once per tenant publish.
+fn frozen_trunk_model(seed: u64, in_dim: usize, out_dim: usize) -> ModelGraph {
+    let mut rng = seeded_rng(seed);
+    let mut g = ModelGraph::new();
+    let inp = g.add_input("in", [in_dim]);
+    let h = g
+        .add_layer(
+            "trunk",
+            LayerKind::Dense { in_dim, out_dim: in_dim, act: Activation::Gelu },
+            &[inp],
+            true,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    let o = g
+        .add_layer(
+            "head",
+            LayerKind::Dense { in_dim, out_dim, act: Activation::None },
+            &[h],
+            false,
+            ParamInit::Seeded(&mut rng),
+        )
+        .unwrap();
+    g.add_output(o).unwrap();
+    g
+}
+
+#[test]
+fn int8_tenant_serves_within_quantization_error_of_f32() {
+    use nautilus_repro::serve::PublishOptions;
+    const IN: usize = 32;
+    const OUT: usize = 6;
+    const RECORDS: usize = 32;
+
+    let g = frozen_trunk_model(0x1A78, IN, OUT);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("f32", g.clone()).unwrap();
+    registry.publish_with("int8", g.clone(), PublishOptions { quantize_int8: true }).unwrap();
+    assert!(registry.get("f32").unwrap().quant.is_none());
+    assert!(registry.get("int8").unwrap().quant.is_some(), "publish_with must quantize");
+
+    let cfg = ServingConfig { max_batch: 8, max_delay_us: 2_000, ..ServingConfig::default() };
+    let batcher = Arc::new(MicroBatcher::start(Arc::clone(&registry), &cfg));
+
+    // Two dense layers each contribute ~scale·√k of accumulated rounding
+    // error; this budget bounds both and the gate below uses it twice.
+    let budget = 0.05 * (IN as f32).sqrt() + 0.05;
+
+    let mut rng = seeded_rng(0x1A79);
+    let mut argmax_checked = 0usize;
+    for _ in 0..RECORDS {
+        let record: Vec<f32> = (0..IN).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+        let f32_out = batcher.predict("f32", record.clone()).unwrap().values;
+        // The f32 tenant must stay byte-for-byte the ordinary serving path.
+        assert_eq!(f32_out, solo_forward(&g, &record));
+        let q_out = batcher.predict("int8", record).unwrap().values;
+        assert_eq!(q_out.len(), OUT);
+        for (o, (&q, &w)) in q_out.iter().zip(&f32_out).enumerate() {
+            assert!(
+                (q - w).abs() <= 0.05 * w.abs() + budget,
+                "logit {o}: int8 {q} vs f32 {w} exceeds the error budget {budget}"
+            );
+        }
+        // Argmax must agree whenever f32's top-2 margin clears the budget —
+        // quantization may only flip genuinely ambiguous predictions.
+        let top = |v: &[f32]| {
+            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        let mut sorted = f32_out.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        if sorted[0] - sorted[1] > 2.0 * budget {
+            assert_eq!(top(&q_out), top(&f32_out), "confident argmax flipped under int8");
+            argmax_checked += 1;
+        }
+    }
+    assert!(argmax_checked > 0, "no record ever had a confident margin — weak test");
+}
