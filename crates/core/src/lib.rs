@@ -50,7 +50,8 @@ pub mod workloads;
 
 pub use backend::BackendKind;
 pub use config::{
-    HardwareProfile, ObservabilityConfig, PlannerCosts, SystemConfig, SystemConfigBuilder,
+    DistConfig, HardwareProfile, ObservabilityConfig, PlannerCosts, SystemConfig,
+    SystemConfigBuilder,
 };
 pub use error::NautilusError;
 pub use metrics::{CycleReport, RunStats};

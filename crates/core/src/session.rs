@@ -60,15 +60,32 @@ impl Strategy {
         }
     }
 
-    fn runs_optimizer(&self) -> bool {
+    /// Parses a [`Strategy::label`] back into the strategy (wire DTOs ship
+    /// strategies by label).
+    pub fn from_label(label: &str) -> Option<Strategy> {
+        [
+            Strategy::CurrentPractice,
+            Strategy::MatAll,
+            Strategy::MatOnly,
+            Strategy::FuseOnly,
+            Strategy::Nautilus,
+        ]
+        .into_iter()
+        .find(|s| s.label() == label)
+    }
+
+    /// Whether this strategy runs the MAT-OPT optimizer.
+    pub fn runs_optimizer(&self) -> bool {
         !matches!(self, Strategy::CurrentPractice)
     }
 
-    fn fuse_enabled(&self) -> bool {
+    /// Whether model fusion (FUSE) is enabled.
+    pub fn fuse_enabled(&self) -> bool {
         matches!(self, Strategy::FuseOnly | Strategy::Nautilus)
     }
 
-    fn full_checkpoints(&self) -> bool {
+    /// Whether per-member full checkpoints are kept during training.
+    pub fn full_checkpoints(&self) -> bool {
         matches!(self, Strategy::CurrentPractice)
     }
 }
@@ -381,7 +398,11 @@ impl ModelSelection {
         })
     }
 
-    fn choose_v(
+    /// Chooses the materialized set `V` for `strategy` — empty for the
+    /// no-reuse strategies, everything for MatAll, the MILP optimum
+    /// otherwise. Deterministic in its inputs; public so the distributed
+    /// coordinator and workers derive the identical plan independently.
+    pub fn choose_v(
         multi: &MultiModelGraph,
         candidates: &[CandidateModel],
         config: &SystemConfig,
@@ -400,7 +421,12 @@ impl ModelSelection {
         }
     }
 
-    fn build_units(
+    /// Builds the fused training units and their executable plans for a
+    /// chosen `V`. Deterministic in its inputs (greedy fusion iterates in
+    /// fixed order), so a remote worker rebuilding the unit list from the
+    /// same candidates/config/strategy/`V` gets byte-identical plan graphs
+    /// — the foundation of the distributed bit-identity contract.
+    pub fn build_units(
         multi: &MultiModelGraph,
         candidates: &[CandidateModel],
         config: &SystemConfig,
@@ -1112,7 +1138,7 @@ impl ModelSelection {
 /// (`merged_to_plan`). Nodes the plan pruned or loaded from materialized
 /// features keep their initial (frozen) parameters — the optimizer never
 /// touches those, so the result equals full solo training of the candidate.
-fn export_candidate(
+pub fn export_candidate(
     multi: &MultiModelGraph,
     candidates: &[CandidateModel],
     plan: &ExecutablePlan,

@@ -7,6 +7,7 @@
 //! initialization and keeps the candidate set fixed across cycles (§2.5).
 
 use nautilus_dnn::{ModelGraph, OptimizerSpec, TaskKind};
+use nautilus_util::json_struct;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -114,6 +115,10 @@ pub struct Hyper {
     /// Optimizer configuration (carries the learning rate).
     pub optimizer: OptimizerSpec,
 }
+
+// Wire form for the distributed plane (learning-rate floats round-trip
+// exactly: Rust's f64 Display prints shortest-roundtrip decimals).
+json_struct!(Hyper { batch_size, epochs, optimizer });
 
 /// One candidate model `(Mᵢ, φᵢ)` produced by the model-init function.
 #[derive(Debug, Clone)]

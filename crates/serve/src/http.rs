@@ -1,516 +1,10 @@
-//! Minimal HTTP/1.1 over `std::net`: an incremental request parser, a
-//! response builder, and a tiny blocking client for loopback tests.
+//! HTTP/1.1 protocol layer for the serving plane.
 //!
-//! Scope is deliberately narrow — exactly what the loopback inference
-//! endpoint needs. One request per connection (`Connection: close`),
-//! `Content-Length` bodies only (no chunked encoding), byte-exact CRLF
-//! framing. The parser is incremental: feed it the bytes read so far and
-//! it answers *complete / need more / malformed*, so handler threads can
-//! read in a loop without buffering policy leaking into the protocol
-//! code. All limits (header size, body size) are enforced while bytes
-//! arrive, never after.
+//! The parser, response builder, blocking client, and connection-finish
+//! helper now live in [`nautilus_util::http`] so the distributed
+//! execution plane (`nautilus-dist`) reuses the same hardened
+//! implementation instead of forking it. This module re-exports the full
+//! surface under its historical path; serving behavior is unchanged and
+//! `tests/serving.rs` exercises the parser through these re-exports.
 
-use nautilus_util::json::Json;
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
-
-/// Parser limits, enforced during (not after) reading.
-#[derive(Debug, Clone, Copy)]
-pub struct Limits {
-    /// Maximum bytes for the request line + headers.
-    pub max_head_bytes: usize,
-    /// Maximum bytes for the body (`413` beyond this).
-    pub max_body_bytes: usize,
-}
-
-impl Default for Limits {
-    fn default() -> Self {
-        Limits { max_head_bytes: 8 * 1024, max_body_bytes: 1 << 20 }
-    }
-}
-
-/// A parsed HTTP request.
-#[derive(Debug, Clone)]
-pub struct Request {
-    /// Request method (`GET`, `POST`, ...), as sent.
-    pub method: String,
-    /// Request target path (no scheme/authority).
-    pub path: String,
-    /// Header name/value pairs, in order; names lowercased.
-    pub headers: Vec<(String, String)>,
-    /// Request body (empty when no `Content-Length`).
-    pub body: Vec<u8>,
-}
-
-impl Request {
-    /// First value of header `name` (lowercase), if present.
-    pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
-    }
-}
-
-/// Why a request could not be parsed; maps directly to a status code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParseError {
-    /// Malformed request line or header framing → `400`.
-    Malformed,
-    /// Head grew beyond [`Limits::max_head_bytes`] → `431`.
-    HeadTooLarge,
-    /// Declared body exceeds [`Limits::max_body_bytes`] → `413`.
-    BodyTooLarge,
-}
-
-impl ParseError {
-    /// The status code this error answers with.
-    pub fn status(self) -> u16 {
-        match self {
-            ParseError::Malformed => 400,
-            ParseError::HeadTooLarge => 431,
-            ParseError::BodyTooLarge => 413,
-        }
-    }
-}
-
-/// Outcome of parsing the bytes received so far.
-#[derive(Debug)]
-pub enum ParseOutcome {
-    /// A full request; `usize` is the bytes consumed.
-    Complete(Request, usize),
-    /// Valid prefix; read more bytes and try again.
-    Incomplete,
-    /// Irrecoverably malformed or over a limit.
-    Error(ParseError),
-}
-
-fn is_token_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
-}
-
-/// Parses one request from `buf`. Incremental and restartable: call again
-/// with the same buffer plus newly read bytes after `Incomplete`.
-pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
-    parse_request_resumable(buf, limits, &mut 0)
-}
-
-/// [`parse_request`] with a persistent head-scan offset. `scanned` must
-/// start at 0 for a fresh buffer and be carried unchanged across
-/// `Incomplete` retries on the same (growing) buffer: bytes already known
-/// to hold no `\r\n\r\n` are never rescanned, so a read loop costs O(bytes)
-/// total against a client that trickles the head byte by byte, instead of
-/// O(bytes²). The head-size limit is enforced as soon as an unterminated
-/// head outgrows it.
-pub fn parse_request_resumable(
-    buf: &[u8],
-    limits: &Limits,
-    scanned: &mut usize,
-) -> ParseOutcome {
-    // Resume the terminator scan 3 bytes early: a `\r\n\r\n` may straddle
-    // the previously scanned prefix and the new bytes.
-    let start = scanned.saturating_sub(3).min(buf.len());
-    let head_end = buf[start..].windows(4).position(|w| w == b"\r\n\r\n").map(|p| start + p);
-    let Some(head_len) = head_end else {
-        *scanned = buf.len();
-        return if buf.len() > limits.max_head_bytes {
-            ParseOutcome::Error(ParseError::HeadTooLarge)
-        } else {
-            ParseOutcome::Incomplete
-        };
-    };
-    // Park the scan position at the terminator (never moving backwards —
-    // an earlier partial scan may sit up to 3 bytes past it, which the
-    // resume back-off covers) so body-completeness retries re-find it in
-    // constant time.
-    *scanned = (*scanned).max(head_len);
-    if head_len > limits.max_head_bytes {
-        return ParseOutcome::Error(ParseError::HeadTooLarge);
-    }
-    let head = &buf[..head_len];
-    let Ok(head) = std::str::from_utf8(head) else {
-        return ParseOutcome::Error(ParseError::Malformed);
-    };
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let (Some(method), Some(path), Some(version), None) =
-        (parts.next(), parts.next(), parts.next(), parts.next())
-    else {
-        return ParseOutcome::Error(ParseError::Malformed);
-    };
-    if method.is_empty()
-        || !method.bytes().all(is_token_byte)
-        || path.is_empty()
-        || !path.starts_with('/')
-        || !matches!(version, "HTTP/1.1" | "HTTP/1.0")
-    {
-        return ParseOutcome::Error(ParseError::Malformed);
-    }
-
-    let mut headers = Vec::new();
-    let mut content_length: Option<usize> = None;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            return ParseOutcome::Error(ParseError::Malformed);
-        };
-        if name.is_empty() || !name.bytes().all(is_token_byte) {
-            return ParseOutcome::Error(ParseError::Malformed);
-        }
-        let name = name.to_ascii_lowercase();
-        let value = value.trim().to_string();
-        if name == "content-length" {
-            // RFC 9112 §6.3: conflicting or repeated Content-Length must
-            // be rejected, not resolved — a second header field here, or a
-            // comma-separated list (which fails the integer parse below),
-            // is malformed rather than last-one-wins.
-            if content_length.is_some() {
-                return ParseOutcome::Error(ParseError::Malformed);
-            }
-            let Ok(n) = value.parse::<usize>() else {
-                return ParseOutcome::Error(ParseError::Malformed);
-            };
-            if n > limits.max_body_bytes {
-                return ParseOutcome::Error(ParseError::BodyTooLarge);
-            }
-            content_length = Some(n);
-        }
-        headers.push((name, value));
-    }
-    let content_length = content_length.unwrap_or(0);
-
-    let body_start = head_len + 4;
-    let total = body_start + content_length;
-    if buf.len() < total {
-        return ParseOutcome::Incomplete;
-    }
-    ParseOutcome::Complete(
-        Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            headers,
-            body: buf[body_start..total].to_vec(),
-        },
-        total,
-    )
-}
-
-/// Reason a request could not be read off a socket.
-#[derive(Debug)]
-pub enum ReadError {
-    /// Parse failure (status from [`ParseError::status`]).
-    Parse(ParseError),
-    /// The client went quiet past the read timeout → `408`.
-    Timeout,
-    /// Connection closed before a full request (no response possible).
-    Disconnected,
-}
-
-/// Reads one full request from `stream`, honoring its read timeout.
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    // Carried across retries so slow (trickling) clients cost O(bytes)
-    // of head scanning per connection, not O(bytes²).
-    let mut scanned = 0usize;
-    loop {
-        match parse_request_resumable(&buf, limits, &mut scanned) {
-            ParseOutcome::Complete(req, _) => return Ok(req),
-            ParseOutcome::Error(e) => return Err(ReadError::Parse(e)),
-            ParseOutcome::Incomplete => {}
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Err(ReadError::Disconnected)
-                } else {
-                    // Truncated mid-request: answer 400 rather than hang.
-                    Err(ReadError::Parse(ParseError::Malformed))
-                };
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(ReadError::Timeout);
-            }
-            Err(_) => return Err(ReadError::Disconnected),
-        }
-    }
-}
-
-/// Standard reason phrase for the status codes this server emits.
-pub fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        408 => "Request Timeout",
-        413 => "Payload Too Large",
-        422 => "Unprocessable Entity",
-        431 => "Request Header Fields Too Large",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    }
-}
-
-/// An HTTP response under construction.
-#[derive(Debug, Clone)]
-pub struct Response {
-    /// Status code.
-    pub status: u16,
-    /// Extra headers (Content-Length/Type and Connection are automatic).
-    pub headers: Vec<(&'static str, String)>,
-    /// Response body.
-    pub body: Vec<u8>,
-}
-
-impl Response {
-    /// A JSON response.
-    pub fn json(status: u16, value: &Json) -> Response {
-        Response { status, headers: Vec::new(), body: value.to_string().into_bytes() }
-    }
-
-    /// A response with an explicit content type (suppresses the
-    /// `application/json` default).
-    pub fn text(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
-        Response {
-            status,
-            headers: vec![("Content-Type", content_type.to_string())],
-            body: body.into(),
-        }
-    }
-
-    /// A JSON error body `{"error": message}`.
-    pub fn error(status: u16, message: &str) -> Response {
-        Response::json(status, &Json::obj([("error", Json::Str(message.into()))]))
-    }
-
-    /// Adds a header.
-    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
-        self.headers.push((name, value.into()));
-        self
-    }
-
-    /// Serializes the response (always `Connection: close`).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
-        out.extend_from_slice(
-            format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status)).as_bytes(),
-        );
-        if !self.headers.iter().any(|(k, _)| k.eq_ignore_ascii_case("Content-Type")) {
-            out.extend_from_slice(b"Content-Type: application/json\r\n");
-        }
-        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
-        for (k, v) in &self.headers {
-            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
-        }
-        out.extend_from_slice(b"Connection: close\r\n\r\n");
-        out.extend_from_slice(&self.body);
-        out
-    }
-
-    /// Writes the response to `stream` (best-effort flush).
-    pub fn send(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        stream.write_all(&self.to_bytes())?;
-        stream.flush()
-    }
-}
-
-/// Blocking one-shot HTTP client for loopback tests and demos: opens a
-/// connection, sends one request, reads until the server closes, and
-/// returns `(status, body)`.
-pub fn request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&[u8]>,
-    timeout: Duration,
-) -> std::io::Result<(u16, Vec<u8>)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    let body = body.unwrap_or(&[]);
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => raw.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(e),
-        }
-    }
-    parse_response(&raw)
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
-}
-
-/// Splits a raw HTTP response into `(status, body)`.
-pub fn parse_response(raw: &[u8]) -> Option<(u16, Vec<u8>)> {
-    let head_len = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = std::str::from_utf8(&raw[..head_len]).ok()?;
-    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
-    Some((status, raw[head_len + 4..].to_vec()))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(bytes: &[u8]) -> ParseOutcome {
-        parse_request(bytes, &Limits::default())
-    }
-
-    #[test]
-    fn parses_post_with_body() {
-        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
-        match parse(raw) {
-            ParseOutcome::Complete(req, used) => {
-                assert_eq!(req.method, "POST");
-                assert_eq!(req.path, "/predict");
-                assert_eq!(req.header("host"), Some("x"));
-                assert_eq!(req.body, b"abcd");
-                assert_eq!(used, raw.len());
-            }
-            other => panic!("expected complete, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn incomplete_until_body_arrives() {
-        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
-        assert!(matches!(parse(raw), ParseOutcome::Incomplete));
-    }
-
-    #[test]
-    fn rejects_malformed_request_lines() {
-        for raw in [
-            &b"GET\r\n\r\n"[..],
-            b"GET /x\r\n\r\n",
-            b"GET /x HTTP/2.0\r\n\r\n",
-            b"GET /x HTTP/1.1 extra\r\n\r\n",
-            b"G@T /x HTTP/1.1\r\n\r\n",
-            b"GET x HTTP/1.1\r\n\r\n",
-            b" / HTTP/1.1\r\n\r\n",
-        ] {
-            assert!(
-                matches!(parse(raw), ParseOutcome::Error(ParseError::Malformed)),
-                "should reject {:?}",
-                String::from_utf8_lossy(raw)
-            );
-        }
-    }
-
-    #[test]
-    fn rejects_bad_headers_and_lengths() {
-        let no_colon = b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n";
-        assert!(matches!(parse(no_colon), ParseOutcome::Error(ParseError::Malformed)));
-        let bad_len = b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n";
-        assert!(matches!(parse(bad_len), ParseOutcome::Error(ParseError::Malformed)));
-    }
-
-    /// RFC 9112 §6.3: repeated or conflicting Content-Length is rejected
-    /// outright — never resolved last-one-wins.
-    #[test]
-    fn rejects_duplicate_or_listed_content_length() {
-        for raw in [
-            // Two agreeing fields are still malformed.
-            &b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd"[..],
-            // Two conflicting fields.
-            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd",
-            // A comma-separated list inside one field.
-            b"POST / HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\nabcd",
-        ] {
-            assert!(
-                matches!(parse(raw), ParseOutcome::Error(ParseError::Malformed)),
-                "should reject {:?}",
-                String::from_utf8_lossy(raw)
-            );
-        }
-    }
-
-    /// Feeding the parser byte by byte with a persistent scan offset must
-    /// reach the same result as one-shot parsing, without rescanning the
-    /// prefix (the offset only moves forward).
-    #[test]
-    fn resumable_parse_handles_trickled_delivery() {
-        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
-        let limits = Limits::default();
-        let mut scanned = 0usize;
-        let mut prev_scanned = 0usize;
-        for n in 1..raw.len() {
-            match parse_request_resumable(&raw[..n], &limits, &mut scanned) {
-                ParseOutcome::Incomplete => {}
-                other => panic!("unexpected outcome at {n} bytes: {other:?}"),
-            }
-            assert!(scanned >= prev_scanned, "scan offset moved backwards at {n}");
-            prev_scanned = scanned;
-        }
-        match parse_request_resumable(raw, &limits, &mut scanned) {
-            ParseOutcome::Complete(req, used) => {
-                assert_eq!(req.method, "POST");
-                assert_eq!(req.body, b"abcd");
-                assert_eq!(used, raw.len());
-            }
-            other => panic!("expected complete, got {other:?}"),
-        }
-        // The head terminator straddling a read boundary is found even
-        // though the scan resumed mid-sequence.
-        let head_only = b"GET / HTTP/1.1\r\n\r\n";
-        let mut scanned = 0usize;
-        let split = head_only.len() - 2; // "\r\n\r" delivered, final "\n" pending
-        assert!(matches!(
-            parse_request_resumable(&head_only[..split], &Limits::default(), &mut scanned),
-            ParseOutcome::Incomplete
-        ));
-        assert!(matches!(
-            parse_request_resumable(head_only, &Limits::default(), &mut scanned),
-            ParseOutcome::Complete(..)
-        ));
-    }
-
-    #[test]
-    fn enforces_limits_while_reading() {
-        let limits = Limits { max_head_bytes: 64, max_body_bytes: 8 };
-        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
-        assert!(matches!(
-            parse_request(long_head.as_bytes(), &limits),
-            ParseOutcome::Error(ParseError::HeadTooLarge)
-        ));
-        // Oversized body is rejected from the *declared* length — before
-        // the body bytes ever arrive.
-        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
-        assert!(matches!(
-            parse_request(big, &limits),
-            ParseOutcome::Error(ParseError::BodyTooLarge)
-        ));
-        // A growing head with no terminator trips the limit too.
-        let partial = vec![b'A'; 65];
-        assert!(matches!(
-            parse_request(&partial, &limits),
-            ParseOutcome::Error(ParseError::HeadTooLarge)
-        ));
-    }
-
-    #[test]
-    fn response_round_trips_through_client_parser() {
-        let resp = Response::json(200, &Json::obj([("ok", Json::Bool(true))]))
-            .with_header("Retry-After", "1");
-        let bytes = resp.to_bytes();
-        let text = String::from_utf8_lossy(&bytes);
-        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(text.contains("Retry-After: 1\r\n"));
-        assert!(text.contains("Connection: close\r\n"));
-        let (status, body) = parse_response(&bytes).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, br#"{"ok":true}"#);
-    }
-}
+pub use nautilus_util::http::*;

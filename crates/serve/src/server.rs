@@ -365,17 +365,8 @@ fn shed(stream: TcpStream, shared: &Shared) {
 /// make the kernel RST the connection, which can destroy the response
 /// before the client reads it. So after sending we half-close and drain
 /// (bounded) until the client's own close acknowledges receipt.
-fn finish(mut stream: TcpStream, resp: &Response) {
-    use std::io::Read;
-    let _ = resp.send(&mut stream);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let mut sink = [0u8; 4096];
-    for _ in 0..8 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
+fn finish(stream: TcpStream, resp: &Response) {
+    crate::http::finish_connection(stream, resp);
 }
 
 fn handler_loop(shared: &Shared) {

@@ -163,7 +163,7 @@ impl Json {
 
     /// Parses a JSON document (the whole input must be one value).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -271,14 +271,33 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting the parser accepts. Documents from untrusted
+/// peers (distributed workers/coordinators, serving clients) must produce
+/// a parse error rather than exhaust the call stack: `value`/`array`/
+/// `object` are mutually recursive, so unbounded `[[[…]]]` input would
+/// otherwise overflow. 128 is far deeper than any wire DTO in the tree
+/// (checkpoint headers nest < 10) while staying thousands of frames below
+/// stack limits.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> JsonError {
         JsonError(format!("{msg} at byte {}", self.pos))
+    }
+
+    /// Called on entering an array/object; errors past [`MAX_PARSE_DEPTH`].
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_PARSE_DEPTH}")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -324,11 +343,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -339,6 +360,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -347,11 +369,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -366,6 +390,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -1000,5 +1025,32 @@ mod tests {
     fn nonfinite_floats_serialize_as_null() {
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    /// Deeply nested input from an untrusted peer must return a parse
+    /// error, not blow the stack. Depth at the limit still parses; one
+    /// past it fails cleanly, for arrays, objects, and mixtures.
+    #[test]
+    fn recursion_depth_is_limited() {
+        let nest = |open: &str, close: &str, n: usize| {
+            format!("{}{}{}", open.repeat(n), "null", close.repeat(n))
+        };
+        let at_limit = nest("[", "]", MAX_PARSE_DEPTH);
+        assert!(Json::parse(&at_limit).is_ok());
+        let over = nest("[", "]", MAX_PARSE_DEPTH + 1);
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.0.contains("nesting"), "unexpected error: {err}");
+        // Far past the limit (would overflow the stack without the guard).
+        let way_over = nest("[", "]", 200_000);
+        assert!(Json::parse(&way_over).is_err());
+        let obj_over =
+            format!("{}null{}", r#"{"k":"#.repeat(MAX_PARSE_DEPTH + 1), "}".repeat(MAX_PARSE_DEPTH + 1));
+        assert!(Json::parse(&obj_over).is_err());
+        let mixed = format!("{}1{}", r#"[{"k":"#.repeat(80), "}]".repeat(80));
+        assert!(Json::parse(&mixed).is_err());
+        // Siblings at the same depth don't accumulate: a wide shallow
+        // document parses fine.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 }

@@ -33,6 +33,10 @@
 //! - [`eventlog`] — structured JSON-line event log for discrete state
 //!   transitions (publishes, evictions, stalls, shedding, SLO breaches):
 //!   leveled, per-event rate-limited, gated by `NAUTILUS_LOG`.
+//! - [`http`] — minimal hardened HTTP/1.1: incremental request parser
+//!   with in-flight limits, response builder, blocking one-shot client,
+//!   and a generic threaded server loop; shared by `crates/serve` and the
+//!   `crates/dist` coordinator/workers.
 //!
 //! Policy: no crate in this workspace may depend on anything outside the
 //! workspace (`scripts/verify.sh` enforces this). See DESIGN.md.
@@ -42,6 +46,7 @@
 pub mod bench;
 pub mod bytesio;
 pub mod eventlog;
+pub mod http;
 pub mod json;
 pub mod pool;
 pub mod prop;

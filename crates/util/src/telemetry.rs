@@ -450,6 +450,14 @@ declare_gauges! {
     /// Measured write bandwidth from the last I/O calibration probe,
     /// bytes/s.
     CALIBRATED_WRITE_BPS => "calibrate.write_bytes_per_sec";
+    /// Worker processes the distributed coordinator currently believes
+    /// alive (join/leave tracked by heartbeat probes).
+    DIST_WORKERS_ALIVE => "dist.workers_alive";
+    /// Shards currently dispatched under an active lease.
+    DIST_SHARDS_INFLIGHT => "dist.shards_inflight";
+    /// Measured coordinator→worker network bandwidth from the last echo
+    /// micro-probe, bytes/s (0 until a probe has run).
+    CALIBRATED_NET_BPS => "calibrate.net_bytes_per_sec";
 }
 
 /// Interns a dynamically named gauge, returning a `'static` handle (the
@@ -773,6 +781,18 @@ declare_counters! {
     SIMPLEX_ITERATIONS => "simplex.iterations";
     /// Branch-and-bound nodes explored across all MILP solves.
     BB_NODES => "bb.nodes";
+    /// Shard dispatch retries by the distributed coordinator (failed or
+    /// timed-out attempts that were requeued with backoff).
+    DIST_RETRIES => "dist.retries";
+    /// Shard leases that expired without a worker reply and were
+    /// reassigned.
+    DIST_LEASE_TIMEOUTS => "dist.lease_timeouts";
+    /// Shards completed successfully by remote workers.
+    DIST_SHARDS_DONE => "dist.shards_done";
+    /// Gauge: the network-throughput constant (bytes/s) the MILP consumed
+    /// on its most recent solve — measured when net calibration is on,
+    /// 0 (no wire term) otherwise.
+    PLANNER_NET_BPS => "planner.net_bytes_per_sec";
 }
 
 /// Interns a dynamically named counter (e.g. `pool.worker3.steals`),

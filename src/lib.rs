@@ -12,7 +12,8 @@
 //! * [`store`] — feature/checkpoint storage with IO accounting;
 //! * [`data`] — synthetic datasets and labeling sessions;
 //! * [`models`] — MiniBERT/MiniResNet and transfer-learning builders;
-//! * [`serve`] — online inference serving for trained models.
+//! * [`serve`] — online inference serving for trained models;
+//! * [`dist`] — the distributed execution plane (coordinator + workers).
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub use nautilus_core as core;
+pub use nautilus_dist as dist;
 pub use nautilus_serve as serve;
 pub use nautilus_data as data;
 pub use nautilus_dnn as dnn;
